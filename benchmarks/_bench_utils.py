@@ -1,0 +1,16 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+import os
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def write_artifact(directory: str, name: str, content: str) -> str:
+    """Write a regenerated table/figure under benchmarks/artifacts/."""
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content if content.endswith("\n")
+                     else content + "\n")
+    return path

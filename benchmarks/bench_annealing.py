@@ -1,0 +1,93 @@
+"""Annealing polish — what revisiting task orders buys.
+
+Section 5.3 notes that exploring "all valid partial orderings" is
+exponential and settles for a few heuristic scans.  The annealing
+improver samples that order space stochastically from a valid start.
+This bench measures the polish on three starts:
+
+* the pipeline's own output (is the constructive result already at a
+  local optimum?),
+* the serial baseline (can local search recover the parallelism the
+  pipeline builds constructively?),
+* random synthetic instances (does polish help where heuristics
+  wobble?).
+"""
+
+import pytest
+
+from _bench_utils import write_artifact
+from repro.analysis import format_table
+from repro.errors import SchedulingFailure
+from repro.mission import MarsRover, SolarCase
+from repro.scheduling import (AnnealingImprover, SchedulerOptions,
+                              schedule, serial_schedule)
+from repro.workloads import random_problem
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=2,
+                        max_spike_attempts=500, seed=7)
+SA = AnnealingImprover(iterations=4000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def polish_rows():
+    rows = []
+    rover = MarsRover(options=FAST)
+    cases = [("rover-typical", rover.problem(SolarCase.TYPICAL))]
+    for seed in (900, 901, 902):
+        cases.append((f"random-{seed}", random_problem(seed)))
+    for label, problem in cases:
+        try:
+            pipe = schedule(problem, FAST)
+        except SchedulingFailure:
+            continue
+        polished = SA.improve(problem, pipe.schedule)
+        row = {"problem": label,
+               "pipe_tau_s": pipe.finish_time,
+               "pipe_Ec_J": round(pipe.energy_cost, 1),
+               "sa_tau_s": polished.finish_time,
+               "sa_Ec_J": round(polished.energy_cost, 1)}
+        try:
+            serial = serial_schedule(problem, FAST)
+            from_serial = SA.improve(problem, serial.schedule)
+            row["serial_tau_s"] = serial.finish_time
+            row["sa_from_serial_tau_s"] = from_serial.finish_time
+        except SchedulingFailure:
+            pass
+        rows.append(row)
+    return rows
+
+
+def test_polish_never_hurts(polish_rows):
+    for row in polish_rows:
+        assert (row["sa_tau_s"], row["sa_Ec_J"]) \
+            <= (row["pipe_tau_s"], row["pipe_Ec_J"] + 1e-6)
+
+
+def test_annealing_recovers_parallelism_from_serial(polish_rows):
+    """Started from the fully-serial schedule, local search should
+    close most of the gap to the constructive pipeline."""
+    rows = [row for row in polish_rows
+            if "sa_from_serial_tau_s" in row]
+    assert rows
+    for row in rows:
+        assert row["sa_from_serial_tau_s"] < row["serial_tau_s"] \
+            or row["serial_tau_s"] == row["pipe_tau_s"]
+
+
+def test_annealing_artifact(polish_rows, artifact_dir):
+    write_artifact(artifact_dir, "annealing_polish.txt",
+                   format_table(polish_rows,
+                                title="Annealing polish vs the "
+                                      "pipeline"))
+
+
+def test_bench_annealing_iterations(benchmark):
+    problem = random_problem(900)
+    base = schedule(problem, FAST)
+    improver = AnnealingImprover(iterations=1500, seed=11)
+
+    def run():
+        return improver.improve(problem, base.schedule)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.metrics.spikes == 0

@@ -1,0 +1,91 @@
+"""Core micro-benchmarks: the primitives every scheduler move pays for.
+
+The pipeline's cost is dominated by three primitives — longest-path
+solves, profile construction, and graph checkpoint/rollback — so their
+costs are tracked here as first-class benchmarks.  The incremental
+longest-path cache (distances only grow under edge additions) is the
+headline: the cached solve after one edge addition must be far cheaper
+than the cold Bellman–Ford.
+"""
+
+import pytest
+
+from repro.core.longest_path import longest_paths
+from repro.core.profile import PowerProfile
+from repro.core.task import ANCHOR_NAME
+from repro.scheduling import SchedulerOptions
+from repro.scheduling.timing import TimingScheduler, asap_schedule
+from repro.workloads import RandomWorkloadConfig, random_problem
+
+CONFIG = RandomWorkloadConfig(tasks=60, resources=8, layers=8)
+
+
+@pytest.fixture(scope="module")
+def serialized_graph():
+    problem = random_problem(4000, CONFIG)
+    graph = problem.fresh_graph()
+    TimingScheduler(SchedulerOptions()).schedule_graph(graph)
+    return graph
+
+
+def test_bench_longest_path_cold(benchmark, serialized_graph):
+    def cold():
+        graph = serialized_graph.copy()   # fresh: no cache attached
+        return longest_paths(graph)
+
+    result = benchmark(cold)
+    assert result.distance
+
+
+def test_bench_longest_path_incremental(benchmark, serialized_graph):
+    """One edge addition then a solve: the cached fast path."""
+    graph = serialized_graph.copy()
+    longest_paths(graph)  # warm the cache
+    names = graph.task_names()
+    state = {"i": 0}
+
+    def incremental():
+        name = names[state["i"] % len(names)]
+        state["i"] += 1
+        token = graph.checkpoint()
+        graph.add_edge(ANCHOR_NAME, name, 1 + state["i"] % 3,
+                       tag="delay")
+        result = longest_paths(graph)
+        graph.rollback(token)
+        longest_paths(graph)  # re-warm after the rollback
+        return result
+
+    result = benchmark(incremental)
+    assert result.distance
+
+
+def test_bench_profile_construction(benchmark, serialized_graph):
+    schedule = asap_schedule(serialized_graph)
+
+    def build():
+        return PowerProfile.from_schedule(schedule, baseline=1.0)
+
+    profile = benchmark(build)
+    assert profile.horizon > 0
+
+
+def test_bench_checkpoint_rollback(benchmark, serialized_graph):
+    graph = serialized_graph.copy()
+    names = graph.task_names()
+
+    def churn():
+        token = graph.checkpoint()
+        for i, name in enumerate(names[:16]):
+            graph.add_edge(ANCHOR_NAME, name, 5 + i, tag="delay")
+        graph.rollback(token)
+        return graph.edge_count()
+
+    benchmark(churn)
+
+
+def test_bench_slack_table(benchmark, serialized_graph):
+    from repro.core.slack import slack_table
+
+    schedule = asap_schedule(serialized_graph)
+    table = benchmark(lambda: slack_table(schedule))
+    assert len(table) == len(serialized_graph)

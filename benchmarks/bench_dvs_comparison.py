@@ -1,0 +1,106 @@
+"""DVS vs power-aware — Section 2's related-work argument, measured.
+
+The paper argues that variable-voltage CPU schedulers (a) "are CPU
+schedulers that minimize CPU power, whereas our power managers control
+subsystems", and (b) "do not handle constraints on power".  This bench
+runs both schedulers on two workload families:
+
+* **pure-CPU with slack** — DVS's home turf: it slows jobs quadratically
+  cheaper; the power-aware scheduler (which cannot slow a task) pays
+  full energy.  DVS should win on energy here, and does.
+* **system-level** — an uncontrollable subsystem load shares the bus:
+  DVS lays its CPU plan on top obliviously and breaks the budget; the
+  power-aware scheduler slides the CPU work around the load.
+
+Both halves of the comparison are honest: the paper's approach is not
+"better at everything", it solves a different (system-level,
+hard-budget) problem.
+"""
+
+import pytest
+
+from _bench_utils import write_artifact
+from repro import ConstraintGraph, SchedulingProblem
+from repro.analysis import format_table
+from repro.scheduling import dvs_schedule, schedule
+from repro.scheduling.dvs import CPU_RESOURCE
+
+
+def pure_cpu_problem(slack_factor: int) -> SchedulingProblem:
+    """Four 5 s / 6 W CPU jobs; deadlines stretched by slack_factor."""
+    g = ConstraintGraph(f"cpu-slack-{slack_factor}")
+    clock = 0
+    for i in range(4):
+        name = f"j{i}"
+        g.new_task(name, duration=5, power=6.0, resource=CPU_RESOURCE)
+        clock += 5 * slack_factor
+        g.add_finish_deadline(name, clock)
+    return SchedulingProblem(g, p_max=20.0)
+
+
+def system_problem() -> SchedulingProblem:
+    g = ConstraintGraph("system-bus")
+    g.new_task("heater", duration=10, power=8.0, resource="heater")
+    g.add_start_deadline("heater", 0)
+    g.new_task("filter", duration=6, power=6.0, resource=CPU_RESOURCE)
+    g.add_finish_deadline("filter", 22)
+    return SchedulingProblem(g, p_max=8.5)
+
+
+@pytest.fixture(scope="module")
+def energy_rows():
+    rows = []
+    for slack in (1, 2, 4, 8):
+        problem = pure_cpu_problem(slack)
+        dvs = dvs_schedule(problem)
+        pa = schedule(problem)
+        rows.append({
+            "deadline_slack": f"{slack}x",
+            "dvs_energy_J": round(dvs.metrics.total_energy, 1),
+            "pa_energy_J": round(pa.metrics.total_energy, 1),
+            "dvs_freqs": "/".join(
+                f"{f:g}" for f in sorted(
+                    dvs.extra["frequencies"].values())),
+        })
+    return rows
+
+
+def test_dvs_energy_advantage_grows_with_slack(energy_rows):
+    savings = [row["pa_energy_J"] - row["dvs_energy_J"]
+               for row in energy_rows]
+    assert savings[0] <= savings[-1]
+    assert savings[-1] > 0  # with 8x slack DVS clearly wins on energy
+
+
+def test_power_aware_energy_is_slack_invariant(energy_rows):
+    """A scheduler that cannot slow tasks pays the same energy no
+    matter how loose the deadlines are."""
+    values = {row["pa_energy_J"] for row in energy_rows}
+    assert len(values) == 1
+
+
+def test_system_budget_only_power_aware_holds():
+    problem = system_problem()
+    dvs = dvs_schedule(problem)
+    pa = schedule(problem)
+    assert dvs.metrics.spikes >= 1
+    assert pa.metrics.spikes == 0
+
+
+def test_dvs_artifact(energy_rows, artifact_dir):
+    problem = system_problem()
+    dvs = dvs_schedule(problem)
+    pa = schedule(problem)
+    footer = (f"\nsystem-level budget (8.5 W): DVS spikes="
+              f"{dvs.metrics.spikes}, power-aware spikes="
+              f"{pa.metrics.spikes}")
+    write_artifact(artifact_dir, "dvs_comparison.txt",
+                   format_table(energy_rows,
+                                title="Pure-CPU energy: DVS vs "
+                                      "power-aware") + footer)
+
+
+def test_bench_dvs(benchmark):
+    problem = pure_cpu_problem(4)
+    result = benchmark(lambda: dvs_schedule(problem))
+    assert result.stage == "dvs"

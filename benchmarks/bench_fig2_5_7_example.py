@@ -1,0 +1,70 @@
+"""Figs. 2, 5, 7 — the nine-task running example through the pipeline.
+
+Regenerates the paper's illustrative schedules: the time-valid schedule
+with one spike and several gaps (Fig. 2), the power-valid schedule
+after delaying h and f (Fig. 5), and the improved full-utilization
+schedule (Fig. 7).  Writes each as an ASCII chart and an SVG under
+``benchmarks/artifacts/`` and times the full three-stage pipeline.
+"""
+
+import pytest
+
+from _bench_utils import write_artifact
+from repro.core.task import ANCHOR_NAME
+from repro.examples_data import (FIG1_P_MAX, FIG1_P_MIN, FIG1_TAU,
+                                 fig1_options, fig1_problem)
+from repro.gantt import chart_result, render_chart, write_svg
+from repro.scheduling import PowerAwareScheduler
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return PowerAwareScheduler(fig1_options()).solve_pipeline(
+        fig1_problem())
+
+
+def test_fig2_time_valid_shape(pipeline, artifact_dir):
+    result = pipeline.timing
+    assert result.finish_time == FIG1_TAU
+    assert len(result.profile.spikes(FIG1_P_MAX)) == 1
+    low = [s for s in result.profile.segments if s[2] < FIG1_P_MIN]
+    assert len(low) >= 2  # "several power gaps"
+    chart = chart_result(result, title="Fig. 2 - time-valid schedule")
+    write_artifact(artifact_dir, "fig2_time_valid.txt",
+                   render_chart(chart))
+    write_svg(chart, f"{artifact_dir}/fig2_time_valid.svg")
+
+
+def test_fig5_h_and_f_delayed(pipeline, artifact_dir):
+    result = pipeline.max_power
+    graph = result.extra["graph"]
+    delayed = sorted(e.dst for e in graph.edges()
+                     if e.src == ANCHOR_NAME and e.tag == "delay")
+    assert delayed == ["f", "h"]
+    assert result.metrics.spikes == 0
+    chart = chart_result(result, title="Fig. 5 - after max-power")
+    write_artifact(artifact_dir, "fig5_power_valid.txt",
+                   render_chart(chart))
+    write_svg(chart, f"{artifact_dir}/fig5_power_valid.svg")
+
+
+def test_fig7_improved_schedule(pipeline, artifact_dir):
+    result = pipeline.min_power
+    assert result.utilization == pytest.approx(1.0)
+    assert result.profile.peak() <= FIG1_P_MAX + 1e-9
+    assert result.profile.floor() >= FIG1_P_MIN - 1e-9
+    chart = chart_result(result, title="Fig. 7 - after min-power")
+    write_artifact(artifact_dir, "fig7_improved.txt",
+                   render_chart(chart))
+    write_svg(chart, f"{artifact_dir}/fig7_improved.svg")
+
+
+def test_bench_example_pipeline(benchmark):
+    """Time the full three-stage run on the nine-task example."""
+    options = fig1_options()
+
+    def run():
+        return PowerAwareScheduler(options).solve(fig1_problem())
+
+    result = benchmark(run)
+    assert result.utilization == pytest.approx(1.0)

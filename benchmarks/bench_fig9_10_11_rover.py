@@ -1,0 +1,72 @@
+"""Figs. 9, 10, 11 — the rover's power-aware schedules per solar case.
+
+Regenerates the three power-view figures: the parallel best-case
+schedule (with the two inserted pre-warm heating tasks, Fig. 9), the
+partially-parallel typical case (Fig. 10), and the fully-serial worst
+case (Fig. 11).  Asserts the structural claims the paper makes about
+each and times the per-case pipeline.
+"""
+
+import pytest
+
+from _bench_utils import write_artifact
+from repro.gantt import chart_result, render_chart, write_svg
+from repro.mission import POWER_TABLE, MarsRover, SolarCase
+
+
+@pytest.fixture(scope="module")
+def results(rover):
+    return {case: rover.power_aware_result(case) for case in SolarCase}
+
+
+def _emit(artifact_dir, name, result, title):
+    chart = chart_result(result, title=title)
+    write_artifact(artifact_dir, f"{name}.txt", render_chart(chart))
+    write_svg(chart, f"{artifact_dir}/{name}.svg")
+
+
+def test_fig9_best_case(rover, artifact_dir):
+    """Best case: unrolled, two inserted heating tasks, overlapping
+    operations, 50 s per iteration."""
+    result = rover.unrolled_result(SolarCase.BEST, iterations=2,
+                                   prewarm=True)
+    names = result.schedule.as_dict()
+    assert "i1_prewarm_s1" in names and "i1_prewarm_s2" in names
+    assert result.metrics.spikes == 0
+    _emit(artifact_dir, "fig9_best_case", result,
+          "Fig. 9 - best case (unrolled, prewarm)")
+
+
+def test_fig10_typical_case(results, artifact_dir):
+    """Typical case: some parallelism survives; 60 s, 147 J."""
+    result = results[SolarCase.TYPICAL]
+    assert result.finish_time == 60
+    # parallel operations exist: peak above any single task + CPU
+    powers = POWER_TABLE[SolarCase.TYPICAL]
+    assert result.metrics.peak_power > powers.cpu + powers.driving
+    _emit(artifact_dir, "fig10_typical_case", result,
+          "Fig. 10 - typical case")
+
+
+def test_fig11_worst_case(results, artifact_dir):
+    """Worst case: tight budget forces full serialization (75 s)."""
+    result = results[SolarCase.WORST]
+    assert result.finish_time == 75
+    # never more than one power-drawing task at a time
+    for t in range(result.finish_time):
+        active = result.schedule.active_tasks(t)
+        assert len(active) <= 1
+    _emit(artifact_dir, "fig11_worst_case", result,
+          "Fig. 11 - worst case (serialized)")
+
+
+@pytest.mark.parametrize("case", list(SolarCase))
+def test_bench_rover_case(benchmark, case, paper_options):
+    """Time the full pipeline per solar case (fresh rover each round
+    so no schedule caches are reused)."""
+
+    def run():
+        return MarsRover(options=paper_options).power_aware_result(case)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.metrics.spikes == 0

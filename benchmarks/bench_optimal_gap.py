@@ -1,0 +1,112 @@
+"""Heuristic vs exhaustive optimum on small instances.
+
+Section 5.3 concedes that cost-optimal scheduling "will increase the
+complexity of computation to an exponential order of tasks" and settles
+for heuristics.  This bench measures what the heuristics give up: on
+random instances small enough for branch-and-bound, compare the
+pipeline's finish time and energy cost against the provable optimum,
+and report how often the (incomplete) max-power heuristic fails on
+instances the exhaustive search proves feasible.
+"""
+
+import pytest
+
+from _bench_utils import write_artifact
+from repro.analysis import format_table
+from repro.errors import InfeasibleError, SchedulingFailure
+from repro.scheduling import (OptimalScheduler, PowerAwareScheduler,
+                              SchedulerOptions)
+from repro.workloads import RandomWorkloadConfig, random_problem
+
+SMALL = RandomWorkloadConfig(tasks=5, resources=2, layers=2,
+                             duration_range=(2, 4), tightness=0.8)
+SEEDS = tuple(range(500, 512))
+MAX_NODES = 1_500_000
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=2,
+                        max_spike_attempts=500, seed=7)
+
+
+@pytest.fixture(scope="module")
+def gap_rows():
+    rows = []
+    for seed in SEEDS:
+        problem = random_problem(seed, SMALL)
+        try:
+            exact = OptimalScheduler(objective="lexicographic",
+                                     max_nodes=MAX_NODES).solve(problem)
+        except InfeasibleError:
+            rows.append({"seed": seed, "status": "infeasible"})
+            continue
+        except SchedulingFailure:
+            rows.append({"seed": seed, "status": "search-budget"})
+            continue
+        if not exact.extra["proven"]:
+            rows.append({"seed": seed, "status": "unproven",
+                         "opt_tau_s": exact.finish_time})
+            continue
+        try:
+            heuristic = PowerAwareScheduler(FAST).solve(problem)
+        except SchedulingFailure:
+            rows.append({"seed": seed, "status": "heuristic-failed",
+                         "opt_tau_s": exact.finish_time})
+            continue
+        rows.append({
+            "seed": seed, "status": "ok",
+            "opt_tau_s": exact.finish_time,
+            "heur_tau_s": heuristic.finish_time,
+            "tau_gap_pct": round(
+                100.0 * (heuristic.finish_time - exact.finish_time)
+                / max(exact.finish_time, 1), 1),
+            "opt_Ec_J": round(exact.energy_cost, 1),
+            "heur_Ec_J": round(heuristic.energy_cost, 1),
+        })
+    return rows
+
+
+def test_heuristic_never_beats_optimum(gap_rows):
+    """Only rows whose optimum was *proved* participate (the search is
+    budgeted; an exhausted budget yields an incumbent, not a proof)."""
+    for row in gap_rows:
+        if row["status"] == "ok":
+            assert row["heur_tau_s"] >= row["opt_tau_s"]
+
+
+def test_most_instances_are_proven(gap_rows):
+    proven = [r for r in gap_rows if r["status"] in ("ok", "infeasible",
+                                                     "heuristic-failed")]
+    assert len(proven) >= len(gap_rows) // 2
+
+
+def test_heuristic_usually_close(gap_rows):
+    """Mean makespan gap stays modest (the paper's 'perform well')."""
+    gaps = [row["tau_gap_pct"] for row in gap_rows
+            if row["status"] == "ok"]
+    assert gaps, "no comparable instances"
+    assert sum(gaps) / len(gaps) <= 25.0
+
+
+def test_failure_rate_is_low(gap_rows):
+    """The incomplete heuristic may fail on feasible instances — but
+    rarely (the paper's caveat, quantified)."""
+    feasible = [r for r in gap_rows if r["status"] != "infeasible"]
+    failed = [r for r in feasible if r["status"] == "heuristic-failed"]
+    assert len(failed) <= len(feasible) // 3
+
+
+def test_gap_artifact(gap_rows, artifact_dir):
+    write_artifact(artifact_dir, "optimal_gap.txt",
+                   format_table(gap_rows,
+                                title="Heuristic vs exhaustive optimum"))
+
+
+def test_bench_exhaustive_small(benchmark):
+    problem = random_problem(SEEDS[0], SMALL)
+
+    def run():
+        try:
+            return OptimalScheduler(max_nodes=MAX_NODES).solve(problem)
+        except (InfeasibleError, SchedulingFailure):
+            return None
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""Tables 1 & 2 — the rover model's static data, validated and timed.
+
+The "experiment" here is model reconstruction: the constraint graph
+built from Tables 1-2 must carry exactly the published durations,
+windows, and power levels, and must produce the packed 75 s serial
+schedule the mission actually flew.  The benchmark times graph
+construction and the serial baseline.
+"""
+
+from _bench_utils import write_artifact
+from repro.analysis import format_table
+from repro.mission import BATTERY_MAX_POWER, POWER_TABLE, SolarCase
+
+
+def test_table1_timing_constraints(rover, artifact_dir):
+    graph = rover.iteration_graph(SolarCase.TYPICAL)
+    rows = []
+    for kind, duration in (("hazard", 10), ("steer", 5),
+                           ("drive", 10), ("heat", 5)):
+        tasks = [t for t in graph.tasks() if t.meta.get("kind") == kind]
+        assert all(t.duration == duration for t in tasks)
+        rows.append({"operation": kind, "count": len(tasks),
+                     "duration_s": duration})
+    # Table 1 windows
+    assert graph.separation("heat_s1", "steer_1") == 5
+    assert graph.separation("steer_1", "heat_s1") == -50
+    assert graph.separation("hazard_1", "steer_1") == 10
+    assert graph.separation("steer_1", "drive_1") == 5
+    assert graph.separation("drive_1", "hazard_2") == 10
+    write_artifact(artifact_dir, "table1_constraints.txt",
+                   format_table(rows, title="Table 1 (reconstructed)"))
+
+
+def test_table2_power_levels(artifact_dir):
+    rows = []
+    for case in SolarCase:
+        powers = POWER_TABLE[case]
+        rows.append({"case": case.value, "solar_W": powers.solar,
+                     "cpu_W": powers.cpu, "heat_W": powers.heating,
+                     "drive_W": powers.driving,
+                     "steer_W": powers.steering,
+                     "hazard_W": powers.hazard})
+    assert BATTERY_MAX_POWER == 10.0
+    assert rows[0]["solar_W"] == 14.9
+    assert rows[2]["drive_W"] == 13.8
+    write_artifact(artifact_dir, "table2_power.txt",
+                   format_table(rows, title="Table 2 (verbatim)"))
+
+
+def test_bench_graph_construction(benchmark, rover):
+    graph = benchmark(rover.iteration_graph, SolarCase.TYPICAL)
+    assert len(graph) == 11
+
+
+def test_bench_serial_baseline(benchmark, rover):
+    """The hand-crafted flight schedule: packed 75 s, always valid."""
+    result = benchmark.pedantic(
+        rover.jpl_result, args=(SolarCase.WORST,), rounds=3,
+        iterations=1)
+    assert result.finish_time == 75
+    assert result.metrics.spikes == 0

@@ -1,0 +1,122 @@
+"""Runtime schedule reuse — Section 5.3's adaptability claim, measured.
+
+"The same schedule can be directly applied to all cases with a range
+of constraints ... without recomputing a schedule for each case.  This
+feature makes our statically computed power-aware schedules adaptable
+to a runtime scheduler."
+
+This bench drifts the environment through a full day of solar levels
+and counts how often the runtime table *reuses* a stored schedule vs
+recomputing: the reuse rate is the claim, quantified.  It also checks
+the validity-range logic end to end: every selected schedule must be
+power-valid under the environment it was selected for.
+"""
+
+import pytest
+
+from _bench_utils import write_artifact
+from repro.analysis import format_table
+from repro.mission import POWER_TABLE, MarsRover, SolarCase
+from repro.scheduling import RuntimeScheduler, SchedulerOptions
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=2,
+                        max_spike_attempts=1000, seed=7)
+
+#: A day of solar drift: fine-grained levels between the paper's cases.
+SOLAR_DRIFT = [9.0, 9.5, 10.0, 10.5, 11.0, 11.5, 12.0, 12.5, 13.0,
+               13.5, 14.0, 14.5, 14.9, 14.5, 14.0, 13.0, 12.0, 11.0,
+               10.0, 9.5, 9.0]
+
+
+def _case_for(p_min: float) -> SolarCase:
+    return min(POWER_TABLE,
+               key=lambda c: abs(POWER_TABLE[c].solar - p_min))
+
+
+def _factory(rover):
+    def factory(p_max: float, p_min: float):
+        problem = rover.problem(_case_for(p_min))
+        return problem.with_power_constraints(p_max=p_max, p_min=p_min)
+    return factory
+
+
+def _reprofile(rover):
+    """Rebuild an entry's profile with the *target* case's powers —
+    the rover draws more as temperature falls, so a schedule's stored
+    profile only certifies the conditions it was planned for."""
+    from repro.core import PowerProfile, Schedule
+
+    def reprofile(entry, p_max, p_min):
+        case = _case_for(p_min)
+        problem = rover.problem(case)
+        schedule = Schedule(problem.graph, entry.schedule.as_dict())
+        return PowerProfile.from_schedule(schedule,
+                                          baseline=problem.baseline)
+    return reprofile
+
+
+@pytest.fixture(scope="module")
+def drift_outcome():
+    rover = MarsRover(options=FAST)
+    runtime = RuntimeScheduler(_factory(rover), FAST,
+                               reprofile=_reprofile(rover))
+    # the paper's deployment: statically compute one schedule per
+    # anticipated case, then let the runtime select
+    for case in SolarCase:
+        solar = POWER_TABLE[case].solar
+        runtime.precompute(p_max=solar + 10.0, p_min=solar,
+                           label=case.value)
+    selections = []
+    for solar in SOLAR_DRIFT:
+        entry = runtime.schedule_for(p_max=solar + 10.0, p_min=solar)
+        selections.append((solar, entry))
+    return runtime, selections
+
+
+def test_reuse_dominates_recompute(drift_outcome):
+    runtime, selections = drift_outcome
+    assert runtime.misses == 0  # precomputed table covers the day
+    assert runtime.hits == len(SOLAR_DRIFT)
+
+
+def test_selection_tracks_the_sun(drift_outcome):
+    """Under abundant sun the fast best-case schedule is selected; as
+    the budget shrinks the runtime falls back case by case."""
+    _, selections = drift_outcome
+    chosen_at = {solar: entry.label for solar, entry in selections}
+    assert chosen_at[14.9] == "best"
+    assert chosen_at[9.0] == "worst"
+    assert len({label for label in chosen_at.values()}) >= 2
+
+
+def test_every_selection_is_valid_for_its_environment(drift_outcome):
+    _, selections = drift_outcome
+    for solar, entry in selections:
+        assert entry.min_p_max <= solar + 10.0 + 1e-9
+
+
+def test_table_stays_small(drift_outcome):
+    """A handful of stored schedules covers the whole day."""
+    runtime, _ = drift_outcome
+    assert len(runtime.table) <= 5
+
+
+def test_reuse_artifact(drift_outcome, artifact_dir):
+    runtime, selections = drift_outcome
+    rows = [{"solar_W": solar, "selected": entry.label,
+             "valid_down_to_Pmax_W": round(entry.min_p_max, 1)}
+            for solar, entry in selections]
+    footer = (f"\n{runtime.hits} reuses / {runtime.misses} recomputes "
+              f"over {len(SOLAR_DRIFT)} environment changes; "
+              f"table size {len(runtime.table)}")
+    write_artifact(artifact_dir, "runtime_reuse.txt",
+                   format_table(rows, title="Runtime schedule reuse "
+                                            "across a day of drift")
+                   + footer)
+
+
+def test_bench_selection_cost(benchmark, drift_outcome):
+    """Selection from a warm table must be effectively free."""
+    runtime, _ = drift_outcome
+    entry = benchmark(lambda: runtime.schedule_for(22.0, 12.0))
+    assert entry is not None

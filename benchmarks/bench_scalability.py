@@ -1,0 +1,81 @@
+"""Scalability — scheduler runtime and success rate vs problem size.
+
+The paper reports no scaling data ("in practice, our heuristics perform
+well"); this bench quantifies that claim on synthetic layered-DAG
+workloads: wall-clock per pipeline run and the fraction of instances
+solved, as the task count grows.
+"""
+
+import pytest
+
+from _bench_utils import write_artifact
+from repro.analysis import format_table
+from repro.errors import ReproError, SchedulingFailure
+from repro.scheduling import PowerAwareScheduler, SchedulerOptions
+from repro.workloads import RandomWorkloadConfig, random_problem
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=2,
+                        max_spike_attempts=1000, seed=7)
+
+SIZES = (10, 20, 40, 80)
+
+
+def _config(tasks: int) -> RandomWorkloadConfig:
+    return RandomWorkloadConfig(tasks=tasks,
+                                resources=max(3, tasks // 5),
+                                layers=max(2, tasks // 6),
+                                tightness=0.8)
+
+
+@pytest.mark.parametrize("tasks", SIZES)
+def test_bench_pipeline_scaling(benchmark, tasks):
+    """Median pipeline time on a representative instance per size."""
+    problem = random_problem(1000 + tasks, _config(tasks))
+
+    def run():
+        try:
+            return PowerAwareScheduler(FAST).solve(problem)
+        except SchedulingFailure:
+            return None
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_success_rate_table(artifact_dir):
+    """Success rate and quality-vs-lower-bound over 8 seeds per size.
+
+    The exhaustive oracle cannot reach these sizes; the analytic
+    makespan lower bound (critical path / resource load / energy over
+    headroom) calibrates the pipeline instead.
+    """
+    from repro.analysis import lower_bound
+
+    rows = []
+    for tasks in SIZES:
+        solved = 0
+        total = 8
+        gaps = []
+        for seed in range(total):
+            problem = random_problem(2000 + 37 * tasks + seed,
+                                     _config(tasks))
+            try:
+                result = PowerAwareScheduler(FAST).solve(problem)
+                assert result.metrics.spikes == 0
+                solved += 1
+                bound = lower_bound(problem)
+                if bound > 0:
+                    gaps.append(100.0 * (result.finish_time - bound)
+                                / bound)
+            except (SchedulingFailure, ReproError):
+                pass
+        row = {"tasks": tasks, "solved": f"{solved}/{total}"}
+        if gaps:
+            row["mean_gap_to_LB_pct"] = round(sum(gaps) / len(gaps), 1)
+            row["max_gap_to_LB_pct"] = round(max(gaps), 1)
+        rows.append(row)
+        assert solved >= total // 2, \
+            f"heuristics should solve most {tasks}-task instances"
+    write_artifact(artifact_dir, "scalability_success.txt",
+                   format_table(rows,
+                                title="Pipeline success rate and gap "
+                                      "to the makespan lower bound"))

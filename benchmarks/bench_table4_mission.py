@@ -1,0 +1,110 @@
+"""Table 4 — the 48-step mission under decaying solar power.
+
+Regenerates the paper's end-to-end comparison: the JPL fixed serial
+schedule covers 16 steps per 600 s phase and finishes in 1800 s with
+most of its battery cost in the worst phase; the power-aware policy
+front-loads distance while solar power is plentiful, finishing both
+faster and cheaper.  Paper bottom line: 33.3 % time / 32.7 % energy
+improvement; the shape (double-digit wins on both axes) must hold.
+"""
+
+import pytest
+
+from _bench_utils import write_artifact
+from repro.analysis import format_table
+from repro.mission import (JPLPolicy, MissionSimulator,
+                           PowerAwarePolicy, compare_reports,
+                           paper_mission_environment)
+
+
+@pytest.fixture(scope="module")
+def reports(rover):
+    jpl = MissionSimulator(paper_mission_environment(),
+                           JPLPolicy(rover), 48).run()
+    pa = MissionSimulator(paper_mission_environment(),
+                          PowerAwarePolicy(rover), 48).run()
+    return jpl, pa
+
+
+def test_jpl_phases_match_paper(reports):
+    jpl, _ = reports
+    phases = jpl.phases()
+    assert [p.steps for p in phases] == [16, 16, 16]
+    assert jpl.total_time == pytest.approx(1800.0)
+    assert phases[1].energy_cost == pytest.approx(440.0, rel=0.02)
+    assert phases[2].energy_cost == pytest.approx(3104.0, rel=0.02)
+
+
+def test_power_aware_front_loads_distance(reports):
+    _, pa = reports
+    phases = pa.phases()
+    assert phases[0].steps >= 22      # paper: 24 in the best phase
+    assert phases[-1].steps <= 8      # paper: 4 left for the worst
+
+
+def test_improvements_on_both_axes(reports):
+    jpl, pa = reports
+    comparison = compare_reports(jpl, pa)
+    assert comparison["time_improvement_pct"] > 15.0
+    assert comparison["energy_improvement_pct"] > 15.0
+
+
+def test_table4_artifact(reports, artifact_dir):
+    jpl, pa = reports
+    rows = []
+    for report in (jpl, pa):
+        for phase in report.phases():
+            rows.append({"policy": report.policy,
+                         "solar_W": phase.solar,
+                         "steps": phase.steps,
+                         "time_s": round(phase.time),
+                         "Ec_J": round(phase.energy_cost, 1)})
+    comparison = compare_reports(jpl, pa)
+    footer = (f"\nimprovement: "
+              f"{comparison['time_improvement_pct']:.1f}% time, "
+              f"{comparison['energy_improvement_pct']:.1f}% energy "
+              "(paper: 33.3% / 32.7%)")
+    write_artifact(artifact_dir, "table4_mission.txt",
+                   format_table(rows, title="Table 4: mission phases")
+                   + footer)
+
+
+def test_mission_timeline_figure(rover, artifact_dir):
+    """The Table 4 story as one figure: consumption vs the stepping
+    solar supply, iteration boundaries annotated with cumulative
+    steps."""
+    from repro.gantt import MissionTrack, write_mission_svg
+    from repro.mission import PowerAwarePolicy
+    from repro.power import StepSolar
+
+    solar = StepSolar.paper_mission()
+    policy = PowerAwarePolicy(rover)
+    policy.reset()
+    env = paper_mission_environment()
+    track = MissionTrack("power-aware mission (Table 4)")
+    t, steps = 0.0, 0
+    while steps < 48:
+        case = env.case_at(t)
+        plan = policy.next_iteration(case, t)
+        track.add_profile(plan.profile, start_time=t,
+                          note=f"{steps + plan.steps}")
+        t += plan.duration
+        steps += plan.steps
+    path = write_mission_svg(track, solar,
+                             f"{artifact_dir}/table4_mission.svg",
+                             title="Table 4: power-aware mission, "
+                                   "consumption vs solar")
+    assert open(path).read().startswith("<svg")
+
+
+def test_bench_mission_simulation(benchmark, rover):
+    """Time the simulation itself (policies pre-warmed via fixtures)."""
+    policy = PowerAwarePolicy(rover)
+    policy.next_iteration  # touch
+
+    def run():
+        return MissionSimulator(paper_mission_environment(), policy,
+                                48).run()
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.completed

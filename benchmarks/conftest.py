@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures and artifact plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+*times* the scheduling work with pytest-benchmark, *asserts* the shape
+the paper reports, and *writes* the regenerated table/figure under
+``benchmarks/artifacts/`` (tables as .txt, figures as .svg) so
+EXPERIMENTS.md can reference concrete outputs.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from _bench_utils import ARTIFACT_DIR  # noqa: F401  (re-exported)
+from repro.mission import MarsRover
+from repro.scheduling import SchedulerOptions
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> str:
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture(scope="session")
+def rover() -> MarsRover:
+    """One shared rover (JPL serial starts cache warm across benches)."""
+    return MarsRover.standard()
+
+
+@pytest.fixture(scope="session")
+def paper_options() -> SchedulerOptions:
+    """The canonical heuristic configuration."""
+    return SchedulerOptions()

@@ -1,0 +1,118 @@
+"""repro — power-aware scheduling under timing constraints.
+
+A production-quality reproduction of:
+
+    Jinfeng Liu, Pai H. Chou, Nader Bagherzadeh, Fadi Kurdahi.
+    "Power-Aware Scheduling under Timing Constraints for
+    Mission-Critical Embedded Systems", DAC 2001.
+
+Public API tour
+---------------
+
+Build a problem::
+
+    from repro import ConstraintGraph, SchedulingProblem, schedule
+
+    g = ConstraintGraph("demo")
+    a = g.new_task("a", duration=5, power=8.0, resource="motor")
+    b = g.new_task("b", duration=10, power=6.0, resource="laser")
+    g.add_precedence("a", "b")          # b after a finishes
+    g.add_max_separation("a", "b", 20)  # ...but within 20 s
+    problem = SchedulingProblem(g, p_max=12.0, p_min=6.0)
+
+Solve it::
+
+    result = schedule(problem)
+    print(result.summary())
+    print(result.schedule.as_dict())
+
+Reproduce the paper's case study::
+
+    from repro.mission import MarsRover, SolarCase
+    rover = MarsRover.standard()
+    result = rover.power_aware_result(SolarCase.TYPICAL)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .core import (ANCHOR_NAME, UNBOUNDED_SLACK, ConstraintGraph, Edge, Interval,
+                   PowerProfile, Resource, ResourcePool, Schedule,
+                   ScheduleMetrics, SchedulingProblem, Task,
+                   assert_power_valid, assert_time_valid,
+                   check_power_valid, check_time_valid, earliest_starts,
+                   energy_cost, evaluate, latest_starts, longest_paths,
+                   min_power_utilization, movable_window, power_jitter,
+                   slack, slack_table)
+from .errors import (GraphError, InfeasibleError, PositiveCycleError,
+                     ReproError, SchedulingFailure, SerializationError,
+                     ValidationError)
+from .scheduling import (GreedyListScheduler, MaxPowerScheduler,
+                         MinPowerScheduler, OptimalScheduler,
+                         PipelineResult, PowerAwareScheduler,
+                         RuntimeScheduler, ScheduleEntry, ScheduleResult,
+                         ScheduleTable, SchedulerOptions, SchedulerStats,
+                         SerialScheduler, TimingScheduler,
+                         greedy_schedule, max_power_schedule,
+                         min_power_schedule, optimal_schedule, schedule,
+                         serial_schedule, timing_schedule)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANCHOR_NAME",
+    "ConstraintGraph",
+    "Edge",
+    "GraphError",
+    "GreedyListScheduler",
+    "InfeasibleError",
+    "Interval",
+    "MaxPowerScheduler",
+    "MinPowerScheduler",
+    "OptimalScheduler",
+    "PipelineResult",
+    "PositiveCycleError",
+    "PowerAwareScheduler",
+    "PowerProfile",
+    "ReproError",
+    "Resource",
+    "ResourcePool",
+    "RuntimeScheduler",
+    "Schedule",
+    "ScheduleEntry",
+    "ScheduleMetrics",
+    "ScheduleResult",
+    "ScheduleTable",
+    "SchedulerOptions",
+    "SchedulerStats",
+    "SchedulingFailure",
+    "SchedulingProblem",
+    "SerialScheduler",
+    "SerializationError",
+    "Task",
+    "TimingScheduler",
+    "UNBOUNDED_SLACK",
+    "ValidationError",
+    "__version__",
+    "assert_power_valid",
+    "assert_time_valid",
+    "check_power_valid",
+    "check_time_valid",
+    "earliest_starts",
+    "energy_cost",
+    "evaluate",
+    "greedy_schedule",
+    "latest_starts",
+    "longest_paths",
+    "max_power_schedule",
+    "min_power_schedule",
+    "min_power_utilization",
+    "movable_window",
+    "optimal_schedule",
+    "power_jitter",
+    "schedule",
+    "serial_schedule",
+    "slack",
+    "slack_table",
+    "timing_schedule",
+]

@@ -1,0 +1,41 @@
+"""Experiment plumbing: sweeps, scheduler comparisons, report tables."""
+
+from .bounds import MakespanBounds, lower_bound, makespan_bounds
+from .compare import CompareOutcome, compare_schedulers, summarize_outcomes
+from .diff import ScheduleDiff, TaskMove, diff_results, diff_schedules
+from .pareto import (DesignPoint, explore, pareto_front,
+                     render_pareto_svg, write_pareto_svg)
+from .report import format_cell, format_markdown_table, format_table
+from .robustness import (PowerTriple, RobustResult, attach_triples,
+                         corner_problems, robust_schedule)
+from .sweep import SweepPoint, knee_point, sweep_p_max, sweep_p_min
+
+__all__ = [
+    "CompareOutcome",
+    "DesignPoint",
+    "MakespanBounds",
+    "PowerTriple",
+    "RobustResult",
+    "ScheduleDiff",
+    "SweepPoint",
+    "TaskMove",
+    "attach_triples",
+    "compare_schedulers",
+    "corner_problems",
+    "diff_results",
+    "diff_schedules",
+    "explore",
+    "pareto_front",
+    "render_pareto_svg",
+    "write_pareto_svg",
+    "format_cell",
+    "format_markdown_table",
+    "format_table",
+    "knee_point",
+    "lower_bound",
+    "makespan_bounds",
+    "robust_schedule",
+    "summarize_outcomes",
+    "sweep_p_max",
+    "sweep_p_min",
+]

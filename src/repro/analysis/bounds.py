@@ -1,0 +1,98 @@
+"""Analytic lower bounds on the finish time.
+
+The exhaustive scheduler certifies optimality only on tiny instances;
+for everything larger, cheap lower bounds calibrate how good a
+heuristic schedule can possibly be.  Three classical bounds apply to
+the paper's model, each computable in linear-ish time:
+
+* **critical path** — the ASAP finish time of the constraint graph with
+  resources and power ignored (longest chain of separations);
+* **resource load** — for each resource, its tasks must serialize, so
+  ``tau >= earliest release + sum of durations`` on that resource;
+* **energy over headroom** — the profile can never exceed
+  ``P_max``, so all task energy must fit under the
+  ``(P_max - baseline)`` ceiling: ``tau >= ceil(sum d*p / headroom)``.
+
+``lower_bound`` is the max of the three; a schedule whose makespan
+equals it is provably makespan-optimal — no search needed.  The
+scalability benchmark reports the pipeline's gap to this bound on
+instances far beyond the exhaustive scheduler's reach.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.longest_path import longest_paths
+from ..core.problem import SchedulingProblem
+from ..errors import ReproError
+
+__all__ = ["MakespanBounds", "makespan_bounds", "lower_bound"]
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """The individual bounds and their maximum."""
+
+    critical_path: int
+    resource_load: int
+    energy_over_headroom: int
+
+    @property
+    def best(self) -> int:
+        return max(self.critical_path, self.resource_load,
+                   self.energy_over_headroom)
+
+    def binding(self) -> str:
+        """Which bound is tight (ties go to the structural ones)."""
+        if self.critical_path == self.best:
+            return "critical-path"
+        if self.resource_load == self.best:
+            return "resource-load"
+        return "energy-over-headroom"
+
+    def row(self) -> "dict[str, int | str]":
+        return {"critical_path_s": self.critical_path,
+                "resource_load_s": self.resource_load,
+                "energy_bound_s": self.energy_over_headroom,
+                "lower_bound_s": self.best,
+                "binding": self.binding()}
+
+
+def makespan_bounds(problem: SchedulingProblem) -> MakespanBounds:
+    """Compute all three lower bounds for a problem."""
+    graph = problem.graph
+    dist = longest_paths(graph).distance
+
+    critical = max((dist[t.name] + t.duration for t in graph.tasks()),
+                   default=0)
+
+    resource_load = 0
+    for resource in graph.resources.names:
+        tasks = graph.tasks_on(resource)
+        if not tasks:
+            continue
+        release = min(dist[t.name] for t in tasks)
+        load = sum(t.duration for t in tasks)
+        resource_load = max(resource_load, release + load)
+
+    headroom = problem.headroom()
+    total_energy = sum(t.duration * t.power for t in graph.tasks())
+    if total_energy <= 0:
+        energy_bound = 0
+    elif headroom <= 0:
+        raise ReproError(
+            f"no power headroom ({headroom:g} W) — every schedule is "
+            "power-infeasible")
+    else:
+        energy_bound = math.ceil(total_energy / headroom - 1e-9)
+
+    return MakespanBounds(critical_path=critical,
+                          resource_load=resource_load,
+                          energy_over_headroom=energy_bound)
+
+
+def lower_bound(problem: SchedulingProblem) -> int:
+    """The best (largest) of the three makespan lower bounds."""
+    return makespan_bounds(problem).best

@@ -1,0 +1,100 @@
+"""Scheduler shoot-outs: run several schedulers on the same problems.
+
+Backs the scalability and ablation benchmarks: each scheduler solves
+each problem, and the result rows capture quality (finish time, energy
+cost, utilization), robustness (success rate), and effort (scheduler
+work counters).  Failures are recorded, not raised — a heuristic that
+gives up on an instance is a data point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from ..core.problem import SchedulingProblem
+from ..errors import ReproError, SchedulingFailure
+from ..scheduling.base import ScheduleResult
+
+__all__ = ["CompareOutcome", "compare_schedulers", "summarize_outcomes"]
+
+#: A scheduler entry: name -> callable(problem) -> ScheduleResult.
+SchedulerMap = Mapping[str, Callable[[SchedulingProblem], ScheduleResult]]
+
+
+@dataclass(frozen=True)
+class CompareOutcome:
+    """One (scheduler, problem) cell of the comparison matrix."""
+
+    scheduler: str
+    problem: str
+    success: bool
+    seconds: float
+    finish_time: "int | None" = None
+    energy_cost: "float | None" = None
+    utilization: "float | None" = None
+    error: str = ""
+
+    def row(self) -> "dict[str, object]":
+        return {
+            "scheduler": self.scheduler,
+            "problem": self.problem,
+            "ok": self.success,
+            "tau_s": self.finish_time,
+            "Ec_J": self.energy_cost,
+            "rho_pct": (None if self.utilization is None
+                        else 100.0 * self.utilization),
+            "seconds": self.seconds,
+        }
+
+
+def compare_schedulers(schedulers: SchedulerMap,
+                       problems: "Iterable[SchedulingProblem]") \
+        -> "list[CompareOutcome]":
+    """Run every scheduler on every problem; never raises on failures."""
+    outcomes = []
+    for problem in problems:
+        for name, solver in schedulers.items():
+            started = time.perf_counter()
+            try:
+                result = solver(problem)
+            except (SchedulingFailure, ReproError) as exc:
+                outcomes.append(CompareOutcome(
+                    scheduler=name, problem=problem.name,
+                    success=False,
+                    seconds=time.perf_counter() - started,
+                    error=str(exc)))
+                continue
+            outcomes.append(CompareOutcome(
+                scheduler=name, problem=problem.name, success=True,
+                seconds=time.perf_counter() - started,
+                finish_time=result.finish_time,
+                energy_cost=result.energy_cost,
+                utilization=result.utilization))
+    return outcomes
+
+
+def summarize_outcomes(outcomes: "list[CompareOutcome]") \
+        -> "list[dict[str, object]]":
+    """Aggregate per scheduler: success rate, mean quality, mean time."""
+    by_name: "dict[str, list[CompareOutcome]]" = {}
+    for outcome in outcomes:
+        by_name.setdefault(outcome.scheduler, []).append(outcome)
+    rows = []
+    for name, cells in by_name.items():
+        wins = [c for c in cells if c.success]
+        row: "dict[str, object]" = {
+            "scheduler": name,
+            "solved": f"{len(wins)}/{len(cells)}",
+            "mean_s": (sum(c.seconds for c in cells) / len(cells)),
+        }
+        if wins:
+            row["mean_tau_s"] = sum(c.finish_time for c in wins) \
+                / len(wins)
+            row["mean_Ec_J"] = sum(c.energy_cost for c in wins) \
+                / len(wins)
+            row["mean_rho_pct"] = 100.0 * sum(
+                c.utilization for c in wins) / len(wins)
+        rows.append(row)
+    return rows

@@ -1,0 +1,78 @@
+"""Plain-text and Markdown table formatting for experiment reports.
+
+EXPERIMENTS.md and the benchmark harnesses print paper-style tables;
+this module renders lists of row dicts without any third-party
+dependency.  Numeric cells are right-aligned and rounded consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["format_table", "format_markdown_table", "format_cell"]
+
+
+def format_cell(value: Any, ndigits: int = 2) -> str:
+    """Render one cell: floats rounded, percentages passed through."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        rounded = round(value, ndigits)
+        if rounded == int(rounded):
+            return str(int(rounded))
+        return f"{rounded:.{ndigits}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def _normalize(rows: "Iterable[Mapping[str, Any]]",
+               columns: "list[str] | None") \
+        -> "tuple[list[str], list[list[str]]]":
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    body = [[format_cell(row.get(col)) for col in columns]
+            for row in rows]
+    return columns, body
+
+
+def format_table(rows: "Iterable[Mapping[str, Any]]",
+                 columns: "list[str] | None" = None,
+                 title: str = "") -> str:
+    """An ASCII table (fixed-width columns, header rule)."""
+    columns, body = _normalize(rows, columns)
+    if not columns:
+        return title or "(empty table)"
+    widths = [max(len(col), *(len(r[i]) for r in body)) if body
+              else len(col)
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.rjust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: "Iterable[Mapping[str, Any]]",
+                          columns: "list[str] | None" = None) -> str:
+    """A GitHub-flavoured Markdown table."""
+    columns, body = _normalize(rows, columns)
+    if not columns:
+        return ""
+    lines = ["| " + " | ".join(columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

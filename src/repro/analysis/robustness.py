@@ -1,0 +1,195 @@
+"""Power-uncertainty analysis: (min, typical, max) task powers.
+
+Section 4.1 of the paper assumes a single exact power value per task
+but notes that "in practice, the power consumption can be either in the
+form of (min, typical, max), or a function over time.  Since our
+formulation can be extended to handling these cases, we will assume a
+single value to simplify the discussion."  This module provides that
+extension:
+
+* :class:`PowerTriple` — a per-task (min, typical, max) power spec;
+* :func:`corner_problems` — the three corner instantiations of a
+  problem whose tasks carry triples (the rover's Table 2 *is* such a
+  triple table, indexed by temperature);
+* :func:`robust_schedule` — schedule on one corner, then *verify* the
+  schedule stays power-valid at the pessimistic corner, re-solving at
+  the pessimistic corner when it does not.  Returns the schedule plus
+  the Ec/rho range it spans across corners — the information a
+  mission planner actually needs.
+
+Task triples are carried in ``Task.meta["power_triple"]`` so the core
+model stays single-valued (exactly the paper's simplification), and
+the corners are ordinary problems solvable by any scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.graph import ConstraintGraph
+from ..core.problem import SchedulingProblem
+from ..core.profile import PowerProfile
+from ..core.schedule import Schedule
+from ..errors import ReproError
+from ..scheduling.base import SchedulerOptions
+from ..scheduling.power_aware import PowerAwareScheduler
+
+__all__ = ["PowerTriple", "attach_triples", "corner_problems",
+           "RobustResult", "robust_schedule"]
+
+_CORNERS = ("min", "typical", "max")
+
+
+@dataclass(frozen=True)
+class PowerTriple:
+    """A (min, typical, max) power specification in watts."""
+
+    minimum: float
+    typical: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.minimum <= self.typical <= self.maximum:
+            raise ReproError(
+                f"power triple must satisfy 0 <= min <= typ <= max, "
+                f"got ({self.minimum}, {self.typical}, {self.maximum})")
+
+    def at(self, corner: str) -> float:
+        """The power value at a named corner."""
+        if corner == "min":
+            return self.minimum
+        if corner == "typical":
+            return self.typical
+        if corner == "max":
+            return self.maximum
+        raise ReproError(
+            f"unknown corner {corner!r}; pick from {_CORNERS}")
+
+
+def attach_triples(graph: ConstraintGraph,
+                   triples: "dict[str, PowerTriple]") -> ConstraintGraph:
+    """A copy of ``graph`` whose tasks carry power triples.
+
+    The tasks' single-value power is set to the *typical* corner (the
+    paper's simplification); the triple rides along in task metadata.
+    Tasks not named in ``triples`` keep their existing power as a
+    degenerate triple.
+    """
+    from ..core.task import Task
+    clone = ConstraintGraph(graph.name + "-triples")
+    for task in graph.tasks():
+        triple = triples.get(task.name,
+                             PowerTriple(task.power, task.power,
+                                         task.power))
+        meta = dict(task.meta)
+        meta["power_triple"] = triple
+        clone.add_task(Task(name=task.name, duration=task.duration,
+                            power=triple.typical, resource=task.resource,
+                            meta=meta))
+    for edge in graph.edges():
+        clone.add_edge(edge.src, edge.dst, edge.weight, tag=edge.tag)
+    return clone
+
+
+def corner_problems(problem: SchedulingProblem) \
+        -> "dict[str, SchedulingProblem]":
+    """The min/typical/max corner instantiations of a triple problem.
+
+    Tasks without a ``power_triple`` annotation keep their power at
+    every corner.
+    """
+    from ..core.task import Task
+    corners = {}
+    for corner in _CORNERS:
+        graph = ConstraintGraph(f"{problem.graph.name}-{corner}")
+        for task in problem.graph.tasks():
+            triple = task.meta.get("power_triple")
+            power = triple.at(corner) if isinstance(triple, PowerTriple) \
+                else task.power
+            graph.add_task(Task(
+                name=task.name, duration=task.duration, power=power,
+                resource=task.resource, meta=dict(task.meta)))
+        for edge in problem.graph.edges():
+            graph.add_edge(edge.src, edge.dst, edge.weight, tag=edge.tag)
+        corners[corner] = SchedulingProblem(
+            graph=graph, p_max=problem.p_max, p_min=problem.p_min,
+            baseline=problem.baseline,
+            name=f"{problem.name}-{corner}",
+            meta=dict(problem.meta))
+    return corners
+
+
+@dataclass
+class RobustResult:
+    """A schedule with its behaviour across the power corners."""
+
+    schedule: Schedule
+    planned_corner: str
+    valid_at_max: bool
+    finish_time: int
+    energy_cost_range: "tuple[float, float]"
+    utilization_range: "tuple[float, float]"
+    peak_range: "tuple[float, float]"
+
+    def summary(self) -> str:
+        lo_ec, hi_ec = self.energy_cost_range
+        return (f"robust schedule (planned at {self.planned_corner}): "
+                f"tau={self.finish_time}s, Ec in "
+                f"[{lo_ec:.1f}, {hi_ec:.1f}] J, "
+                f"{'valid' if self.valid_at_max else 'INVALID'} at the "
+                f"max-power corner")
+
+
+def robust_schedule(problem: SchedulingProblem,
+                    options: "SchedulerOptions | None" = None,
+                    plan_corner: str = "typical") -> RobustResult:
+    """Schedule at one corner; guarantee validity at the max corner.
+
+    The schedule is computed on the ``plan_corner`` powers.  If its
+    profile exceeds ``P_max`` under the pessimistic (max) powers — the
+    risk the paper's DVS-critique warns about — the problem is re-solved
+    directly at the max corner, whose start times remain valid at every
+    other corner (timing does not depend on power; the profile only
+    shrinks as powers shrink).  The returned ranges span all corners.
+    """
+    corners = corner_problems(problem)
+    if plan_corner not in corners:
+        raise ReproError(
+            f"unknown corner {plan_corner!r}; pick from {_CORNERS}")
+    scheduler = PowerAwareScheduler(options)
+    result = scheduler.solve(corners[plan_corner])
+    schedule = result.schedule
+    planned = plan_corner
+
+    def profile_at(corner: str) -> PowerProfile:
+        corner_schedule = Schedule(corners[corner].graph,
+                                   schedule.as_dict())
+        return PowerProfile.from_schedule(
+            corner_schedule, baseline=problem.baseline)
+
+    if not profile_at("max").is_power_valid(problem.p_max):
+        result = scheduler.solve(corners["max"])
+        schedule = result.schedule
+        planned = "max"
+
+    costs, utils, peaks = [], [], []
+    for corner in _CORNERS:
+        profile = profile_at(corner)
+        costs.append(profile.energy_above(problem.p_min))
+        horizon = profile.horizon
+        if problem.p_min > 0 and horizon > 0:
+            utils.append(profile.energy_capped(problem.p_min)
+                         / (problem.p_min * horizon))
+        else:
+            utils.append(1.0)
+        peaks.append(profile.peak())
+
+    return RobustResult(
+        schedule=schedule,
+        planned_corner=planned,
+        valid_at_max=profile_at("max").is_power_valid(problem.p_max),
+        finish_time=schedule.makespan,
+        energy_cost_range=(min(costs), max(costs)),
+        utilization_range=(min(utils), max(utils)),
+        peak_range=(min(peaks), max(peaks)),
+    )

@@ -1,0 +1,110 @@
+"""Design-space exploration: sweeps over the power-constraint plane.
+
+The whole point of the IMPACCT tooling is "to enable the exploration of
+many more points in the design space".  This module automates the
+exploration the paper does by hand for three cases: solve the same
+workload across a grid of ``(P_max, P_min)`` values and report how
+finish time, energy cost, and utilization trade off — including finding
+the *power-performance knee* (smallest budget achieving the best finish
+time) and the validity ranges for the runtime scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.problem import SchedulingProblem
+from ..errors import SchedulingFailure
+from ..scheduling.base import ScheduleResult, SchedulerOptions
+from ..scheduling.power_aware import PowerAwareScheduler
+
+__all__ = ["SweepPoint", "sweep_p_max", "sweep_p_min", "knee_point"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One solved point of a sweep."""
+
+    p_max: float
+    p_min: float
+    feasible: bool
+    finish_time: "int | None" = None
+    energy_cost: "float | None" = None
+    utilization: "float | None" = None
+    peak_power: "float | None" = None
+
+    def row(self) -> "dict[str, object]":
+        """A report-table row."""
+        return {
+            "P_max_W": self.p_max,
+            "P_min_W": self.p_min,
+            "feasible": self.feasible,
+            "tau_s": self.finish_time,
+            "Ec_J": self.energy_cost,
+            "rho_pct": (None if self.utilization is None
+                        else 100.0 * self.utilization),
+            "peak_W": self.peak_power,
+        }
+
+
+def _solve_point(problem: SchedulingProblem, p_max: float, p_min: float,
+                 options: "SchedulerOptions | None") -> SweepPoint:
+    scaled = problem.with_power_constraints(p_max=p_max, p_min=p_min)
+    try:
+        result: ScheduleResult = PowerAwareScheduler(options).solve(scaled)
+    except SchedulingFailure:
+        return SweepPoint(p_max=p_max, p_min=p_min, feasible=False)
+    return SweepPoint(
+        p_max=p_max, p_min=p_min, feasible=True,
+        finish_time=result.finish_time,
+        energy_cost=result.energy_cost,
+        utilization=result.utilization,
+        peak_power=result.metrics.peak_power)
+
+
+def sweep_p_max(problem: SchedulingProblem,
+                budgets: "Iterable[float]",
+                p_min: "float | None" = None,
+                options: "SchedulerOptions | None" = None) \
+        -> "list[SweepPoint]":
+    """Solve the workload under each max-power budget.
+
+    ``p_min`` defaults to the problem's own; it is clamped to each
+    budget so the constraint window never inverts.
+    """
+    base_min = problem.p_min if p_min is None else p_min
+    points = []
+    for budget in budgets:
+        points.append(_solve_point(problem, budget,
+                                   min(base_min, budget), options))
+    return points
+
+
+def sweep_p_min(problem: SchedulingProblem,
+                levels: "Iterable[float]",
+                p_max: "float | None" = None,
+                options: "SchedulerOptions | None" = None) \
+        -> "list[SweepPoint]":
+    """Solve the workload for each free-power level."""
+    budget = problem.p_max if p_max is None else p_max
+    points = []
+    for level in levels:
+        points.append(_solve_point(problem, budget,
+                                   min(level, budget), options))
+    return points
+
+
+def knee_point(points: "list[SweepPoint]") -> "SweepPoint | None":
+    """The power-performance knee of a ``sweep_p_max`` result.
+
+    The smallest feasible budget whose finish time equals the best
+    finish time seen anywhere in the sweep — beyond the knee, extra
+    power buys no speed.
+    """
+    feasible = [p for p in points if p.feasible]
+    if not feasible:
+        return None
+    best_tau = min(p.finish_time for p in feasible)
+    at_best = [p for p in feasible if p.finish_time == best_tau]
+    return min(at_best, key=lambda p: p.p_max)

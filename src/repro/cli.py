@@ -1,0 +1,243 @@
+"""Command-line interface: ``repro-schedule``.
+
+Subcommands:
+
+* ``solve FILE`` — schedule a problem from a ``.json`` or ``.txt``
+  (DSL) file; prints the per-stage metrics and the ASCII power-aware
+  Gantt chart, optionally writes SVG / schedule JSON.
+* ``rover [--case ...]`` — reproduce the Mars-rover schedules
+  (Figs. 9-11 / Table 3 rows).
+* ``mission [--steps N]`` — run the Table 4 mission comparison.
+* ``example`` — walk the paper's nine-task example through the three
+  stages (Figs. 2, 5, 7).
+
+All output is plain text so the tool works over a serial console —
+fitting, for a Mars rover scheduler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .analysis.report import format_table
+from .errors import ReproError
+from .gantt import chart_result, render_chart, write_svg
+from .io import load_problem, load_problem_dsl, save_schedule
+from .scheduling import PowerAwareScheduler, SchedulerOptions
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-schedule",
+        description="Power-aware scheduling under timing constraints "
+                    "(DAC 2001 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser(
+        "solve", help="schedule a problem file (.json or DSL .txt)")
+    solve.add_argument("file", help="problem file path")
+    solve.add_argument("--svg", metavar="PATH",
+                       help="write the power-aware Gantt chart as SVG")
+    solve.add_argument("--out", metavar="PATH",
+                       help="write the schedule as JSON")
+    solve.add_argument("--seed", type=int, default=2001,
+                       help="heuristic seed (default 2001)")
+    solve.add_argument("--no-chart", action="store_true",
+                       help="skip the ASCII chart")
+
+    rover = sub.add_parser(
+        "rover", help="reproduce the Mars rover schedules (Table 3)")
+    rover.add_argument("--case", choices=["best", "typical", "worst",
+                                          "all"],
+                       default="all", help="solar case (default all)")
+    rover.add_argument("--svg-dir", metavar="DIR",
+                       help="write Figs. 9-11 style SVGs into DIR")
+
+    mission = sub.add_parser(
+        "mission", help="run the Table 4 mission comparison")
+    mission.add_argument("--steps", type=int, default=48,
+                         help="mission distance in steps (default 48)")
+
+    sub.add_parser(
+        "example",
+        help="walk the paper's 9-task example through Figs. 2/5/7")
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="explain why a problem's timing constraints contradict")
+    diagnose.add_argument("file", help="problem file path")
+
+    sweep = sub.add_parser(
+        "sweep", help="solve a problem across a P_max budget sweep")
+    sweep.add_argument("file", help="problem file path")
+    sweep.add_argument("--budgets", default="",
+                       help="comma-separated P_max values "
+                            "(default: 8 points around the problem's)")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "rover":
+            return _cmd_rover(args)
+        if args.command == "mission":
+            return _cmd_mission(args)
+        if args.command == "diagnose":
+            return _cmd_diagnose(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        return _cmd_example()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _load(path: str):
+    if path.endswith(".json"):
+        return load_problem(path)
+    return load_problem_dsl(path)
+
+
+def _cmd_diagnose(args) -> int:
+    from .core.diagnose import explain_infeasibility
+    problem = _load(args.file)
+    explanation = explain_infeasibility(problem.graph)
+    if explanation is None:
+        print(f"{problem.name}: timing constraints are consistent")
+        reasons = problem.feasible_power_check()
+        for reason in reasons:
+            print(f"  power warning: {reason}")
+        return 0 if not reasons else 1
+    print(explanation.render())
+    return 1
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis import knee_point, sweep_p_max
+    problem = _load(args.file)
+    if args.budgets:
+        budgets = [float(token) for token in args.budgets.split(",")]
+    else:
+        base = problem.p_max
+        budgets = [round(base * factor, 2)
+                   for factor in (0.6, 0.75, 0.9, 1.0, 1.2, 1.5, 2.0,
+                                  3.0)]
+    points = sweep_p_max(problem, budgets)
+    print(format_table([p.row() for p in points],
+                       title=f"== {problem.name}: P_max sweep =="))
+    knee = knee_point(points)
+    if knee is not None:
+        print(f"knee: P_max = {knee.p_max:g} W reaches "
+              f"tau = {knee.finish_time} s")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+def _cmd_solve(args) -> int:
+    if args.file.endswith(".json"):
+        problem = load_problem(args.file)
+    else:
+        problem = load_problem_dsl(args.file)
+    options = SchedulerOptions(seed=args.seed)
+    from .core.diagnose import explain_infeasibility
+    from .errors import PositiveCycleError
+    try:
+        pipeline = PowerAwareScheduler(options).solve_pipeline(problem)
+    except PositiveCycleError:
+        explanation = explain_infeasibility(problem.graph)
+        if explanation is not None:
+            print(explanation.render(), file=sys.stderr)
+            return 1
+        raise
+    print(format_table(pipeline.stage_rows(),
+                       title=f"== {problem.name} =="))
+    result = pipeline.final
+    if not args.no_chart:
+        print()
+        print(render_chart(chart_result(result)))
+    if args.svg:
+        write_svg(chart_result(result), args.svg)
+        print(f"wrote {args.svg}")
+    if args.out:
+        save_schedule(result.schedule, args.out,
+                      problem_name=problem.name)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_rover(args) -> int:
+    from .mission import MarsRover, SolarCase
+    rover = MarsRover.standard()
+    cases = list(SolarCase) if args.case == "all" \
+        else [SolarCase(args.case)]
+    rows = []
+    for case in cases:
+        jpl = rover.jpl_result(case)
+        pa = rover.power_aware_result(case)
+        rows.append({"case": case.value, "scheduler": "jpl",
+                     **jpl.metrics.row()})
+        rows.append({"case": case.value, "scheduler": "power-aware",
+                     **pa.metrics.row()})
+        if args.svg_dir:
+            path = f"{args.svg_dir}/rover_{case.value}.svg"
+            write_svg(chart_result(pa, title=f"rover {case.value}"),
+                      path)
+            print(f"wrote {path}")
+    print(format_table(rows, title="== Mars rover (Table 3) =="))
+    return 0
+
+
+def _cmd_mission(args) -> int:
+    from .mission import (JPLPolicy, MarsRover, MissionSimulator,
+                          PowerAwarePolicy, compare_reports,
+                          paper_mission_environment)
+    rover = MarsRover.standard()
+    jpl = MissionSimulator(paper_mission_environment(),
+                           JPLPolicy(rover), args.steps).run()
+    pa = MissionSimulator(paper_mission_environment(),
+                          PowerAwarePolicy(rover), args.steps).run()
+    rows = []
+    for report in (jpl, pa):
+        for phase in report.phases():
+            rows.append({"policy": report.policy,
+                         "solar_W": phase.solar,
+                         "steps": phase.steps,
+                         "time_s": phase.time,
+                         "Ec_J": phase.energy_cost})
+    print(format_table(rows, title="== Mission scenario (Table 4) =="))
+    print(jpl.summary())
+    print(pa.summary())
+    comparison = compare_reports(jpl, pa)
+    print(f"improvement: {comparison['time_improvement_pct']:.1f}% time, "
+          f"{comparison['energy_improvement_pct']:.1f}% energy "
+          f"(paper: 33.3% / 32.7%)")
+    return 0
+
+
+def _cmd_example() -> int:
+    from .examples_data import fig1_options, fig1_problem
+    pipeline = PowerAwareScheduler(fig1_options()).solve_pipeline(
+        fig1_problem())
+    for label, result in (("Fig. 2 - time-valid", pipeline.timing),
+                          ("Fig. 5 - power-valid", pipeline.max_power),
+                          ("Fig. 7 - improved", pipeline.min_power)):
+        print()
+        print(f"### {label}")
+        print(render_chart(chart_result(result, title=label)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

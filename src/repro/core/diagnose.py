@@ -1,0 +1,150 @@
+"""Infeasibility diagnosis: explain *why* constraints contradict.
+
+A bare :class:`~repro.errors.PositiveCycleError` tells a designer that
+their timing constraints are unsatisfiable; it does not tell them which
+of their requirements are fighting.  This module walks the offending
+cycle, maps each edge back to its origin (user constraint vs scheduler
+decoration), and renders the contradiction as an inequality chain a
+human can act on:
+
+    infeasible: the following constraints force sigma(b) > sigma(b):
+      sigma(b) >= sigma(a) + 5   [user]     (b at least 5 after a)
+      sigma(a) >= sigma(b) - 3   [user]     (a at most 3 after... )
+      net slack around the cycle: +2  -- tighten by removing >= 2 s
+
+Used by the CLI for `solve` failures and available as a library call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PositiveCycleError
+from .graph import ConstraintGraph
+from .longest_path import longest_paths
+from .task import ANCHOR_NAME
+
+__all__ = ["CycleExplanation", "explain_infeasibility", "find_cycle"]
+
+
+@dataclass(frozen=True)
+class CycleExplanation:
+    """A positive cycle rendered as human-readable constraints."""
+
+    vertices: "list[str]"
+    lines: "list[str]"
+    excess: int
+
+    def render(self) -> str:
+        chain = " -> ".join(self.vertices + [self.vertices[0]])
+        body = "\n".join(f"  {line}" for line in self.lines)
+        return (f"infeasible timing constraints (cycle {chain}):\n"
+                f"{body}\n"
+                f"  net over-constraint: {self.excess} time unit(s) — "
+                f"relax the chain by at least that much")
+
+
+def find_cycle(graph: ConstraintGraph) -> "list[str] | None":
+    """A vertex list forming one positive cycle, or None if feasible.
+
+    Uses the longest-path solver's predecessor trace; falls back to a
+    bounded walk when the trace is partial.
+    """
+    try:
+        longest_paths(graph)
+        return None
+    except PositiveCycleError as exc:
+        if exc.cycle:
+            cycle = _close_cycle(graph, exc.cycle)
+            if cycle:
+                return cycle
+        return _search_cycle(graph)
+
+
+def explain_infeasibility(graph: ConstraintGraph) \
+        -> "CycleExplanation | None":
+    """Explain the graph's infeasibility, or None when it is feasible."""
+    cycle = find_cycle(graph)
+    if not cycle:
+        return None
+    lines = []
+    total = 0
+    for src, dst in zip(cycle, cycle[1:] + cycle[:1]):
+        weight = graph.separation(src, dst)
+        if weight is None:
+            continue
+        tag = graph.edge_tag(src, dst)
+        total += weight
+        lines.append(_describe_edge(src, dst, weight, tag))
+    return CycleExplanation(vertices=cycle, lines=lines, excess=total)
+
+
+# ----------------------------------------------------------------------
+
+def _describe_edge(src: str, dst: str, weight: int, tag: str) -> str:
+    if src == ANCHOR_NAME:
+        meaning = f"{dst} may not start before t={weight}"
+        formal = f"sigma({dst}) >= {weight}"
+    elif dst == ANCHOR_NAME:
+        meaning = f"{src} must start by t={-weight}"
+        formal = f"sigma({src}) <= {-weight}"
+    elif weight >= 0:
+        meaning = f"{dst} at least {weight} after {src}"
+        formal = f"sigma({dst}) >= sigma({src}) + {weight}"
+    else:
+        meaning = f"{src} at most {-weight} after {dst}"
+        formal = f"sigma({dst}) >= sigma({src}) - {-weight}"
+    return f"{formal:36s} [{tag}]  ({meaning})"
+
+
+def _close_cycle(graph: ConstraintGraph,
+                 trace: "list[str]") -> "list[str] | None":
+    """Trim a predecessor trace to an actual edge cycle when possible."""
+    if len(trace) >= 2 and graph.separation(trace[-1], trace[0]) \
+            is not None:
+        chain_ok = all(graph.separation(u, v) is not None
+                       for u, v in zip(trace, trace[1:]))
+        if chain_ok:
+            return trace
+    return None
+
+
+def _search_cycle(graph: ConstraintGraph) -> "list[str] | None":
+    """Exhaustive positive-cycle search (small graphs, diagnosis only).
+
+    Bellman-Ford tells us a cycle exists; to display it, walk
+    predecessor chains until a vertex repeats, taking the repeated
+    segment.  This re-runs the relaxation with full bookkeeping.
+    """
+    names = graph.task_names(include_anchor=True)
+    dist = {name: 0 for name in names}
+    pred: "dict[str, str | None]" = {name: None for name in names}
+    edges = graph.edge_triples()
+    for _ in range(len(names) + 1):
+        changed = False
+        for src, dst, weight in edges:
+            if dist[src] + weight > dist[dst]:
+                dist[dst] = dist[src] + weight
+                pred[dst] = src
+                changed = True
+        if not changed:
+            return None  # pragma: no cover - caller saw a cycle
+    # some vertex is on or reachable from a cycle: walk back V steps
+    for start in names:
+        cur = start
+        for _ in range(len(names)):
+            nxt = pred.get(cur)
+            if nxt is None:
+                break
+            cur = nxt
+        else:
+            # cur is inside a cycle: collect it
+            cycle = [cur]
+            node = pred[cur]
+            while node is not None and node != cur:
+                cycle.append(node)
+                node = pred[node]
+            cycle.reverse()
+            if len(cycle) >= 2:
+                return cycle
+    return None  # pragma: no cover - defensive

@@ -1,0 +1,453 @@
+"""Constraint graph ``G(V, E)`` with min/max timing separations.
+
+This is the input formulation of the paper (Section 4.1), which extends
+the time-driven scheduling model of Chou & Borriello.  Vertices are
+:class:`~repro.core.task.Task` objects; a weighted directed edge
+``(u, v, w)`` asserts the *start-to-start* separation
+
+    ``sigma(v) - sigma(u) >= w``.
+
+* A **min separation** "v at least w after u" is a forward edge
+  ``(u, v, +w)``.
+* A **max separation** "v at most w after u" is a backward edge
+  ``(v, u, -w)`` (rewriting ``sigma(v) <= sigma(u) + w``).
+
+Min/max separations subsume release times, deadlines, and precedence
+(end-to-start) dependencies; convenience methods express all of these.
+A virtual **anchor** vertex starting at time 0 closes the system: every
+task implicitly satisfies ``sigma(v) >= sigma(anchor) = 0``.
+
+The graph supports *checkpoint/rollback* so the backtracking schedulers
+of Section 5 can speculatively add serialization, delay, and lock edges
+and undo them cheaply when a branch fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..errors import GraphError
+from .resource import Resource, ResourcePool
+from .task import ANCHOR_NAME, Task
+
+__all__ = ["Edge", "ConstraintGraph"]
+
+#: Sentinel for "no constraint" when querying separations.
+_NO_EDGE = object()
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A start-to-start separation ``sigma(dst) - sigma(src) >= weight``.
+
+    ``tag`` records why the edge exists ("user", "serialize", "delay",
+    "lock", ...) which makes scheduler traces and Gantt annotations much
+    easier to read, and lets rollback-free callers strip a category of
+    derived edges.
+    """
+
+    src: str
+    dst: str
+    weight: int
+    tag: str = "user"
+
+    @property
+    def is_forward(self) -> bool:
+        """True for non-negative weights (min separations / precedences)."""
+        return self.weight >= 0
+
+
+class ConstraintGraph:
+    """Mutable constraint graph with checkpoint/rollback.
+
+    Between a pair ``(u, v)`` only the *tightest* separation matters, so
+    the graph stores at most one edge per ordered pair, keeping the
+    maximum weight seen.  All mutations are journaled; ``checkpoint()``
+    returns a token and ``rollback(token)`` restores the exact prior
+    edge set.  Tasks are append-only (the schedulers never remove
+    vertices).
+    """
+
+    def __init__(self, name: str = "problem"):
+        self.name = name
+        self._tasks: "dict[str, Task]" = {}
+        self._resources = ResourcePool()
+        # (src, dst) -> (weight, tag)
+        self._edges: "dict[tuple[str, str], tuple[int, str]]" = {}
+        # adjacency caches (maintained incrementally)
+        self._out: "dict[str, set[str]]" = {}
+        self._in: "dict[str, set[str]]" = {}
+        # journal of (key, previous_value_or_None) for rollback
+        self._journal: "list[tuple[tuple[str, str], tuple[int, str] | None]]" = []
+        # edge-set version + cached flat triples (hot path for the
+        # longest-path solver, which runs once per scheduler move)
+        self._version = 0
+        self._triples_cache: "tuple[int, list[tuple[str, str, int]]] | None" = None
+        # incremental longest-path support: the version of the last
+        # non-monotone mutation (removal/rollback — anything that can
+        # *decrease* a distance), and a log of recent edge additions so
+        # the solver can propagate just the delta.  The solver owns the
+        # attached cache (see repro.core.longest_path).
+        self._last_non_add_version = 0
+        self._add_log: "list[tuple[int, str, str, int]]" = []
+        self._lp_cache = None
+        self.add_task(Task.anchor())
+
+    # ------------------------------------------------------------------
+    # vertices
+    # ------------------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        """Add a task vertex.  Duplicate names are an error."""
+        if task.name in self._tasks:
+            raise GraphError(f"duplicate task {task.name!r}")
+        self._tasks[task.name] = task
+        self._out.setdefault(task.name, set())
+        self._in.setdefault(task.name, set())
+        if task.resource is not None:
+            self._resources.ensure(task.resource)
+        return task
+
+    def new_task(self, name: str, duration: int, power: float = 0.0,
+                 resource: "str | None" = None,
+                 meta: "Mapping[str, Any] | None" = None) -> Task:
+        """Create and add a task in one call; returns the task."""
+        return self.add_task(Task(name=name, duration=duration, power=power,
+                                  resource=resource, meta=dict(meta or {})))
+
+    def task(self, name: str) -> Task:
+        """Look up a task by name."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise GraphError(f"unknown task {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    @property
+    def anchor(self) -> Task:
+        """The virtual time-0 source vertex."""
+        return self._tasks[ANCHOR_NAME]
+
+    def tasks(self, include_anchor: bool = False) -> "list[Task]":
+        """All task vertices, in insertion order."""
+        return [t for t in self._tasks.values()
+                if include_anchor or not t.is_anchor]
+
+    def task_names(self, include_anchor: bool = False) -> "list[str]":
+        """All vertex names, in insertion order."""
+        return [t.name for t in self.tasks(include_anchor=include_anchor)]
+
+    def __len__(self) -> int:
+        """Number of real (non-anchor) tasks."""
+        return len(self._tasks) - 1
+
+    # ------------------------------------------------------------------
+    # resources
+    # ------------------------------------------------------------------
+
+    @property
+    def resources(self) -> ResourcePool:
+        """The resource pool (auto-populated from task mappings)."""
+        return self._resources
+
+    def declare_resource(self, resource: Resource) -> Resource:
+        """Pre-register a resource (e.g. to set idle power or row order)."""
+        if resource.name in self._resources:
+            raise GraphError(f"duplicate resource {resource.name!r}")
+        return self._resources.add(resource)
+
+    def tasks_on(self, resource: str) -> "list[Task]":
+        """Tasks mapped to the named resource, in insertion order."""
+        return [t for t in self.tasks() if t.resource == resource]
+
+    def resource_conflicts(self) -> "Iterator[tuple[Task, Task]]":
+        """Yield unordered pairs of distinct tasks sharing a resource."""
+        by_res: "dict[str, list[Task]]" = {}
+        for t in self.tasks():
+            if t.resource is not None:
+                by_res.setdefault(t.resource, []).append(t)
+        for group in by_res.values():
+            for i, u in enumerate(group):
+                for v in group[i + 1:]:
+                    yield u, v
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+
+    def add_edge(self, src: str, dst: str, weight: int,
+                 tag: str = "user") -> bool:
+        """Assert ``sigma(dst) - sigma(src) >= weight``.
+
+        Keeps only the tightest (maximum-weight) constraint per ordered
+        pair.  Returns True if the edge set actually changed (a looser
+        constraint than an existing one is a no-op).  Self-edges with
+        positive weight are immediately contradictory and rejected.
+        """
+        if src not in self._tasks:
+            raise GraphError(f"unknown task {src!r}")
+        if dst not in self._tasks:
+            raise GraphError(f"unknown task {dst!r}")
+        if not isinstance(weight, int):
+            raise GraphError(
+                f"edge {src!r}->{dst!r}: weight must be an integer, "
+                f"got {weight!r}")
+        if src == dst:
+            if weight > 0:
+                raise GraphError(
+                    f"self-separation sigma({src}) - sigma({src}) >= "
+                    f"{weight} is unsatisfiable")
+            return False  # trivially true
+        key = (src, dst)
+        prev = self._edges.get(key)
+        if prev is not None and prev[0] >= weight:
+            return False
+        self._journal.append((key, prev))
+        self._edges[key] = (weight, tag)
+        self._out[src].add(dst)
+        self._in[dst].add(src)
+        self._version += 1
+        self._add_log.append((self._version, src, dst, weight))
+        if len(self._add_log) > 4 * (len(self._tasks) + 8):
+            # the solver only ever needs additions newer than its
+            # cache; a bounded log keeps memory flat and simply forces
+            # a full recompute when the window is exceeded
+            del self._add_log[:len(self._add_log) // 2]
+        return True
+
+    def separation(self, src: str, dst: str) -> "int | None":
+        """The asserted minimum of ``sigma(dst) - sigma(src)``, if any."""
+        entry = self._edges.get((src, dst))
+        return entry[0] if entry is not None else None
+
+    def edge_tag(self, src: str, dst: str) -> "str | None":
+        """The tag of the stored ``src -> dst`` edge, if any."""
+        entry = self._edges.get((src, dst))
+        return entry[1] if entry is not None else None
+
+    def remove_edge(self, src: str, dst: str) -> bool:
+        """Remove the stored ``src -> dst`` edge (journaled).
+
+        Returns False when no such edge exists.  Used by the compaction
+        pass to relax scheduler-added delay edges; rollback restores
+        removed edges like any other journaled mutation.
+        """
+        key = (src, dst)
+        prev = self._edges.get(key)
+        if prev is None:
+            return False
+        self._journal.append((key, prev))
+        del self._edges[key]
+        self._out[src].discard(dst)
+        self._in[dst].discard(src)
+        self._version += 1
+        self._last_non_add_version = self._version
+        return True
+
+    def edges(self) -> "list[Edge]":
+        """All edges as :class:`Edge` records."""
+        return [Edge(src=k[0], dst=k[1], weight=v[0], tag=v[1])
+                for k, v in self._edges.items()]
+
+    def edge_triples(self) -> "list[tuple[str, str, int]]":
+        """All edges as bare ``(src, dst, weight)`` triples.
+
+        The longest-path solver iterates the edge set once per
+        relaxation pass on every scheduler move; this accessor avoids
+        allocating :class:`Edge` records and is cached until the edge
+        set next changes.
+        """
+        cache = self._triples_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        triples = [(k[0], k[1], v[0]) for k, v in self._edges.items()]
+        self._triples_cache = (self._version, triples)
+        return triples
+
+    def out_edges(self, name: str) -> "list[Edge]":
+        """Edges leaving ``name`` (constraints that delaying it tightens)."""
+        return [Edge(src=name, dst=d, weight=self._edges[(name, d)][0],
+                     tag=self._edges[(name, d)][1])
+                for d in self._out.get(name, ())
+                if (name, d) in self._edges]
+
+    def in_edges(self, name: str) -> "list[Edge]":
+        """Edges entering ``name``."""
+        return [Edge(src=s, dst=name, weight=self._edges[(s, name)][0],
+                     tag=self._edges[(s, name)][1])
+                for s in self._in.get(name, ())
+                if (s, name) in self._edges]
+
+    def successors(self, name: str) -> "list[str]":
+        """Targets of *forward* (weight >= 0) edges out of ``name``.
+
+        Forward edges define the topological order the timing scheduler
+        traverses; backward (negative) edges are max separations and do
+        not create ordering obligations.
+        """
+        return sorted(d for d in self._out.get(name, ())
+                      if (name, d) in self._edges
+                      and self._edges[(name, d)][0] >= 0)
+
+    def edge_count(self) -> int:
+        """Number of stored (tightest) edges."""
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # convenience constraint builders (paper Section 4.1 vocabulary)
+    # ------------------------------------------------------------------
+
+    def add_min_separation(self, src: str, dst: str, sep: int,
+                           tag: str = "user") -> bool:
+        """``dst`` starts at least ``sep`` after ``src`` starts."""
+        if sep < 0:
+            raise GraphError(f"min separation must be >= 0, got {sep}")
+        return self.add_edge(src, dst, sep, tag=tag)
+
+    def add_max_separation(self, src: str, dst: str, sep: int,
+                           tag: str = "user") -> bool:
+        """``dst`` starts at most ``sep`` after ``src`` starts."""
+        if sep < 0:
+            raise GraphError(f"max separation must be >= 0, got {sep}")
+        return self.add_edge(dst, src, -sep, tag=tag)
+
+    def add_separation_window(self, src: str, dst: str,
+                              min_sep: int, max_sep: int,
+                              tag: str = "user") -> None:
+        """``sigma(dst) - sigma(src)`` constrained to ``[min_sep, max_sep]``.
+
+        This is the paper's native constraint form, e.g. "heating at
+        least 5 s, at most 50 s before steering".
+        """
+        if min_sep > max_sep:
+            raise GraphError(
+                f"empty window [{min_sep}, {max_sep}] for {src!r}->{dst!r}")
+        self.add_min_separation(src, dst, min_sep, tag=tag)
+        self.add_max_separation(src, dst, max_sep, tag=tag)
+
+    def add_precedence(self, src: str, dst: str, gap: int = 0,
+                       tag: str = "user") -> bool:
+        """End-to-start precedence: ``dst`` starts >= ``gap`` after ``src``
+        *finishes* (i.e. start-to-start ``d(src) + gap``)."""
+        return self.add_min_separation(
+            src, dst, self.task(src).duration + gap, tag=tag)
+
+    def add_release(self, name: str, time: int, tag: str = "user") -> bool:
+        """``name`` may not start before absolute time ``time``."""
+        return self.add_min_separation(ANCHOR_NAME, name, time, tag=tag)
+
+    def add_start_deadline(self, name: str, time: int,
+                           tag: str = "user") -> bool:
+        """``name`` must start no later than absolute time ``time``."""
+        return self.add_max_separation(ANCHOR_NAME, name, time, tag=tag)
+
+    def add_finish_deadline(self, name: str, time: int,
+                            tag: str = "user") -> bool:
+        """``name`` must finish no later than absolute time ``time``."""
+        deadline = time - self.task(name).duration
+        if deadline < 0:
+            raise GraphError(
+                f"finish deadline {time} is shorter than duration of "
+                f"{name!r}")
+        return self.add_start_deadline(name, deadline, tag=tag)
+
+    def lock_start(self, name: str, time: int, tag: str = "lock") -> None:
+        """Pin ``sigma(name)`` to exactly ``time`` (min + max edges).
+
+        The max-power scheduler locks the start times of zero-slack tasks
+        before recursing (Section 5.2); rollback removes the locks.
+        """
+        self.add_min_separation(ANCHOR_NAME, name, time, tag=tag)
+        self.add_max_separation(ANCHOR_NAME, name, time, tag=tag)
+
+    def serialize_after(self, first: str, second: str,
+                        gap: int = 0, tag: str = "serialize") -> bool:
+        """Force ``second`` to start after ``first`` completes.
+
+        Used by the timing scheduler to resolve resource conflicts.
+        """
+        return self.add_precedence(first, second, gap=gap, tag=tag)
+
+    # ------------------------------------------------------------------
+    # checkpoint / rollback
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Return a token capturing the current edge set."""
+        return len(self._journal)
+
+    def rollback(self, token: int) -> None:
+        """Undo every edge mutation made after ``checkpoint()``."""
+        if token < 0 or token > len(self._journal):
+            raise GraphError(f"invalid rollback token {token}")
+        while len(self._journal) > token:
+            key, prev = self._journal.pop()
+            if prev is None:
+                if key in self._edges:
+                    del self._edges[key]
+                self._out[key[0]].discard(key[1])
+                self._in[key[1]].discard(key[0])
+            else:
+                self._edges[key] = prev
+                self._out[key[0]].add(key[1])
+                self._in[key[1]].add(key[0])
+            self._version += 1
+            self._last_non_add_version = self._version
+
+    # ------------------------------------------------------------------
+    # copying / composition
+    # ------------------------------------------------------------------
+
+    def copy(self, name: "str | None" = None) -> "ConstraintGraph":
+        """Deep-enough copy: fresh edge store and journal, shared tasks
+        (tasks are frozen dataclasses so sharing is safe)."""
+        clone = ConstraintGraph(name=name or self.name)
+        for task in self.tasks():
+            clone.add_task(task)
+        for res in self._resources:
+            if res.name not in clone._resources:
+                clone._resources.add(res)
+            else:
+                # replace the auto-created default with the real record
+                clone._resources._by_name[res.name] = res
+        for (src, dst), (weight, tag) in self._edges.items():
+            clone.add_edge(src, dst, weight, tag=tag)
+        clone._journal.clear()
+        return clone
+
+    def merge(self, other: "ConstraintGraph", prefix: str = "") -> None:
+        """Import all tasks and edges of ``other`` (names optionally
+        prefixed), e.g. to concatenate unrolled iterations."""
+        mapping = {ANCHOR_NAME: ANCHOR_NAME}
+        for task in other.tasks():
+            new_name = prefix + task.name
+            mapping[task.name] = new_name
+            self.add_task(task.renamed(new_name))
+        for edge in other.edges():
+            self.add_edge(mapping[edge.src], mapping[edge.dst],
+                          edge.weight, tag=edge.tag)
+
+    def strip_tags(self, tags: Iterable[str]) -> int:
+        """Remove every edge whose tag is in ``tags``; returns count.
+
+        Useful to re-solve a problem from its user constraints after a
+        scheduler has decorated the graph with derived edges.  Not
+        journaled (it rewrites history), so only call between scheduling
+        runs, never inside one.
+        """
+        doomed = [k for k, v in self._edges.items() if v[1] in set(tags)]
+        for key in doomed:
+            del self._edges[key]
+            self._out[key[0]].discard(key[1])
+            self._in[key[1]].discard(key[0])
+        self._journal.clear()
+        self._version += 1
+        self._last_non_add_version = self._version
+        return len(doomed)
+
+    def __repr__(self) -> str:
+        return (f"ConstraintGraph({self.name!r}, tasks={len(self)}, "
+                f"edges={self.edge_count()})")

@@ -1,0 +1,94 @@
+"""Phased tasks: power as a function over time.
+
+Section 4.1 notes that a task's power consumption may be "a function
+over time" and that the formulation extends to that case.  On the
+integer grid any such function is piecewise constant, so a *phased
+task* — e.g. a motor with an inrush phase followed by a cruise phase —
+is modelled exactly as a rigid chain of constant-power segments:
+
+* one sub-task per phase, all on the parent's resource,
+* consecutive phases tied with an *equality* separation (min == max ==
+  predecessor duration), so the chain can neither stretch nor tear:
+  delaying any segment moves the whole task.
+
+The schedulers need no changes: slack, spikes, gaps and energy all fall
+out of the existing profile machinery.  Helper queries map between the
+parent task name and its segments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import GraphError
+from .graph import ConstraintGraph
+from .schedule import Schedule
+from .task import Task
+
+__all__ = ["add_phased_task", "phase_names", "phased_start",
+           "is_phase_of"]
+
+#: Separator between the parent name and the phase index.  Kept out of
+#: ordinary task names by convention.
+_SEP = "#"
+
+
+def add_phased_task(graph: ConstraintGraph, name: str,
+                    phases: "Sequence[tuple[int, float]]",
+                    resource: "str | None" = None) -> "list[Task]":
+    """Add a task whose power varies over time.
+
+    ``phases`` is a sequence of ``(duration, power)`` segments executed
+    back to back.  Returns the created sub-tasks in execution order.
+    The first sub-task (``name#0``) is the handle for constraints that
+    reference the task's *start*; the last for its *finish*.
+
+    Example — a drive motor with a 2 s inrush at 20 W then 8 s at
+    12 W::
+
+        add_phased_task(g, "drive", [(2, 20.0), (8, 12.0)],
+                        resource="wheels")
+        g.add_min_separation("steer", "drive#0", 5)
+    """
+    if _SEP in name:
+        raise GraphError(
+            f"task name {name!r} must not contain {_SEP!r}")
+    if not phases:
+        raise GraphError(f"phased task {name!r} needs at least one phase")
+    created: "list[Task]" = []
+    for index, (duration, power) in enumerate(phases):
+        if duration <= 0:
+            raise GraphError(
+                f"phase {index} of {name!r} must have positive "
+                f"duration, got {duration}")
+        task = graph.new_task(
+            f"{name}{_SEP}{index}", duration=duration, power=power,
+            resource=resource,
+            meta={"phased_parent": name, "phase_index": index,
+                  "phase_count": len(phases)})
+        created.append(task)
+    for prev, nxt in zip(created, created[1:]):
+        # equality separation: the chain is rigid
+        graph.add_separation_window(prev.name, nxt.name,
+                                    prev.duration, prev.duration,
+                                    tag="phase")
+    return created
+
+
+def phase_names(name: str, count: int) -> "list[str]":
+    """The sub-task names of a phased task."""
+    return [f"{name}{_SEP}{i}" for i in range(count)]
+
+
+def is_phase_of(task: Task, name: str) -> bool:
+    """True when ``task`` is a segment of the phased task ``name``."""
+    return task.meta.get("phased_parent") == name
+
+
+def phased_start(schedule: Schedule, name: str) -> int:
+    """Start time of a phased task (its first segment)."""
+    first = f"{name}{_SEP}0"
+    if first not in schedule:
+        raise GraphError(f"{name!r} is not a phased task in this "
+                         "schedule")
+    return schedule.start(first)

@@ -1,0 +1,105 @@
+"""Task model: the vertices of the constraint graph.
+
+Each task ``v`` carries the three attributes of the paper's Section 4.1:
+
+* ``d(v)`` — execution delay (integer time units; the paper's instances
+  are in whole seconds and an integer grid keeps all arithmetic exact),
+* ``p(v)`` — power consumption in watts while the task executes (the
+  paper assumes a single exact value; min/typ/max tables are handled one
+  case at a time, as in the rover study),
+* ``r(v)`` — the execution resource the task is mapped onto.
+
+Tasks are non-preemptive: once started at ``sigma(v)`` a task occupies
+its resource for exactly ``d(v)`` time units and consumes ``p(v)`` watts
+throughout, so its energy is ``d(v) * p(v)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from ..errors import GraphError
+
+__all__ = ["Task", "ANCHOR_NAME"]
+
+#: Name reserved for the virtual anchor task that starts at time 0.
+ANCHOR_NAME = "__anchor__"
+
+
+@dataclass(frozen=True)
+class Task:
+    """A non-preemptive task (a vertex of the constraint graph).
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a problem.
+    duration:
+        Execution delay ``d(v)`` in integer time units, ``>= 0``.
+        Zero-duration tasks are permitted (they are useful as milestones)
+        but consume no energy and occupy no resource time.
+    power:
+        Power draw ``p(v)`` in watts while executing, ``>= 0``.
+    resource:
+        Name of the execution resource ``r(v)``.  Two tasks mapped to the
+        same resource must be serialized by the scheduler.  ``None``
+        means the task needs no exclusive resource (e.g. a milestone).
+    meta:
+        Free-form annotations (ignored by the algorithms; carried through
+        serialization so models like the rover can tag tasks with the
+        subsystem they belong to).
+    """
+
+    name: str
+    duration: int
+    power: float = 0.0
+    resource: "str | None" = None
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("task name must be a non-empty string")
+        if not isinstance(self.duration, int):
+            raise GraphError(
+                f"task {self.name!r}: duration must be an integer number of "
+                f"time units, got {self.duration!r}")
+        if self.duration < 0:
+            raise GraphError(
+                f"task {self.name!r}: duration must be >= 0, "
+                f"got {self.duration}")
+        if self.power < 0:
+            raise GraphError(
+                f"task {self.name!r}: power must be >= 0, got {self.power}")
+
+    @property
+    def energy(self) -> float:
+        """Energy consumed by one execution: ``d(v) * p(v)`` joules."""
+        return self.duration * self.power
+
+    @property
+    def is_anchor(self) -> bool:
+        """True for the virtual anchor vertex (start of time)."""
+        return self.name == ANCHOR_NAME
+
+    def renamed(self, new_name: str) -> "Task":
+        """Return a copy of this task under a different name.
+
+        Used by graph-composition utilities (e.g. loop unrolling in the
+        rover model) that instantiate the same template task several
+        times.
+        """
+        return replace(self, name=new_name)
+
+    def with_power(self, power: float) -> "Task":
+        """Return a copy with a different power draw.
+
+        The rover tables give per-temperature power values for the same
+        operation; the model instantiates one case at a time.
+        """
+        return replace(self, power=power)
+
+    @staticmethod
+    def anchor() -> "Task":
+        """The virtual source vertex: starts at time 0, zero cost."""
+        return Task(name=ANCHOR_NAME, duration=0, power=0.0, resource=None)

@@ -1,0 +1,111 @@
+"""Schedule validation: time-validity and power-validity.
+
+The paper's definitions (Sections 4.1–4.2):
+
+* A schedule is **time-valid** when every min/max separation encoded in
+  the constraint graph holds *and* tasks sharing a resource never
+  overlap.
+* A schedule is **power-valid** (or simply *valid*) when it is
+  time-valid and its power profile never exceeds ``P_max``.
+
+The validators return structured violation reports rather than just
+booleans so tests, the CLI, and EXPERIMENTS.md tables can show *why* a
+schedule failed.  ``assert_*`` variants raise :class:`ValidationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+from .profile import PowerProfile
+from .schedule import Schedule
+
+__all__ = ["Violation", "ValidationReport", "check_time_valid",
+           "check_power_valid", "assert_time_valid", "assert_power_valid"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken constraint.
+
+    ``kind`` is one of ``"separation"``, ``"resource"``, ``"spike"``.
+    """
+
+    kind: str
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a schedule."""
+
+    violations: "list[Violation]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, detail: str) -> None:
+        self.violations.append(Violation(kind=kind, detail=detail))
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            lines = "\n  ".join(v.detail for v in self.violations)
+            raise ValidationError(
+                f"schedule validation failed "
+                f"({len(self.violations)} violation(s)):\n  {lines}")
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_time_valid(schedule: Schedule) -> ValidationReport:
+    """Check every separation edge and resource exclusivity."""
+    report = ValidationReport()
+    graph = schedule.graph
+    anchor = graph.anchor.name
+
+    def start_of(name: str) -> int:
+        return 0 if name == anchor else schedule.start(name)
+
+    for edge in graph.edges():
+        gap = start_of(edge.dst) - start_of(edge.src)
+        if gap < edge.weight:
+            report.add(
+                "separation",
+                f"sigma({edge.dst}) - sigma({edge.src}) = {gap} violates "
+                f">= {edge.weight} (edge tag {edge.tag!r})")
+
+    for resource in graph.resources.names:
+        for u, v in schedule.overlapping_on_resource(resource):
+            report.add(
+                "resource",
+                f"tasks {u.name!r} and {v.name!r} overlap on shared "
+                f"resource {resource!r} "
+                f"([{schedule.start(u.name)}, {schedule.finish(u.name)}) vs "
+                f"[{schedule.start(v.name)}, {schedule.finish(v.name)}))")
+    return report
+
+
+def check_power_valid(schedule: Schedule, p_max: float,
+                      baseline: float = 0.0) -> ValidationReport:
+    """Time-validity plus the hard max-power constraint."""
+    report = check_time_valid(schedule)
+    profile = PowerProfile.from_schedule(schedule, baseline=baseline)
+    for spike in profile.spikes(p_max):
+        report.add(
+            "spike",
+            f"power spike {spike}: profile exceeds P_max = {p_max:g} W")
+    return report
+
+
+def assert_time_valid(schedule: Schedule) -> None:
+    """Raise :class:`ValidationError` unless the schedule is time-valid."""
+    check_time_valid(schedule).raise_if_failed()
+
+
+def assert_power_valid(schedule: Schedule, p_max: float,
+                       baseline: float = 0.0) -> None:
+    """Raise unless the schedule is time-valid and under ``P_max``."""
+    check_power_valid(schedule, p_max, baseline=baseline).raise_if_failed()

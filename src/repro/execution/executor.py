@@ -1,0 +1,294 @@
+"""Tick-level schedule executor.
+
+Executes a statically-computed schedule against a (possibly
+misbehaving) reality: actual task durations come from a
+:class:`~repro.execution.faults.DurationModel`, the supply from a
+:class:`~repro.power.supply.PowerSystem`, and the dispatcher follows
+one of two policies:
+
+* ``"static"`` — the embedded-classic time-triggered executive: each
+  task is released exactly at its planned start time, period.  Under
+  overruns this faithfully exposes the brittleness of static schedules:
+  resource collisions, broken separations, and power spikes are
+  *observed and recorded*, not silently repaired.
+* ``"self_timed"`` — an event-driven executive: a task is dispatched at
+  the earliest tick >= its planned start when its min separations
+  (against *actual* start times), its resource, and the power headroom
+  allow.  Overruns stretch the schedule instead of breaking it; max
+  separations can still be violated (recorded) because no dispatcher
+  can move the past.
+
+The run produces an :class:`ExecutionResult`: the event trace, actual
+spans, the realized power profile, the energy split against the supply,
+and the violation list.  `repro.execution.replan` consumes a mid-run
+snapshot to re-schedule the remainder — the runtime loop the paper's
+Section 5.3 gestures at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.graph import ConstraintGraph
+from ..core.problem import SchedulingProblem
+from ..core.profile import PowerProfile
+from ..core.schedule import Schedule
+from ..core.task import ANCHOR_NAME
+from ..errors import ReproError
+from ..power.accounting import EnergySplit, split_energy_against_solar
+from ..power.battery import BatteryDepletedError
+from ..power.supply import PowerSystem
+from .faults import DurationModel, ExactDurations
+from .trace import (BATTERY_DEPLETED, POWER_SPIKE, RESOURCE_VIOLATION,
+                    SEPARATION_VIOLATION, TASK_FINISHED, TASK_STARTED,
+                    Trace)
+
+__all__ = ["ExecutionResult", "ScheduleExecutor"]
+
+_POLICIES = ("static", "self_timed")
+
+#: Hard cap on simulated ticks (guards a dispatcher deadlock).
+_MAX_TICKS = 1_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observed during one execution run."""
+
+    policy: str
+    trace: Trace
+    spans: "dict[str, tuple[int, int]]"  # name -> [start, end)
+    finished_at: int
+    profile: PowerProfile
+    energy: "EnergySplit | None"
+    aborted: bool = False
+    pending: "list[str]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed with no violations."""
+        return not self.aborted and not self.trace.violations() \
+            and not self.pending
+
+    def actual_schedule(self, graph: ConstraintGraph) -> Schedule:
+        """The realized start times as a Schedule (durations may have
+        differed from the plan; starts are what they were)."""
+        return Schedule(graph, {name: span[0]
+                                for name, span in self.spans.items()})
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else (
+            "aborted" if self.aborted
+            else f"{len(self.trace.violations())} violation(s)")
+        return (f"execution[{self.policy}]: finished at "
+                f"{self.finished_at}s, {state}")
+
+
+class ScheduleExecutor:
+    """Run a planned schedule through simulated mission time."""
+
+    def __init__(self, problem: SchedulingProblem, schedule: Schedule,
+                 supply: "PowerSystem | None" = None,
+                 durations: "DurationModel | None" = None,
+                 policy: str = "static",
+                 start_time: float = 0.0):
+        if policy not in _POLICIES:
+            raise ReproError(
+                f"unknown dispatch policy {policy!r}; "
+                f"pick from {_POLICIES}")
+        self.problem = problem
+        self.plan = schedule
+        self.supply = supply
+        self.durations = durations or ExactDurations()
+        self.policy = policy
+        self.start_time = start_time
+
+    # ------------------------------------------------------------------
+
+    def run(self, until: "int | None" = None) -> ExecutionResult:
+        """Execute to completion (or to tick ``until`` for snapshots)."""
+        graph = self.problem.graph
+        trace = Trace()
+        actual: "dict[str, int]" = {
+            name: self.durations.actual_duration(graph.task(name))
+            for name in self.plan}
+        started: "dict[str, int]" = {}
+        finished: "dict[str, int]" = {}
+        aborted = False
+
+        t = 0
+        while len(finished) < len(actual) and not aborted:
+            if until is not None and t >= until:
+                break
+            if t >= _MAX_TICKS:  # pragma: no cover - defensive
+                raise ReproError("executor exceeded the tick cap")
+            # completions first: a resource freed at t is usable at t
+            for name, start in list(started.items()):
+                if name not in finished and t >= start + actual[name]:
+                    finished[name] = start + actual[name]
+                    trace.record(finished[name], TASK_FINISHED, name)
+            for name in self._dispatchable(graph, t, started, finished,
+                                           actual):
+                if self.policy == "self_timed" and not (
+                        self._resource_free(graph, name, t, started,
+                                            finished)
+                        and self._power_headroom(graph, name, t,
+                                                 started, finished)):
+                    # a task dispatched earlier in this same tick took
+                    # the resource or the headroom; try again next tick
+                    continue
+                started[name] = t
+                trace.record(t, TASK_STARTED, name,
+                             detail=f"planned {self.plan.start(name)}")
+                if self.policy == "static":
+                    self._check_static_conflicts(graph, trace, t, name,
+                                                 started, finished)
+            if not self._tick_power_ok(graph, trace, t, started,
+                                       finished, actual):
+                aborted = True
+                break
+            t += 1
+
+        spans = {name: (start, start + actual[name])
+                 for name, start in started.items()}
+        finished_at = max((end for _, end in spans.values()), default=0)
+        profile = self._realized_profile(graph, spans, finished_at)
+        energy = None
+        if self.supply is not None and profile.horizon > 0:
+            energy = split_energy_against_solar(
+                profile, self.supply.solar, start_time=self.start_time)
+        pending = [name for name in actual
+                   if name not in started
+                   or started[name] + actual[name] > t]
+        if until is None and not aborted:
+            pending = [name for name in actual if name not in finished]
+        return ExecutionResult(policy=self.policy, trace=trace,
+                               spans=spans, finished_at=finished_at,
+                               profile=profile, energy=energy,
+                               aborted=aborted, pending=pending)
+
+    # ------------------------------------------------------------------
+
+    def _dispatchable(self, graph, t, started, finished, actual):
+        """Tasks to dispatch at tick ``t`` under the policy."""
+        out = []
+        for name in self.plan:
+            if name in started:
+                continue
+            planned = self.plan.start(name)
+            if self.policy == "static":
+                if t == planned:
+                    out.append(name)
+                continue
+            # self-timed policy
+            if t < planned:
+                continue
+            if not self._separations_met(graph, name, t, started):
+                continue
+            if not self._resource_free(graph, name, t, started,
+                                       finished):
+                continue
+            if not self._power_headroom(graph, name, t, started,
+                                        finished):
+                continue
+            out.append(name)
+        return out
+
+    def _separations_met(self, graph, name, t, started) -> bool:
+        """Min separations against *actual* starts; releases included."""
+        for edge in graph.in_edges(name):
+            if edge.weight < 0:
+                continue  # max separations cannot gate a dispatcher
+            if edge.src == ANCHOR_NAME:
+                if t < edge.weight:
+                    return False
+            elif edge.src not in started \
+                    or t < started[edge.src] + edge.weight:
+                return False
+        return True
+
+    def _resource_free(self, graph, name, t, started, finished) -> bool:
+        resource = graph.task(name).resource
+        if resource is None:
+            return True
+        for other, start in started.items():
+            if other == name or graph.task(other).resource != resource:
+                continue
+            if other not in finished:
+                return False
+        return True
+
+    def _power_headroom(self, graph, name, t, started, finished) -> bool:
+        level = self.problem.total_baseline + graph.task(name).power
+        for other, start in started.items():
+            if other not in finished:
+                level += graph.task(other).power
+        p_max = self._p_max_at(t)
+        return level <= p_max + PowerProfile.POWER_TOL
+
+    def _p_max_at(self, t: int) -> float:
+        if self.supply is not None:
+            return self.supply.p_max(self.start_time + t)
+        return self.problem.p_max
+
+    # ------------------------------------------------------------------
+    # static-policy violation monitors
+    # ------------------------------------------------------------------
+
+    def _check_static_conflicts(self, graph, trace, t, name, started,
+                                finished) -> None:
+        resource = graph.task(name).resource
+        if resource is not None:
+            for other in started:
+                if other != name and other not in finished \
+                        and graph.task(other).resource == resource:
+                    trace.record(t, RESOURCE_VIOLATION, name,
+                                 detail=f"overlaps {other} on "
+                                        f"{resource}")
+        for edge in graph.in_edges(name):
+            if edge.weight < 0 or edge.src == ANCHOR_NAME:
+                continue
+            if edge.src not in started \
+                    or t < started[edge.src] + edge.weight:
+                trace.record(t, SEPARATION_VIOLATION, name,
+                             detail=f"needs >= {edge.weight} after "
+                                    f"{edge.src}")
+
+    def _tick_power_ok(self, graph, trace, t, started, finished,
+                       actual) -> bool:
+        """Account this tick's draw; False aborts (battery dead)."""
+        level = self.problem.total_baseline
+        for name, start in started.items():
+            if name not in finished and t < start + actual[name]:
+                level += graph.task(name).power
+        p_max = self._p_max_at(t)
+        if level > p_max + PowerProfile.POWER_TOL:
+            trace.record(t, POWER_SPIKE,
+                         detail=f"{level:.1f} W > {p_max:.1f} W")
+        if self.supply is not None:
+            solar = self.supply.p_min(self.start_time + t)
+            excess = max(level - solar, 0.0)
+            if excess > 0:
+                try:
+                    draw = min(excess, self.supply.battery.max_power)
+                    self.supply.battery.draw(draw, 1.0)
+                except BatteryDepletedError:
+                    trace.record(t, BATTERY_DEPLETED,
+                                 detail=f"needed {excess:.1f} W")
+                    return False
+        return True
+
+    def _realized_profile(self, graph, spans, finished_at) \
+            -> PowerProfile:
+        if finished_at == 0:
+            return PowerProfile([],
+                                baseline=self.problem.total_baseline)
+        segments = []
+        for t in range(finished_at):
+            level = self.problem.total_baseline
+            for name, (start, end) in spans.items():
+                if start <= t < end:
+                    level += graph.task(name).power
+            segments.append((t, t + 1, level))
+        return PowerProfile(segments,
+                            baseline=self.problem.total_baseline)

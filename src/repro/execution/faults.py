@@ -1,0 +1,111 @@
+"""Runtime fault and jitter models.
+
+Static schedules are computed from nominal durations and supply
+levels; mission reality differs.  These models inject the differences
+the executor must survive:
+
+* :class:`ExactDurations` — the nominal case (executor replays the
+  schedule bit-exactly);
+* :class:`UniformJitter` — every task's actual duration drawn uniformly
+  within ``+/- fraction`` of nominal (at least 1 tick);
+* :class:`FixedOverruns` — named tasks overrun by fixed amounts (the
+  targeted what-if a designer actually asks);
+* :class:`SolarDropout` — the supply-side fault: solar output forced to
+  zero during an interval (dust devil over the panel), wrapped around
+  any base solar model.
+
+All randomness is seeded; models are reusable across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from ..core.task import Task
+from ..errors import ReproError
+from ..power.solar import SolarModel
+
+__all__ = ["DurationModel", "ExactDurations", "UniformJitter",
+           "FixedOverruns", "SolarDropout"]
+
+
+class DurationModel:
+    """Interface: the actual duration a task exhibits at run time."""
+
+    def actual_duration(self, task: Task) -> int:
+        raise NotImplementedError
+
+    def reset(self, seed: int) -> None:
+        """Re-seed before a run (default: stateless)."""
+
+
+class ExactDurations(DurationModel):
+    """Nominal durations: execution replays the plan."""
+
+    def actual_duration(self, task: Task) -> int:
+        return task.duration
+
+
+class UniformJitter(DurationModel):
+    """Uniform multiplicative jitter, deterministic per (seed, task).
+
+    ``fraction = 0.2`` lets a 10 s task run anywhere in [8, 12] s.
+    Zero-duration milestones never jitter.
+    """
+
+    def __init__(self, fraction: float, seed: int = 0):
+        if not 0 <= fraction <= 1:
+            raise ReproError(
+                f"jitter fraction must be in [0, 1], got {fraction}")
+        self.fraction = fraction
+        self.seed = seed
+
+    def reset(self, seed: int) -> None:
+        self.seed = seed
+
+    def actual_duration(self, task: Task) -> int:
+        if task.duration == 0 or self.fraction == 0:
+            return task.duration
+        rng = random.Random((self.seed, task.name).__hash__())
+        spread = max(1, round(task.duration * self.fraction))
+        actual = task.duration + rng.randint(-spread, spread)
+        return max(1, actual)
+
+
+class FixedOverruns(DurationModel):
+    """Named tasks overrun by fixed extra ticks; others are nominal."""
+
+    def __init__(self, overruns: "Mapping[str, int]"):
+        for name, extra in overruns.items():
+            if extra < 0:
+                raise ReproError(
+                    f"overrun for {name!r} must be >= 0, got {extra}")
+        self.overruns = dict(overruns)
+
+    def actual_duration(self, task: Task) -> int:
+        return task.duration + self.overruns.get(task.name, 0)
+
+
+class SolarDropout(SolarModel):
+    """A solar model with a forced-zero outage window."""
+
+    def __init__(self, base: SolarModel, start: float, end: float):
+        if end <= start:
+            raise ReproError(
+                f"dropout window [{start}, {end}) is empty")
+        self.base = base
+        self.start = start
+        self.end = end
+
+    def power(self, t: float) -> float:
+        if self.start <= t < self.end:
+            return 0.0
+        return self.base.power(t)
+
+    def breakpoints(self, t0: float, t1: float) -> "list[float]":
+        points = set(self.base.breakpoints(t0, t1))
+        for edge in (self.start, self.end):
+            if t0 < edge < t1:
+                points.add(edge)
+        return sorted(points)

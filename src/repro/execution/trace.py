@@ -1,0 +1,83 @@
+"""Execution traces: what actually happened, tick by tick.
+
+The executor records a flat event stream — task dispatches and
+completions, constraint violations observed at run time, supply events
+— that tests and reports can query.  Events are plain frozen records;
+the trace is ordered by time with stable intra-tick ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "Trace",
+           "TASK_STARTED", "TASK_FINISHED", "SEPARATION_VIOLATION",
+           "RESOURCE_VIOLATION", "POWER_SPIKE", "BATTERY_DEPLETED",
+           "REPLAN_TRIGGERED"]
+
+# Event kinds.
+TASK_STARTED = "task-started"
+TASK_FINISHED = "task-finished"
+SEPARATION_VIOLATION = "separation-violation"
+RESOURCE_VIOLATION = "resource-violation"
+POWER_SPIKE = "power-spike"
+BATTERY_DEPLETED = "battery-depleted"
+REPLAN_TRIGGERED = "replan-triggered"
+
+#: Kinds that mark a run as unsuccessful.
+VIOLATION_KINDS = frozenset({SEPARATION_VIOLATION, RESOURCE_VIOLATION,
+                             POWER_SPIKE, BATTERY_DEPLETED})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed event."""
+
+    time: int
+    kind: str
+    task: str = ""
+    detail: str = ""
+
+    def __repr__(self) -> str:
+        task = f" {self.task}" if self.task else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[t={self.time}] {self.kind}{task}{detail}"
+
+
+@dataclass
+class Trace:
+    """An ordered event stream with query helpers."""
+
+    events: "list[TraceEvent]" = field(default_factory=list)
+
+    def record(self, time: int, kind: str, task: str = "",
+               detail: str = "") -> TraceEvent:
+        event = TraceEvent(time=time, kind=kind, task=task,
+                           detail=detail)
+        self.events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> "list[TraceEvent]":
+        return [e for e in self.events if e.kind == kind]
+
+    def for_task(self, task: str) -> "list[TraceEvent]":
+        return [e for e in self.events if e.task == task]
+
+    def violations(self) -> "list[TraceEvent]":
+        return [e for e in self.events if e.kind in VIOLATION_KINDS]
+
+    def first(self, kind: str) -> "TraceEvent | None":
+        for event in self.events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def render(self) -> str:
+        """Human-readable multi-line dump."""
+        return "\n".join(repr(e) for e in self.events)

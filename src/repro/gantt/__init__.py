@@ -1,0 +1,40 @@
+"""Power-aware Gantt charts (paper Section 4.3).
+
+Dual time/power views of a schedule, with an ASCII renderer for
+terminals and a dependency-free SVG renderer for documents.  Build a
+chart from any schedule (or directly from a
+:class:`~repro.scheduling.base.ScheduleResult` via :func:`chart_result`)
+and render it with either backend.
+"""
+
+from ..scheduling.base import ScheduleResult
+from .ascii_art import render_chart, render_power_view, render_time_view
+from .html import render_html_report, write_html_report
+from .mission_chart import (MissionTrack, render_mission_svg,
+                            write_mission_svg)
+from .model import Bin, GanttChart
+from .svg import render_svg, write_svg
+
+__all__ = [
+    "Bin",
+    "GanttChart",
+    "MissionTrack",
+    "chart_result",
+    "render_chart",
+    "render_html_report",
+    "render_mission_svg",
+    "render_power_view",
+    "render_svg",
+    "render_time_view",
+    "write_html_report",
+    "write_mission_svg",
+    "write_svg",
+]
+
+
+def chart_result(result: ScheduleResult, title: str = "") -> GanttChart:
+    """Build a chart straight from a scheduler result."""
+    problem = result.problem
+    return GanttChart(schedule=result.schedule, p_max=problem.p_max,
+                      p_min=problem.p_min, baseline=problem.baseline,
+                      title=title or f"{problem.name} [{result.stage}]")

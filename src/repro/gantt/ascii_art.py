@@ -1,0 +1,132 @@
+"""ASCII renderer for power-aware Gantt charts.
+
+Renders both views of a :class:`~repro.gantt.model.GanttChart` as plain
+text, suitable for terminals, logs, and EXPERIMENTS.md.  Example output
+(the paper's Fig. 2 analogue)::
+
+    == fig1-example ==  P_max=16  P_min=14  tau=20
+    -- time view --
+    A    |aaaaa....ccccc       |
+    B    |bbbbbbbbbb  hhhh     |
+    C    |  dddd  ffff  iii    |
+    -- power view (1 col = 1 s, 1 row = 2 W) --
+    18 |    ##        | ^ spike
+    16 |----##--------| P_max
+    ...
+
+The time view shows one row per resource, one column per ``time_scale``
+seconds; bins are drawn with the first letter of the task name, and
+``.`` marks slack beyond each bin.  The power view is a column chart of
+the profile with the two constraint levels drawn as rules.
+"""
+
+from __future__ import annotations
+
+from .model import GanttChart
+
+__all__ = ["render_chart", "render_time_view", "render_power_view"]
+
+
+def render_chart(chart: GanttChart, time_scale: int = 1,
+                 power_scale: float = 2.0, show_slack: bool = False) -> str:
+    """Both views plus the annotation header, as one string."""
+    ann = chart.annotations()
+    header = (f"== {chart.title} ==  P_max={ann['P_max']:g}W  "
+              f"P_min={ann['P_min']:g}W  tau={ann['tau']}s  "
+              f"Ec={ann['energy_cost']:.1f}J  "
+              f"spikes={ann['spikes']} gaps={ann['gaps']}")
+    parts = [header,
+             "-- time view --",
+             render_time_view(chart, time_scale=time_scale,
+                              show_slack=show_slack),
+             f"-- power view (1 col = {time_scale}s, "
+             f"1 row = {power_scale:g}W) --",
+             render_power_view(chart, time_scale=time_scale,
+                               power_scale=power_scale)]
+    return "\n".join(parts)
+
+
+def render_time_view(chart: GanttChart, time_scale: int = 1,
+                     show_slack: bool = False) -> str:
+    """One row per resource; bins drawn with task-name initials."""
+    if time_scale <= 0:
+        raise ValueError(f"time_scale must be positive, got {time_scale}")
+    width = _cols(chart.horizon, time_scale)
+    label_width = max((len(r) for r in chart.rows), default=4) + 1
+    lines = []
+    for resource, bins in chart.rows.items():
+        cells = [" "] * width
+        for item in bins:
+            mark = item.task[0]
+            for t in range(item.start, item.end):
+                col = t // time_scale
+                if col < width:
+                    cells[col] = mark
+            if show_slack and item.slack > 0:
+                slack_end = min(item.end + item.slack, chart.horizon)
+                for t in range(item.end, slack_end):
+                    col = t // time_scale
+                    if col < width and cells[col] == " ":
+                        cells[col] = "."
+        lines.append(f"{resource:<{label_width}}|" + "".join(cells) + "|")
+    return "\n".join(lines)
+
+
+def render_power_view(chart: GanttChart, time_scale: int = 1,
+                      power_scale: float = 2.0) -> str:
+    """Column chart of the profile with P_max/P_min rules."""
+    if time_scale <= 0:
+        raise ValueError(f"time_scale must be positive, got {time_scale}")
+    if power_scale <= 0:
+        raise ValueError(f"power_scale must be positive, got {power_scale}")
+    width = _cols(chart.horizon, time_scale)
+    profile = chart.profile
+    top = max(profile.peak(), chart.p_max) + power_scale
+    n_rows = int(top / power_scale) + 1
+    columns = []
+    for col in range(width):
+        t = col * time_scale
+        columns.append(profile.value(t))
+
+    max_rule = round(chart.p_max / power_scale)
+    min_rule = round(chart.p_min / power_scale)
+    lines = []
+    for row in range(n_rows, 0, -1):
+        level = row * power_scale
+        cells = []
+        for value in columns:
+            if value >= level - 1e-9:
+                cells.append("#")
+            elif row == max_rule:
+                cells.append("-")
+            elif row == min_rule:
+                cells.append("~")
+            else:
+                cells.append(" ")
+        suffix = ""
+        if row == max_rule:
+            suffix = " P_max"
+        elif row == min_rule:
+            suffix = " P_min"
+        lines.append(f"{level:5.1f} |" + "".join(cells) + "|" + suffix)
+    axis = "      +" + "-" * width + "+"
+    ticks = _time_ticks(width, time_scale)
+    return "\n".join(lines + [axis, ticks])
+
+
+def _cols(horizon: int, time_scale: int) -> int:
+    return max(1, (horizon + time_scale - 1) // time_scale)
+
+
+def _time_ticks(width: int, time_scale: int) -> str:
+    """A sparse time-axis label line (a tick every ~10 columns)."""
+    cells = [" "] * width
+    step = max(1, width // 8)
+    line = [" "] * (width + 8)
+    for col in range(0, width, step):
+        label = str(col * time_scale)
+        for i, ch in enumerate(label):
+            if col + i < len(line):
+                line[col + i] = ch
+    del cells
+    return "       " + "".join(line).rstrip()

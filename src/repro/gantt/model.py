@@ -1,0 +1,163 @@
+"""The power-aware Gantt chart model (paper Section 4.3).
+
+A schedule is presented in two coordinated views sharing the time axis:
+
+* **time view** — one row per execution resource; each task is a *bin*
+  starting at ``sigma(v)`` with length ``d(v)`` and height ``p(v)``, so
+  the bin's area is the task's energy;
+* **power view** — the bins collapsed onto the power axis: the profile
+  ``P_sigma(t)`` with the ``P_max``/``P_min`` levels and the resulting
+  spikes and gaps annotated, plus the per-task composition of each
+  profile segment (which consumer contributes what, at every time).
+
+The model is renderer-agnostic; :mod:`repro.gantt.ascii_art` draws it in
+a terminal and :mod:`repro.gantt.svg` writes standalone SVG files.  It
+also offers the interactive primitive the paper describes for the
+IMPACCT tool — *drag a bin to another slot and observe the power view* —
+as :meth:`GanttChart.with_bin_moved`, which revalidates and rebuilds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.profile import Interval, PowerProfile
+from ..core.schedule import Schedule
+from ..core.slack import slack_table
+from ..core.validation import check_time_valid
+from ..errors import ValidationError
+
+__all__ = ["Bin", "GanttChart"]
+
+
+@dataclass(frozen=True)
+class Bin:
+    """One task occurrence in the time view."""
+
+    task: str
+    resource: str
+    start: int
+    duration: int
+    power: float
+    slack: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+    @property
+    def energy(self) -> float:
+        """Bin area = the task's energy in joules."""
+        return self.duration * self.power
+
+
+@dataclass
+class GanttChart:
+    """A schedule prepared for dual-view rendering."""
+
+    schedule: Schedule
+    p_max: float
+    p_min: float
+    baseline: float = 0.0
+    title: str = ""
+    rows: "dict[str, list[Bin]]" = field(default_factory=dict)
+    profile: "PowerProfile | None" = None
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            self.profile = PowerProfile.from_schedule(
+                self.schedule, baseline=self.baseline)
+        if not self.rows:
+            self.rows = self._build_rows()
+        if not self.title:
+            self.title = self.schedule.graph.name
+
+    # ------------------------------------------------------------------
+
+    def _build_rows(self) -> "dict[str, list[Bin]]":
+        graph = self.schedule.graph
+        slacks = slack_table(self.schedule)
+        rows: "dict[str, list[Bin]]" = {
+            name: [] for name in graph.resources.names}
+        rows.setdefault("(unmapped)", [])
+        for name, start in self.schedule.items():
+            task = graph.task(name)
+            if task.duration == 0:
+                continue
+            row = task.resource if task.resource is not None \
+                else "(unmapped)"
+            rows.setdefault(row, []).append(Bin(
+                task=name, resource=row, start=start,
+                duration=task.duration, power=task.power,
+                slack=slacks[name]))
+        for bins in rows.values():
+            bins.sort(key=lambda b: (b.start, b.task))
+        if not rows["(unmapped)"]:
+            del rows["(unmapped)"]
+        return rows
+
+    # ------------------------------------------------------------------
+    # power-view annotations
+    # ------------------------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """Chart time extent (the schedule's finish time)."""
+        return self.profile.horizon
+
+    def spikes(self) -> "list[Interval]":
+        """Hard violations to display (above ``P_max``)."""
+        return self.profile.spikes(self.p_max)
+
+    def gaps(self) -> "list[Interval]":
+        """Soft violations to display (below ``P_min``)."""
+        return self.profile.gaps(self.p_min)
+
+    def composition_at(self, t: int) -> "list[tuple[str, float]]":
+        """The power stack at time ``t``: baseline first, then each
+        active task's contribution (the power view's composition)."""
+        stack = []
+        total_baseline = self.baseline + \
+            self.schedule.graph.resources.total_idle_power
+        if total_baseline > 0:
+            stack.append(("(baseline)", total_baseline))
+        for task in self.schedule.active_tasks(t):
+            if task.power > 0:
+                stack.append((task.name, task.power))
+        return stack
+
+    def annotations(self) -> "Mapping[str, object]":
+        """Summary annotations shown in both renderers."""
+        return {
+            "P_max": self.p_max,
+            "P_min": self.p_min,
+            "tau": self.horizon,
+            "peak": self.profile.peak(),
+            "energy": self.profile.energy(),
+            "energy_cost": self.profile.energy_above(self.p_min),
+            "spikes": len(self.spikes()),
+            "gaps": len(self.gaps()),
+        }
+
+    # ------------------------------------------------------------------
+    # interactive what-if (the paper's drag-a-bin exploration)
+    # ------------------------------------------------------------------
+
+    def with_bin_moved(self, task: str, new_start: int) -> "GanttChart":
+        """A new chart with one bin dragged to ``new_start``.
+
+        Raises :class:`ValidationError` when the move breaks a timing
+        constraint or resource exclusivity — the tool refuses an
+        illegal drag; power violations are allowed (they show up as
+        spikes, which is the point of the exploration).
+        """
+        moved = self.schedule.with_start(task, new_start)
+        report = check_time_valid(moved)
+        if not report.ok:
+            raise ValidationError(
+                f"cannot move {task!r} to t={new_start}: "
+                + report.violations[0].detail)
+        return GanttChart(schedule=moved, p_max=self.p_max,
+                          p_min=self.p_min, baseline=self.baseline,
+                          title=self.title)

@@ -1,0 +1,22 @@
+"""Problem/schedule persistence: JSON documents and a text DSL."""
+
+from .chart_json import chart_to_dict, save_chart
+from .dsl import load_problem_dsl, parse_problem
+from .json_io import (load_problem, load_schedule, problem_from_dict,
+                      problem_to_dict, save_problem, save_schedule,
+                      schedule_from_dict, schedule_to_dict)
+
+__all__ = [
+    "chart_to_dict",
+    "save_chart",
+    "load_problem",
+    "load_problem_dsl",
+    "load_schedule",
+    "parse_problem",
+    "problem_from_dict",
+    "problem_to_dict",
+    "save_problem",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

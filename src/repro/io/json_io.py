@@ -1,0 +1,178 @@
+"""JSON serialization for problems, schedules, and results.
+
+The on-disk format is a stable, versioned, human-inspectable document:
+
+.. code-block:: json
+
+    {
+      "format": "repro-problem",
+      "version": 1,
+      "name": "demo",
+      "p_max": 16.0, "p_min": 14.0, "baseline": 0.0,
+      "resources": [{"name": "A", "idle_power": 0.0, "kind": "generic"}],
+      "tasks": [{"name": "a", "duration": 5, "power": 7.0,
+                 "resource": "A"}],
+      "edges": [{"src": "a", "dst": "d", "weight": 5, "tag": "user"}]
+    }
+
+Only *user* edges are serialized from problems (scheduler decorations
+are derived state); schedule documents carry plain start-time maps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.graph import ConstraintGraph
+from ..core.problem import SchedulingProblem
+from ..core.resource import Resource
+from ..core.schedule import Schedule
+from ..core.task import ANCHOR_NAME
+from ..errors import SerializationError
+
+__all__ = ["problem_to_dict", "problem_from_dict", "save_problem",
+           "load_problem", "schedule_to_dict", "schedule_from_dict",
+           "save_schedule", "load_schedule"]
+
+_PROBLEM_FORMAT = "repro-problem"
+_SCHEDULE_FORMAT = "repro-schedule"
+_VERSION = 1
+
+
+def problem_to_dict(problem: SchedulingProblem,
+                    include_derived_edges: bool = False) \
+        -> "dict[str, Any]":
+    """Serialize a problem to a plain dict."""
+    graph = problem.graph
+    edges = []
+    for edge in graph.edges():
+        if not include_derived_edges and edge.tag != "user":
+            continue
+        edges.append({"src": edge.src, "dst": edge.dst,
+                      "weight": edge.weight, "tag": edge.tag})
+    return {
+        "format": _PROBLEM_FORMAT,
+        "version": _VERSION,
+        "name": problem.name,
+        "p_max": problem.p_max,
+        "p_min": problem.p_min,
+        "baseline": problem.baseline,
+        "meta": dict(problem.meta),
+        "resources": [
+            {"name": res.name, "idle_power": res.idle_power,
+             "kind": res.kind}
+            for res in graph.resources],
+        "tasks": [
+            {"name": task.name, "duration": task.duration,
+             "power": task.power, "resource": task.resource,
+             "meta": dict(task.meta)}
+            for task in graph.tasks()],
+        "edges": edges,
+    }
+
+
+def problem_from_dict(data: "dict[str, Any]") -> SchedulingProblem:
+    """Rebuild a problem from its dict form."""
+    _expect_format(data, _PROBLEM_FORMAT)
+    graph = ConstraintGraph(data.get("name", "problem"))
+    try:
+        for res in data.get("resources", []):
+            graph.declare_resource(Resource(
+                name=res["name"],
+                idle_power=res.get("idle_power", 0.0),
+                kind=res.get("kind", "generic")))
+        for task in data["tasks"]:
+            graph.new_task(task["name"], duration=task["duration"],
+                           power=task.get("power", 0.0),
+                           resource=task.get("resource"),
+                           meta=task.get("meta") or {})
+        for edge in data.get("edges", []):
+            src = edge.get("src", ANCHOR_NAME)
+            dst = edge["dst"]
+            graph.add_edge(src, dst, edge["weight"],
+                           tag=edge.get("tag", "user"))
+        return SchedulingProblem(
+            graph=graph,
+            p_max=data["p_max"],
+            p_min=data.get("p_min", 0.0),
+            baseline=data.get("baseline", 0.0),
+            name=data.get("name", graph.name),
+            meta=data.get("meta") or {})
+    except KeyError as exc:
+        raise SerializationError(
+            f"problem document is missing field {exc}") from exc
+
+
+def schedule_to_dict(schedule: Schedule,
+                     problem_name: str = "") -> "dict[str, Any]":
+    """Serialize a schedule (start times only)."""
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "version": _VERSION,
+        "problem": problem_name or schedule.graph.name,
+        "makespan": schedule.makespan,
+        "starts": schedule.as_dict(),
+    }
+
+
+def schedule_from_dict(data: "dict[str, Any]",
+                       graph: ConstraintGraph) -> Schedule:
+    """Rebuild a schedule against a compatible graph."""
+    _expect_format(data, _SCHEDULE_FORMAT)
+    try:
+        return Schedule(graph, data["starts"])
+    except KeyError as exc:
+        raise SerializationError(
+            f"schedule document is missing field {exc}") from exc
+
+
+def save_problem(problem: SchedulingProblem, path: str) -> str:
+    """Write a problem JSON file; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(problem_to_dict(problem), handle, indent=2,
+                  sort_keys=True)
+    return path
+
+
+def load_problem(path: str) -> SchedulingProblem:
+    """Read a problem JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"{path} is not valid JSON: {exc}") from exc
+    return problem_from_dict(data)
+
+
+def save_schedule(schedule: Schedule, path: str,
+                  problem_name: str = "") -> str:
+    """Write a schedule JSON file; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(schedule_to_dict(schedule, problem_name), handle,
+                  indent=2, sort_keys=True)
+    return path
+
+
+def load_schedule(path: str, graph: ConstraintGraph) -> Schedule:
+    """Read a schedule JSON file against a compatible graph."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"{path} is not valid JSON: {exc}") from exc
+    return schedule_from_dict(data, graph)
+
+
+def _expect_format(data: "dict[str, Any]", expected: str) -> None:
+    found = data.get("format")
+    if found != expected:
+        raise SerializationError(
+            f"expected a {expected!r} document, found {found!r}")
+    version = data.get("version", 0)
+    if version > _VERSION:
+        raise SerializationError(
+            f"document version {version} is newer than supported "
+            f"({_VERSION})")

@@ -1,0 +1,56 @@
+"""The Mars rover case study (paper Sections 3 and 6).
+
+Everything needed to reproduce Tables 1-4 and Figs. 8-11: the rover's
+constraint-graph model, the decaying-solar mission environment, the
+JPL-serial and power-aware policies, and the mission simulator that
+compares them.
+"""
+
+from .baselines import (AdaptivePolicy, IterationPlan, JPLPolicy,
+                        MissionPolicy, PowerAwarePolicy)
+from .environment import MissionEnvironment, paper_mission_environment
+from .heating_synthesis import (SynthesisOutcome, strip_heating,
+                                synthesize_heating)
+from .rover import (BATTERY_MAX_POWER, HEAT_MAX_LEAD, HEAT_MIN_LEAD,
+                    POWER_TABLE, STEP_CM, CasePowers, MarsRover,
+                    SolarCase)
+from .simulator import (IterationRecord, MissionReport, MissionSimulator,
+                        PhaseRow, compare_reports)
+from .thermal import (ThermalParams, ThermalViolation, check_thermal,
+                      feasible_lead_window, motor_temperature)
+from .uav import LegRecord, SolarUav, UavConfig, UavMissionReport
+
+__all__ = [
+    "AdaptivePolicy",
+    "LegRecord",
+    "SynthesisOutcome",
+    "ThermalParams",
+    "ThermalViolation",
+    "check_thermal",
+    "feasible_lead_window",
+    "motor_temperature",
+    "strip_heating",
+    "synthesize_heating",
+    "SolarUav",
+    "UavConfig",
+    "UavMissionReport",
+    "BATTERY_MAX_POWER",
+    "CasePowers",
+    "HEAT_MAX_LEAD",
+    "HEAT_MIN_LEAD",
+    "IterationPlan",
+    "IterationRecord",
+    "JPLPolicy",
+    "MarsRover",
+    "MissionEnvironment",
+    "MissionPolicy",
+    "MissionReport",
+    "MissionSimulator",
+    "PhaseRow",
+    "POWER_TABLE",
+    "PowerAwarePolicy",
+    "STEP_CM",
+    "SolarCase",
+    "compare_reports",
+    "paper_mission_environment",
+]

@@ -1,0 +1,58 @@
+"""Mission environment: time-varying solar supply and operating case.
+
+The paper's Table 4 scenario: the mission starts at maximum solar power
+(14.9 W), drops to 12 W after 10 minutes, and falls to the 9 W worst
+case 10 minutes later.  Temperature — and therefore the power draw of
+every rover subsystem — tracks the sunlight, so the operating
+:class:`~repro.mission.rover.SolarCase` is a function of the current
+solar level.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..power.battery import Battery, IdealBattery
+from ..power.solar import SolarModel, StepSolar
+from .rover import POWER_TABLE, SolarCase
+
+__all__ = ["MissionEnvironment", "paper_mission_environment"]
+
+
+class MissionEnvironment:
+    """Solar trace + case mapping + (optional) battery state."""
+
+    def __init__(self, solar: SolarModel,
+                 battery: "Battery | None" = None):
+        self.solar = solar
+        self.battery = battery if battery is not None \
+            else IdealBattery(capacity=float("inf"), max_power=10.0)
+
+    def solar_at(self, t: float) -> float:
+        """Solar output in watts at mission time ``t``."""
+        return self.solar.power(t)
+
+    def case_at(self, t: float) -> SolarCase:
+        """The operating case whose nominal solar level is nearest the
+        current output (temperature tracks sunlight intensity)."""
+        level = self.solar_at(t)
+        return min(POWER_TABLE,
+                   key=lambda case: abs(POWER_TABLE[case].solar - level))
+
+    def constraints_at(self, t: float) -> "tuple[float, float]":
+        """``(P_max, P_min)`` the scheduler sees at mission time ``t``."""
+        level = self.solar_at(t)
+        return level + self.battery.max_power, level
+
+    def __repr__(self) -> str:
+        return f"MissionEnvironment({self.solar!r}, {self.battery!r})"
+
+
+def paper_mission_environment(battery_capacity: float = float("inf")) \
+        -> MissionEnvironment:
+    """The Table 4 scenario: 14.9 W -> 12 W @ 600 s -> 9 W @ 1200 s."""
+    if battery_capacity <= 0:
+        raise ReproError(
+            f"battery capacity must be positive, got {battery_capacity}")
+    return MissionEnvironment(
+        solar=StepSolar.paper_mission(),
+        battery=IdealBattery(capacity=battery_capacity, max_power=10.0))

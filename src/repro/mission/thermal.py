@@ -1,0 +1,181 @@
+"""First-order thermal model for the rover's motors.
+
+Table 1 *asserts* the heating windows — "at least 5 s, at most 50 s
+before steering/driving" — as given timing constraints.  Physically
+they encode a thermal requirement: a motor must be above its minimum
+operating temperature when driven, heaters warm it up over a few
+seconds, and on the -80 C Martian surface it cools back down within a
+minute.  This module supplies that physics as a first-order (RC)
+model:
+
+* while a heater runs, the motor temperature rises exponentially
+  toward ``heated_temperature`` with time constant ``heat_tau``;
+* otherwise it decays exponentially toward ``ambient`` with time
+  constant ``cool_tau``.
+
+With the default calibration the *feasible lead times* of a heater
+firing before the 10 s driving operation come out as exactly the
+paper's [5, 50] s window — the lower edge because the heater occupies
+the motor (an operation cannot start until its 5 s firing completes),
+the upper edge because the motor cools back below the operating
+threshold ~55 s after the firing ends.  The 5 s steering operation
+projects to [5, 55], within 10 % of the paper's rounded common window.
+Table 1's windows are thus the constraint-graph *projection* of this
+model; ``tests/test_thermal.py`` asserts the derivation.
+
+Beyond validating the reconstruction, :func:`check_thermal` verifies
+any rover schedule directly against the physics (rather than the
+projected windows), which catches schedules that satisfy the
+constraint graph only degenerately.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.schedule import Schedule
+from ..errors import ReproError
+
+__all__ = ["ThermalParams", "motor_temperature", "feasible_lead_window",
+           "ThermalViolation", "check_thermal"]
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """First-order thermal constants (degrees Celsius / seconds).
+
+    Defaults are calibrated so the feasible heater-lead window of a
+    5 s firing is exactly [5, 50] s at the worst-case (-80 C) ambient —
+    the Table 1 constraint.
+    """
+
+    ambient: float = -80.0
+    heated_temperature: float = 40.0
+    operating_threshold: float = -45.0
+    heat_tau: float = 1.8
+    cool_tau: float = 47.5
+
+    def __post_init__(self) -> None:
+        if self.heat_tau <= 0 or self.cool_tau <= 0:
+            raise ReproError("thermal time constants must be positive")
+        if not self.ambient < self.operating_threshold \
+                < self.heated_temperature:
+            raise ReproError(
+                "need ambient < operating threshold < heated "
+                "temperature")
+
+
+def motor_temperature(params: ThermalParams,
+                      heat_intervals: "list[tuple[int, int]]",
+                      t: float) -> float:
+    """Motor temperature at time ``t`` given past heater firings.
+
+    Piecewise integration of the two exponentials from ``ambient`` at
+    time 0 through every (start, end) heater interval before ``t``.
+    """
+    temp = params.ambient
+    clock = 0.0
+    for start, end in sorted(heat_intervals):
+        if start >= t:
+            break
+        # cool from `clock` to `start`
+        temp = _decay(temp, params.ambient, start - clock,
+                      params.cool_tau)
+        heat_until = min(end, t)
+        temp = _decay(temp, params.heated_temperature,
+                      heat_until - start, params.heat_tau)
+        clock = heat_until
+        if end >= t:
+            return temp
+    return _decay(temp, params.ambient, t - clock, params.cool_tau)
+
+
+def _decay(value: float, target: float, dt: float, tau: float) -> float:
+    if dt <= 0:
+        return value
+    return target + (value - target) * math.exp(-dt / tau)
+
+
+def feasible_lead_window(params: ThermalParams, heat_duration: int,
+                         op_duration: int, horizon: int = 200,
+                         op_blocks_heating: bool = True) \
+        -> "tuple[int, int]":
+    """The integer lead times (heater start to operation start) for
+    which the motor stays above threshold through the *whole*
+    operation.
+
+    With ``op_blocks_heating`` (default) leads shorter than the firing
+    itself are infeasible — a motor cannot be driven while its heater
+    runs, which is what puts the paper's lower edge at the 5 s heater
+    duration.  Returns ``(min_lead, max_lead)``; raises when no lead
+    works.
+    """
+    feasible = []
+    start_lead = heat_duration if op_blocks_heating else 0
+    for lead in range(start_lead, horizon + 1):
+        ok = True
+        for offset in range(op_duration + 1):
+            t = lead + offset
+            temp = motor_temperature(params, [(0, heat_duration)], t)
+            if temp < params.operating_threshold:
+                ok = False
+                break
+        if ok:
+            feasible.append(lead)
+    if not feasible:
+        raise ReproError(
+            "no heater lead time keeps the motor warm through the "
+            "operation — heater too weak for this calibration")
+    return min(feasible), max(feasible)
+
+
+@dataclass(frozen=True)
+class ThermalViolation:
+    """A motor operation executed below the operating threshold."""
+
+    task: str
+    time: int
+    temperature: float
+
+    def __repr__(self) -> str:
+        return (f"{self.task} at t={self.time}: "
+                f"{self.temperature:.1f} C below threshold")
+
+
+def check_thermal(schedule: Schedule,
+                  params: "ThermalParams | None" = None) \
+        -> "list[ThermalViolation]":
+    """Verify a rover schedule against the physics directly.
+
+    Uses the rover model's task metadata: ``heat`` tasks warm either
+    the steering or the driving motors; ``steer``/``drive`` tasks
+    require their motor group to be at or above the operating
+    threshold for their entire execution.  Returns all violations
+    (empty == thermally sound).
+    """
+    params = params or ThermalParams()
+    graph = schedule.graph
+    heats: "dict[str, list[tuple[int, int]]]" = {"steering": [],
+                                                 "driving": []}
+    for task in graph.tasks():
+        if task.meta.get("kind") == "heat":
+            warms = task.meta.get("warms")
+            if warms in heats:
+                heats[warms].append((schedule.start(task.name),
+                                     schedule.finish(task.name)))
+    violations = []
+    for task in graph.tasks():
+        kind = task.meta.get("kind")
+        group = {"steer": "steering", "drive": "driving"}.get(kind)
+        if group is None:
+            continue
+        start = schedule.start(task.name)
+        for offset in range(task.duration + 1):
+            t = start + offset
+            temp = motor_temperature(params, heats[group], t)
+            if temp < params.operating_threshold:
+                violations.append(ThermalViolation(
+                    task=task.name, time=t, temperature=temp))
+                break
+    return violations

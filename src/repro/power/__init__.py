@@ -1,0 +1,41 @@
+"""Power sources and energy accounting.
+
+Models the Mars rover's supply side: a solar panel whose output is free
+but unstorable, and a non-rechargeable battery with a hard output cap.
+The :class:`PowerSystem` composition turns these into the ``(P_max,
+P_min)`` constraints the schedulers consume, and the accounting helpers
+split a schedule's energy into free vs costly portions.
+"""
+
+from .accounting import (EnergySplit, split_energy,
+                         split_energy_against_solar)
+from .battery import (Battery, BatteryDepletedError, IdealBattery,
+                      RateCapacityBattery)
+from .shutdown import (AlwaysOn, IdleInterval, OracleShutdown,
+                       ShutdownPolicy, TimeoutShutdown,
+                       idle_energy_report, idle_intervals)
+from .solar import ConstantSolar, DiurnalSolar, SolarModel, StepSolar
+from .supply import AbsorbReport, PowerSystem
+
+__all__ = [
+    "AbsorbReport",
+    "AlwaysOn",
+    "Battery",
+    "BatteryDepletedError",
+    "ConstantSolar",
+    "DiurnalSolar",
+    "EnergySplit",
+    "IdealBattery",
+    "IdleInterval",
+    "OracleShutdown",
+    "PowerSystem",
+    "RateCapacityBattery",
+    "ShutdownPolicy",
+    "SolarModel",
+    "StepSolar",
+    "TimeoutShutdown",
+    "idle_energy_report",
+    "idle_intervals",
+    "split_energy",
+    "split_energy_against_solar",
+]

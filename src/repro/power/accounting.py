@@ -1,0 +1,77 @@
+"""Stand-alone energy accounting helpers.
+
+These functions reproduce the paper's energy bookkeeping without
+requiring a stateful battery object: given a consumed-power profile and
+a free-power level (or solar model), they split energy into free-used,
+free-wasted and battery-drawn portions.  They are the reference
+implementation the metrics module and the mission simulator are tested
+against (two independent code paths computing ``Ec`` and ``rho`` must
+agree — a useful invariant for property-based tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.profile import PowerProfile
+from .solar import ConstantSolar, SolarModel
+
+__all__ = ["EnergySplit", "split_energy", "split_energy_against_solar"]
+
+
+@dataclass(frozen=True)
+class EnergySplit:
+    """Energy totals over a profile against a free-power supply."""
+
+    consumed: float
+    free_used: float
+    free_wasted: float
+    battery_drawn: float
+
+    @property
+    def free_available(self) -> float:
+        return self.free_used + self.free_wasted
+
+    @property
+    def utilization(self) -> float:
+        """``rho``: free energy used / free energy available."""
+        if self.free_available <= 0:
+            return 1.0
+        return self.free_used / self.free_available
+
+    @property
+    def energy_cost(self) -> float:
+        """``Ec``: alias for the battery-drawn energy."""
+        return self.battery_drawn
+
+
+def split_energy(profile: PowerProfile, p_min: float) -> EnergySplit:
+    """Split a profile's energy against a constant free level."""
+    return split_energy_against_solar(profile, ConstantSolar(p_min))
+
+
+def split_energy_against_solar(profile: PowerProfile, solar: SolarModel,
+                               start_time: float = 0.0) -> EnergySplit:
+    """Split a profile's energy against a time-varying solar model.
+
+    The profile is assumed to begin at absolute mission time
+    ``start_time`` (the solar model is queried in mission time).
+    """
+    consumed = 0.0
+    free_used = 0.0
+    free_wasted = 0.0
+    battery = 0.0
+    for seg_start, seg_end, level in profile.segments:
+        t0 = start_time + seg_start
+        t1 = start_time + seg_end
+        points = [t0] + solar.breakpoints(t0, t1) + [t1]
+        for a, b in zip(points, points[1:]):
+            dt = b - a
+            solar_level = solar.power(a)
+            used = min(level, solar_level)
+            consumed += level * dt
+            free_used += used * dt
+            free_wasted += (solar_level - used) * dt
+            battery += max(level - solar_level, 0.0) * dt
+    return EnergySplit(consumed=consumed, free_used=free_used,
+                       free_wasted=free_wasted, battery_drawn=battery)

@@ -1,0 +1,158 @@
+"""Battery models — the *costly*, non-rechargeable power source.
+
+The Pathfinder rover's battery cannot be recharged, so every joule it
+supplies shortens the mission; the scheduler's energy cost
+``Ec_sigma(P_min)`` is exactly the battery draw.  The paper also
+motivates the min-power (jitter-control) constraint by battery health;
+to let the benchmarks quantify that, we provide a rate-dependent model
+alongside the ideal one.
+
+* :class:`IdealBattery` — fixed capacity, hard max output power, energy
+  drawn equals energy delivered.
+* :class:`RateCapacityBattery` — a simplified Peukert-style model where
+  delivering power above a rated level wastes extra charge
+  (``drawn = delivered * (1 + alpha * max(0, P/P_rated - 1))``).
+  Flatter power curves (lower jitter) therefore stretch real capacity,
+  which is the quantitative backing for the paper's jitter argument.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = ["Battery", "IdealBattery", "RateCapacityBattery",
+           "BatteryDepletedError"]
+
+
+class BatteryDepletedError(ReproError):
+    """Raised when a draw exceeds the remaining battery charge."""
+
+
+class Battery:
+    """Interface for non-rechargeable batteries."""
+
+    #: Hard limit on instantaneous output power (Table 2: 10 W max).
+    max_power: float
+
+    @property
+    def remaining(self) -> float:
+        """Remaining deliverable energy in joules (under rated draw)."""
+        raise NotImplementedError
+
+    def draw(self, power: float, duration: float) -> float:
+        """Deliver ``power`` watts for ``duration`` seconds.
+
+        Returns the charge actually consumed (>= delivered energy for
+        non-ideal models).  Raises :class:`BatteryDepletedError` when
+        the charge runs out and :class:`ReproError` when the request
+        exceeds ``max_power``.
+        """
+        raise NotImplementedError
+
+    def _check_request(self, power: float, duration: float) -> None:
+        if power < 0 or duration < 0:
+            raise ReproError(
+                f"invalid draw request ({power} W for {duration} s)")
+        if power > self.max_power + 1e-9:
+            raise ReproError(
+                f"draw of {power:g} W exceeds battery max output "
+                f"{self.max_power:g} W")
+
+
+class IdealBattery(Battery):
+    """Energy-conserving battery with a hard output-power cap."""
+
+    def __init__(self, capacity: float, max_power: float = 10.0):
+        if capacity < 0:
+            raise ReproError(f"capacity must be >= 0, got {capacity}")
+        if max_power < 0:
+            raise ReproError(f"max_power must be >= 0, got {max_power}")
+        self.capacity = capacity
+        self.max_power = max_power
+        self._used = 0.0
+
+    @property
+    def remaining(self) -> float:
+        return max(self.capacity - self._used, 0.0)
+
+    @property
+    def used(self) -> float:
+        """Charge consumed so far, in joules."""
+        return self._used
+
+    def draw(self, power: float, duration: float) -> float:
+        self._check_request(power, duration)
+        energy = power * duration
+        if energy > self.remaining + 1e-9:
+            raise BatteryDepletedError(
+                f"draw of {energy:g} J exceeds remaining charge "
+                f"{self.remaining:g} J")
+        self._used += energy
+        return energy
+
+    def __repr__(self) -> str:
+        return (f"IdealBattery({self.remaining:g}/{self.capacity:g} J, "
+                f"max {self.max_power:g} W)")
+
+
+class RateCapacityBattery(Battery):
+    """Battery whose efficiency drops above a rated output power.
+
+    Parameters
+    ----------
+    capacity:
+        Nominal charge in joules at or below the rated power.
+    max_power:
+        Hard limit on instantaneous output.
+    rated_power:
+        Output level up to which delivery is lossless.
+    alpha:
+        Penalty slope: delivering ``P > rated`` consumes
+        ``1 + alpha * (P / rated - 1)`` joules of charge per delivered
+        joule.  ``alpha = 0`` degenerates to :class:`IdealBattery`.
+    """
+
+    def __init__(self, capacity: float, max_power: float = 10.0,
+                 rated_power: float = 5.0, alpha: float = 0.5):
+        if capacity < 0:
+            raise ReproError(f"capacity must be >= 0, got {capacity}")
+        if rated_power <= 0:
+            raise ReproError(
+                f"rated_power must be > 0, got {rated_power}")
+        if alpha < 0:
+            raise ReproError(f"alpha must be >= 0, got {alpha}")
+        self.capacity = capacity
+        self.max_power = max_power
+        self.rated_power = rated_power
+        self.alpha = alpha
+        self._used = 0.0
+
+    @property
+    def remaining(self) -> float:
+        return max(self.capacity - self._used, 0.0)
+
+    @property
+    def used(self) -> float:
+        """Charge consumed so far (including rate losses), in joules."""
+        return self._used
+
+    def inefficiency(self, power: float) -> float:
+        """Charge consumed per delivered joule at an output level."""
+        if power <= self.rated_power:
+            return 1.0
+        return 1.0 + self.alpha * (power / self.rated_power - 1.0)
+
+    def draw(self, power: float, duration: float) -> float:
+        self._check_request(power, duration)
+        charge = power * duration * self.inefficiency(power)
+        if charge > self.remaining + 1e-9:
+            raise BatteryDepletedError(
+                f"draw of {charge:g} J charge exceeds remaining "
+                f"{self.remaining:g} J")
+        self._used += charge
+        return charge
+
+    def __repr__(self) -> str:
+        return (f"RateCapacityBattery({self.remaining:g}/"
+                f"{self.capacity:g} J, rated {self.rated_power:g} W, "
+                f"alpha={self.alpha:g})")

@@ -1,0 +1,150 @@
+"""Solar supply models — the *free* power source.
+
+The paper's power-awareness hinges on distinguishing free power (a solar
+panel whose output is lost if unused, because the battery is
+non-rechargeable) from costly power.  The solar level defines both the
+min power constraint ``P_min`` (use it greedily) and, together with the
+battery's max output, the max power constraint ``P_max``.
+
+Models:
+
+* :class:`ConstantSolar` — a fixed level (one temperature case).
+* :class:`StepSolar` — a piecewise-constant trace; the paper's mission
+  scenario is ``14.9 W -> 12 W at 600 s -> 9 W at 1200 s``.
+* :class:`DiurnalSolar` — a clamped half-sine day arc for longer
+  synthetic missions (dawn -> noon peak -> dusk), an extension beyond
+  the paper's three-point trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..errors import ReproError
+
+__all__ = ["SolarModel", "ConstantSolar", "StepSolar", "DiurnalSolar"]
+
+
+class SolarModel:
+    """Interface: instantaneous free power as a function of time."""
+
+    def power(self, t: float) -> float:
+        """Solar output in watts at absolute mission time ``t``."""
+        raise NotImplementedError
+
+    def breakpoints(self, t0: float, t1: float) -> "list[float]":
+        """Times in ``(t0, t1)`` where the output changes level.
+
+        Used by the energy ledger to integrate exactly over
+        piecewise-constant stretches.  Continuous models return a fine
+        sampling grid instead.
+        """
+        return []
+
+    def energy(self, t0: float, t1: float) -> float:
+        """Free energy available over ``[t0, t1]`` in joules."""
+        if t1 < t0:
+            raise ReproError(f"bad interval [{t0}, {t1}]")
+        points = [t0] + [p for p in self.breakpoints(t0, t1)] + [t1]
+        total = 0.0
+        for a, b in zip(points, points[1:]):
+            total += self.power(a) * (b - a)
+        return total
+
+
+class ConstantSolar(SolarModel):
+    """A fixed solar output (one temperature case of Table 2)."""
+
+    def __init__(self, level: float):
+        if level < 0:
+            raise ReproError(f"solar level must be >= 0, got {level}")
+        self.level = level
+
+    def power(self, t: float) -> float:
+        return self.level
+
+    def __repr__(self) -> str:
+        return f"ConstantSolar({self.level:g} W)"
+
+
+class StepSolar(SolarModel):
+    """A piecewise-constant solar trace.
+
+    ``steps`` is an iterable of ``(start_time, level)`` pairs; the level
+    holds from its start time until the next step (the last level holds
+    forever).  The first start time must be 0.
+    """
+
+    def __init__(self, steps: "Iterable[tuple[float, float]]"):
+        self.steps = sorted(steps)
+        if not self.steps:
+            raise ReproError("StepSolar needs at least one step")
+        if self.steps[0][0] != 0:
+            raise ReproError(
+                f"first step must start at t=0, got {self.steps[0][0]}")
+        for t, level in self.steps:
+            if level < 0:
+                raise ReproError(f"negative solar level {level} at t={t}")
+
+    def power(self, t: float) -> float:
+        level = self.steps[0][1]
+        for start, value in self.steps:
+            if start <= t:
+                level = value
+            else:
+                break
+        return level
+
+    def breakpoints(self, t0: float, t1: float) -> "list[float]":
+        return [start for start, _ in self.steps if t0 < start < t1]
+
+    @staticmethod
+    def paper_mission() -> "StepSolar":
+        """The Table 4 scenario trace: 14.9 W, then 12 W at 600 s, then
+        9 W at 1200 s."""
+        return StepSolar([(0, 14.9), (600, 12.0), (1200, 9.0)])
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{t:g}s:{lvl:g}W" for t, lvl in self.steps)
+        return f"StepSolar({body})"
+
+
+class DiurnalSolar(SolarModel):
+    """A half-sine day arc: 0 at dawn/dusk, ``peak`` at noon.
+
+    ``power(t) = peak * sin(pi * (t - dawn) / (dusk - dawn))`` clamped
+    at 0 outside daylight.  ``resolution`` controls the integration grid
+    of :meth:`breakpoints`.
+    """
+
+    def __init__(self, peak: float, dawn: float = 0.0,
+                 dusk: float = 36_000.0, resolution: float = 60.0):
+        if peak < 0:
+            raise ReproError(f"peak must be >= 0, got {peak}")
+        if dusk <= dawn:
+            raise ReproError("dusk must be after dawn")
+        if resolution <= 0:
+            raise ReproError("resolution must be positive")
+        self.peak = peak
+        self.dawn = dawn
+        self.dusk = dusk
+        self.resolution = resolution
+
+    def power(self, t: float) -> float:
+        if t <= self.dawn or t >= self.dusk:
+            return 0.0
+        phase = (t - self.dawn) / (self.dusk - self.dawn)
+        return self.peak * math.sin(math.pi * phase)
+
+    def breakpoints(self, t0: float, t1: float) -> "list[float]":
+        points = []
+        t = math.floor(t0 / self.resolution + 1) * self.resolution
+        while t < t1:
+            points.append(t)
+            t += self.resolution
+        return points
+
+    def __repr__(self) -> str:
+        return (f"DiurnalSolar(peak={self.peak:g} W, "
+                f"daylight=[{self.dawn:g}, {self.dusk:g}] s)")

@@ -1,0 +1,124 @@
+"""The hybrid power system: solar panel + non-rechargeable battery.
+
+Combines a :class:`~repro.power.solar.SolarModel` and a
+:class:`~repro.power.battery.Battery` into the environment the
+schedulers see:
+
+* ``P_max(t) = solar(t) + battery.max_power`` — the hard supply budget
+  ("the max power constraint is equal to the available solar power plus
+  10 W maximum battery power output"),
+* ``P_min(t) = solar(t)`` — the free level to utilize greedily.
+
+:meth:`PowerSystem.constraints_at` snapshots both for a scheduling run;
+:meth:`PowerSystem.absorb` runs a consumed power profile against the
+system, drawing the battery for the portion above solar and reporting
+how much free energy was used vs wasted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.profile import PowerProfile
+from ..errors import ReproError
+from .battery import Battery
+from .solar import SolarModel
+
+__all__ = ["PowerSystem", "AbsorbReport"]
+
+
+@dataclass
+class AbsorbReport:
+    """Energy bookkeeping from running a profile against the supply."""
+
+    duration: float
+    consumed: float
+    free_used: float
+    free_wasted: float
+    battery_delivered: float
+    battery_charge_used: float
+
+    @property
+    def free_available(self) -> float:
+        return self.free_used + self.free_wasted
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of free energy absorbed (the paper's rho)."""
+        if self.free_available <= 0:
+            return 1.0
+        return self.free_used / self.free_available
+
+
+class PowerSystem:
+    """A solar panel and a battery feeding one load bus."""
+
+    def __init__(self, solar: SolarModel, battery: Battery):
+        self.solar = solar
+        self.battery = battery
+
+    # ------------------------------------------------------------------
+
+    def p_max(self, t: float) -> float:
+        """Hard supply budget at mission time ``t``."""
+        return self.solar.power(t) + self.battery.max_power
+
+    def p_min(self, t: float) -> float:
+        """Free power level at mission time ``t``."""
+        return self.solar.power(t)
+
+    def constraints_at(self, t: float) -> "tuple[float, float]":
+        """``(P_max, P_min)`` snapshot for a scheduling run at ``t``."""
+        return self.p_max(t), self.p_min(t)
+
+    # ------------------------------------------------------------------
+
+    def absorb(self, profile: PowerProfile, start_time: float = 0.0) \
+            -> AbsorbReport:
+        """Execute a consumed-power profile starting at ``start_time``.
+
+        Splits each stretch of constant consumption and constant solar
+        output: consumption up to the solar level is free; the excess is
+        drawn from the battery (raising
+        :class:`~repro.power.battery.BatteryDepletedError` when empty
+        and :class:`ReproError` when the excess exceeds the battery's
+        max output — i.e. the profile was not power-valid for this
+        supply).
+        """
+        consumed = 0.0
+        free_used = 0.0
+        free_wasted = 0.0
+        delivered = 0.0
+        charge = 0.0
+        for seg_start, seg_end, level in profile.segments:
+            t0 = start_time + seg_start
+            t1 = start_time + seg_end
+            points = [t0] + self.solar.breakpoints(t0, t1) + [t1]
+            for a, b in zip(points, points[1:]):
+                dt = b - a
+                solar_level = self.solar.power(a)
+                used = min(level, solar_level)
+                excess = max(level - solar_level, 0.0)
+                consumed += level * dt
+                free_used += used * dt
+                free_wasted += (solar_level - used) * dt
+                if excess > 0:
+                    if excess > self.battery.max_power + 1e-9:
+                        raise ReproError(
+                            f"profile draws {excess:g} W above solar at "
+                            f"t={a:g}, exceeding battery max "
+                            f"{self.battery.max_power:g} W — the "
+                            "schedule is not power-valid for this supply")
+                    charge += self.battery.draw(excess, dt)
+                    delivered += excess * dt
+        return AbsorbReport(
+            duration=profile.horizon,
+            consumed=consumed,
+            free_used=free_used,
+            free_wasted=free_wasted,
+            battery_delivered=delivered,
+            battery_charge_used=charge,
+        )
+
+    def __repr__(self) -> str:
+        return f"PowerSystem({self.solar!r}, {self.battery!r})"

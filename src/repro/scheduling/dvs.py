@@ -1,0 +1,192 @@
+"""Variable-voltage (DVS) CPU scheduling — the related-work baseline.
+
+Section 2 of the paper contrasts its approach with real-time DVS
+schedulers (Okuma/Ishihara/Yasuura-style): "the idea is to save power
+by slowing down the processor just enough to meet the deadlines", and
+criticizes them on two counts — *"they are CPU schedulers that minimize
+CPU power, whereas our power managers control subsystems and task
+executions"*, and *"these schedulers do not handle constraints on
+power"*.  To make that comparison measurable instead of rhetorical,
+this module implements the classic baseline:
+
+* one CPU; non-preemptive jobs in earliest-deadline-first order;
+* a discrete frequency ladder; each job runs at the **slowest**
+  frequency that keeps every remaining deadline feasible (checked at
+  full speed), the standard greedy slack-reclamation rule;
+* at frequency ``f``: duration stretches by ``1/f``, instantaneous
+  power scales by ``f^3`` (P ~ f V^2 with V ~ f), so energy scales by
+  ``f^2`` — the quadratic saving that motivates DVS.
+
+Crucially — and faithfully to the critique — the DVS scheduler only
+*controls the CPU*.  Tasks on any other resource (motors, heaters,
+radios) are treated as a given: they execute at their ASAP times, and
+the CPU plan is laid obliviously on top.  The benchmark
+(`bench_dvs_comparison.py`) shows both sides of the paper's argument:
+DVS genuinely wins on CPU energy, and genuinely violates a system-level
+``P_max`` that the power-aware scheduler honours.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.graph import ConstraintGraph
+from ..core.longest_path import longest_paths
+from ..core.problem import SchedulingProblem
+from ..core.schedule import Schedule
+from ..core.task import ANCHOR_NAME, Task
+from ..errors import ReproError, SchedulingFailure
+from .base import ScheduleResult, SchedulerStats, make_result
+
+__all__ = ["DvsScheduler", "dvs_schedule", "CPU_RESOURCE"]
+
+#: The resource name the DVS scheduler controls.
+CPU_RESOURCE = "cpu"
+
+
+class DvsScheduler:
+    """EDF + greedy slowdown on one CPU; everything else is a given."""
+
+    def __init__(self, frequencies: "tuple[float, ...]" =
+                 (1.0, 0.75, 0.5, 0.25)):
+        freqs = sorted(set(frequencies), reverse=True)
+        if not freqs or freqs[0] != 1.0:
+            raise ReproError(
+                "the frequency ladder must include full speed (1.0)")
+        if any(not 0 < f <= 1 for f in freqs):
+            raise ReproError(
+                f"frequencies must lie in (0, 1], got {frequencies}")
+        self.frequencies = tuple(freqs)
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: SchedulingProblem) -> ScheduleResult:
+        """Produce the DVS schedule.
+
+        CPU tasks (resource == ``"cpu"``) need a start deadline (a max
+        separation from the anchor) or inherit a default horizon; they
+        may not have constraints among themselves beyond deadlines —
+        the classic independent-jobs model.  Non-CPU tasks are placed
+        at their ASAP times, untouched.
+
+        Returns a result whose graph carries the *scaled* CPU tasks
+        (stretched duration, cubic-law power) so profiles and metrics
+        are directly comparable with the other schedulers;
+        ``extra["frequencies"]`` records the chosen ladder rungs.
+        """
+        graph = problem.graph
+        cpu_jobs = [t for t in graph.tasks()
+                    if t.resource == CPU_RESOURCE]
+        if not cpu_jobs:
+            raise SchedulingFailure(
+                "DVS baseline needs at least one task on resource "
+                f"{CPU_RESOURCE!r}")
+        for job in cpu_jobs:
+            for edge in graph.out_edges(job.name):
+                if edge.dst != ANCHOR_NAME:
+                    raise SchedulingFailure(
+                        "DVS baseline handles independent deadline-"
+                        f"driven CPU jobs; {job.name!r} has a "
+                        f"constraint toward {edge.dst!r}")
+
+        asap = longest_paths(graph).distance
+        horizon = sum(t.duration for t in graph.tasks()) + max(
+            (asap[name] for name in graph.task_names()), default=0)
+        deadlines = {job.name: self._deadline(graph, job, horizon)
+                     for job in cpu_jobs}
+        order = sorted(cpu_jobs,
+                       key=lambda j: (deadlines[j.name], j.name))
+
+        chosen: "dict[str, float]" = {}
+        starts: "dict[str, int]" = {}
+        t = min(asap[j.name] for j in order)
+        for index, job in enumerate(order):
+            t = max(t, asap[job.name])
+            freq = self._slowest_feasible(order, index, t, deadlines)
+            if freq is None:
+                raise SchedulingFailure(
+                    f"DVS cannot meet the deadline of {job.name!r} "
+                    "even at full speed")
+            chosen[job.name] = freq
+            starts[job.name] = t
+            t += self._stretched(job.duration, freq)
+
+        scaled_graph, schedule = self._materialize(
+            problem, chosen, starts)
+        result = make_result(
+            SchedulingProblem(graph=scaled_graph, p_max=problem.p_max,
+                              p_min=problem.p_min,
+                              baseline=problem.baseline,
+                              name=f"{problem.name}-dvs"),
+            schedule, stats=SchedulerStats(), stage="dvs")
+        result.extra["frequencies"] = dict(chosen)
+        result.extra["graph"] = scaled_graph
+        return result
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _deadline(graph: ConstraintGraph, job: Task,
+                  horizon: int) -> int:
+        """The job's *finish* deadline: start deadline + duration, or
+        the horizon when unconstrained."""
+        bound = graph.separation(job.name, ANCHOR_NAME)
+        if bound is None:
+            return horizon
+        return -bound + job.duration
+
+    @staticmethod
+    def _stretched(duration: int, freq: float) -> int:
+        return max(1, math.ceil(duration / freq))
+
+    def _slowest_feasible(self, order, index, t, deadlines) \
+            -> "float | None":
+        """Slowest rung for job ``index`` starting at ``t`` such that it
+        and every later job (at full speed) still meet their
+        deadlines."""
+        job = order[index]
+        for freq in reversed(self.frequencies):  # slowest first
+            finish = t + self._stretched(job.duration, freq)
+            if finish > deadlines[job.name]:
+                continue
+            clock = finish
+            ok = True
+            for later in order[index + 1:]:
+                clock += later.duration  # full speed
+                if clock > deadlines[later.name]:
+                    ok = False
+                    break
+            if ok:
+                return freq
+        return None
+
+    def _materialize(self, problem, chosen, starts) \
+            -> "tuple[ConstraintGraph, Schedule]":
+        """Build the scaled graph + the combined schedule (CPU jobs at
+        their DVS slots, everything else ASAP)."""
+        source = problem.graph
+        asap = longest_paths(source).distance
+        scaled = ConstraintGraph(source.name + "-dvs")
+        all_starts: "dict[str, int]" = {}
+        for task in source.tasks():
+            if task.name in chosen:
+                freq = chosen[task.name]
+                scaled.add_task(Task(
+                    name=task.name,
+                    duration=self._stretched(task.duration, freq),
+                    power=round(task.power * freq ** 3, 6),
+                    resource=task.resource,
+                    meta={**dict(task.meta), "dvs_freq": freq}))
+                all_starts[task.name] = starts[task.name]
+            else:
+                scaled.add_task(task)
+                all_starts[task.name] = asap[task.name]
+        return scaled, Schedule(scaled, all_starts)
+
+
+def dvs_schedule(problem: SchedulingProblem,
+                 frequencies: "tuple[float, ...]" = (1.0, 0.75, 0.5,
+                                                     0.25)) \
+        -> ScheduleResult:
+    """Convenience wrapper for :class:`DvsScheduler`."""
+    return DvsScheduler(frequencies=frequencies).solve(problem)

@@ -1,0 +1,78 @@
+"""Named heuristic presets for ablation studies.
+
+Section 5 of the paper motivates several heuristic choices without
+quantifying them individually; the ablation benchmark
+(``benchmarks/bench_ablation_heuristics.py``) runs the pipeline under
+these presets to measure each knob's contribution.  Presets are plain
+:class:`~repro.scheduling.base.SchedulerOptions` factories so they can
+also be used directly with any scheduler.
+"""
+
+from __future__ import annotations
+
+from .base import SchedulerOptions
+
+__all__ = ["PRESETS", "preset", "preset_names"]
+
+
+def _paper_default(seed: int) -> SchedulerOptions:
+    """All heuristics as published: slack ordering, duration-bounded
+    delays, multi-scan gap filling over all order/slot combinations."""
+    return SchedulerOptions(seed=seed)
+
+
+def _random_selection(seed: int) -> SchedulerOptions:
+    """Ablation of Section 5.2 case (1): replace slack-based victim
+    ordering with random selection."""
+    return SchedulerOptions(slack_ordering=False, seed=seed)
+
+
+def _unbounded_delay(seed: int) -> SchedulerOptions:
+    """Ablation: drop the delay-distance upper bound of one execution
+    time (delays jump straight past the spike)."""
+    return SchedulerOptions(delay_bound_by_duration=False, seed=seed)
+
+
+def _single_scan(seed: int) -> SchedulerOptions:
+    """Ablation of Section 5.3: a single forward gap-filling scan with
+    the start-at-gap slot rule (no multi-heuristic search)."""
+    return SchedulerOptions(min_power_scans=1,
+                            scan_orders=("forward",),
+                            slot_heuristics=("start_at_gap",),
+                            seed=seed)
+
+
+def _forward_only(seed: int) -> SchedulerOptions:
+    """Ablation: multi-scan but only forward time order."""
+    return SchedulerOptions(scan_orders=("forward",), seed=seed)
+
+
+def _random_slots(seed: int) -> SchedulerOptions:
+    """Ablation: gap filling with random slot placement only."""
+    return SchedulerOptions(slot_heuristics=("random",), seed=seed)
+
+
+PRESETS = {
+    "paper": _paper_default,
+    "random-selection": _random_selection,
+    "unbounded-delay": _unbounded_delay,
+    "single-scan": _single_scan,
+    "forward-only": _forward_only,
+    "random-slots": _random_slots,
+}
+
+
+def preset(name: str, seed: int = 2001) -> SchedulerOptions:
+    """Build the named preset's options."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    return factory(seed)
+
+
+def preset_names() -> "list[str]":
+    """All preset names, paper default first."""
+    return list(PRESETS)

@@ -1,0 +1,456 @@
+"""Max-power scheduler — the paper's Fig. 4 algorithm.
+
+Takes a time-valid schedule and eliminates every *power spike*
+(interval where the profile exceeds the hard budget ``P_max``) by
+delaying simultaneously-active tasks, guided by slack-based heuristics:
+
+1. at the earliest spike time ``t``, order the active tasks by slack
+   ``Delta_sigma`` and delay the largest-slack task first;
+2. bound each delay distance by the task's slack (when positive) and by
+   its execution time;
+3. when only zero-slack tasks remain, a delay cascades through the
+   graph (``reschedule`` in the paper): successors shift right via the
+   longest-path recomputation, and the remaining simultaneous tasks are
+   locked at their current start times so the repair stays local;
+4. on a dead end, backtrack and delay a different task first.
+
+Delays and locks are materialized as graph edges (release-time edges
+tagged ``"delay"``/``"lock"``), so the resulting schedule is always the
+plain ASAP solution of the decorated graph — time-validity is inherited
+from the constraint propagation rather than re-proved per move.
+
+Two quality extensions beyond the pseudo-code (both measurable via
+:class:`~repro.scheduling.base.SchedulerOptions` and the ablation
+bench):
+
+* **compaction** — a left-shift pass that relaxes scheduler-added delay
+  edges after the spikes are gone, reclaiming idle time the greedy
+  repair strands at the front of the schedule;
+* **multi-start** — the repair is restarted a few times with perturbed
+  tie-breaking (the paper's ordering is slack-based but ties are
+  unspecified), and the best schedule by (finish time, energy cost)
+  wins.
+
+Like the paper's algorithm this remains a *heuristic, bounded* search:
+it does not enumerate all partial orders, so in rare cases it can fail
+even though a valid schedule exists (the optimal-gap benchmark
+quantifies this).  It raises :class:`SchedulingFailure` in that case.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from ..core.graph import ConstraintGraph
+from ..core.problem import SchedulingProblem
+from ..core.profile import PowerProfile
+from ..core.schedule import Schedule
+from ..core.slack import slack
+from ..core.task import ANCHOR_NAME
+from ..errors import PositiveCycleError, SchedulingFailure
+from .base import ScheduleResult, SchedulerOptions, SchedulerStats, \
+    make_result
+from .timing import TimingScheduler, asap_schedule
+
+__all__ = ["MaxPowerScheduler", "max_power_schedule"]
+
+
+class MaxPowerScheduler:
+    """Slack-heuristic spike elimination (paper Fig. 4)."""
+
+    def __init__(self, options: "SchedulerOptions | None" = None):
+        self.options = options or SchedulerOptions()
+        self.stats = SchedulerStats()
+        self._salt: "dict[str, float]" = {}
+        self._rng = random.Random(self.options.seed)
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: SchedulingProblem) -> ScheduleResult:
+        """Produce a *valid* (time- and power-valid) schedule.
+
+        Runs the timing scheduler first (as the paper's algorithm
+        does), then removes spikes; with ``max_power_restarts > 1`` the
+        repair is retried under perturbed tie-breaking and the best
+        (finish time, energy cost) schedule is kept.  The returned
+        result has ``stage="max_power"`` and carries the decorated
+        graph in ``extra["graph"]``.
+        """
+        reasons = problem.feasible_power_check()
+        if reasons:
+            raise SchedulingFailure(
+                "problem is power-infeasible: " + "; ".join(reasons))
+        base_graph = problem.fresh_graph()
+        timing = TimingScheduler(self.options)
+        timing.schedule_graph(base_graph)  # adds serialization edges
+        self.stats = SchedulerStats()
+        self.stats.merge(timing.stats)
+
+        best: "tuple[tuple[float, float], Schedule, ConstraintGraph] | None" \
+            = None
+        failures: "list[str]" = []
+
+        def consider(schedule: Schedule, graph: ConstraintGraph) -> None:
+            nonlocal best
+            profile = PowerProfile.from_schedule(
+                schedule, baseline=problem.total_baseline)
+            key = (float(schedule.makespan),
+                   profile.energy_above(problem.p_min))
+            if best is None or key < best[0]:
+                best = (key, schedule, graph)
+
+        for variant in range(max(1, self.options.max_power_restarts)):
+            graph = base_graph.copy()
+            try:
+                schedule = self.eliminate_spikes(
+                    graph, problem.p_max, problem.total_baseline,
+                    variant=variant)
+            except SchedulingFailure as exc:
+                failures.append(str(exc))
+                continue
+            consider(schedule, graph)
+            if best is not None and variant == 0:
+                # The pure paper heuristic succeeded; further restarts
+                # only matter when we are still failing or when the
+                # caller asked for exploration.
+                if self.options.max_power_restarts == 1:
+                    break
+
+        if self.options.serial_fallback:
+            serial = self._serial_candidate(problem)
+            if serial is not None:
+                consider(*serial)
+
+        if best is None:
+            raise SchedulingFailure(
+                f"max-power scheduler could not eliminate all spikes of "
+                f"{problem.name!r} under P_max = {problem.p_max:g} W "
+                f"({len(failures)} attempt(s); first failure: "
+                f"{failures[0] if failures else 'n/a'})")
+        _, schedule, graph = best
+        result = make_result(problem, schedule, stats=self.stats,
+                             stage="max_power")
+        result.extra["graph"] = graph
+        return result
+
+    def _serial_candidate(self, problem: SchedulingProblem) \
+            -> "tuple[Schedule, ConstraintGraph] | None":
+        """The fully-serialized schedule as an extra candidate.
+
+        In tightly power-bounded regimes (the rover's worst case) the
+        best valid schedule *is* the serial one — the paper observes
+        that its worst-case power-aware schedule coincides with JPL's
+        serial schedule.  Greedy spike repair can strand idle time that
+        the serial packing avoids, so the serial schedule competes in
+        the candidate pool whenever it is power-valid.
+        """
+        from .serial import SerialScheduler  # local: avoid import cycle
+        import dataclasses
+        # The fallback is opportunistic: give it a small backtrack
+        # budget so a serialization-hostile instance (max windows that
+        # forbid a full serial order) fails fast instead of burning the
+        # caller's time.
+        options = dataclasses.replace(self.options, max_backtracks=200)
+        try:
+            result = SerialScheduler(options).solve(problem)
+        except SchedulingFailure:
+            return None
+        profile = PowerProfile.from_schedule(
+            result.schedule, baseline=problem.total_baseline)
+        if not profile.is_power_valid(problem.p_max):
+            return None
+        return result.schedule, result.extra["graph"]
+
+    # ------------------------------------------------------------------
+
+    def eliminate_spikes(self, graph: ConstraintGraph, p_max: float,
+                         baseline: float, variant: int = 0) -> Schedule:
+        """Remove every spike from the ASAP schedule of ``graph``.
+
+        The graph must already contain serialization edges (i.e. be the
+        output of the timing scheduler).  On success the graph has been
+        decorated with the delay/lock edges that realize the valid
+        schedule.  ``variant > 0`` perturbs heuristic tie-breaking
+        (multi-start).
+        """
+        self._attempts = self.options.max_spike_attempts
+        self._rng = random.Random((self.options.seed, variant).__hash__())
+        if variant == 0:
+            self._salt = {}
+        else:
+            self._salt = {name: self._rng.random()
+                          for name in graph.task_names()}
+        # One recursion level per spike; deep schedules need headroom
+        # beyond CPython's default limit.
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, 50_000))
+        try:
+            schedule = self._repair(graph, p_max, baseline)
+        finally:
+            sys.setrecursionlimit(limit)
+        if schedule is None:
+            raise SchedulingFailure(
+                f"max-power scheduler could not eliminate all spikes of "
+                f"{graph.name!r} under P_max = {p_max:g} W "
+                f"(attempt budget {self.options.max_spike_attempts})")
+        if self.options.compaction:
+            schedule = self.compact(graph, p_max, baseline)
+        return schedule
+
+    def _repair(self, graph: ConstraintGraph, p_max: float,
+                baseline: float) -> "Schedule | None":
+        """Recursive spike repair; None signals a failed branch."""
+        try:
+            schedule = asap_schedule(graph)
+        except PositiveCycleError:
+            return None
+        profile = PowerProfile.from_schedule(schedule, baseline=baseline)
+        spike = profile.first_spike(p_max)
+        if spike is None:
+            return schedule
+        if self._attempts <= 0:
+            return None
+
+        t = spike.start
+        candidates = self._ordered_active(schedule, t)
+        # Branch on which task is delayed *first*; the greedy inner loop
+        # handles the rest.  The first branch is the pure paper
+        # heuristic (largest slack first).
+        for lead in range(len(candidates)):
+            if self._attempts <= 0:
+                return None
+            self._attempts -= 1
+            self.stats.spike_attempts += 1
+            token = graph.checkpoint()
+            cleared = self._clear_time(graph, t, p_max, baseline,
+                                       prefer=candidates[lead])
+            if cleared:
+                self.stats.spikes_removed += 1
+                solved = self._repair(graph, p_max, baseline)
+                if solved is not None:
+                    return solved
+            graph.rollback(token)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _ordered_active(self, schedule: Schedule, t: int) -> "list[str]":
+        """Active tasks at ``t`` in heuristic delay order.
+
+        Paper heuristic: largest slack first (ties broken by smaller
+        power, then by name — or by the multi-start salt).  With
+        ``slack_ordering`` off (ablation), a seeded random order is
+        used instead.
+        """
+        names = [task.name for task in schedule.active_tasks(t)]
+        if not self.options.slack_ordering:
+            self._rng.shuffle(names)
+            return names
+        names.sort(key=lambda n: (-slack(schedule, n),
+                                  schedule.graph.task(n).power,
+                                  self._salt.get(n, 0.0), n))
+        return names
+
+    def _clear_time(self, graph: ConstraintGraph, t: int, p_max: float,
+                    baseline: float, prefer: "str | None" = None) -> bool:
+        """Delay tasks until the profile at slot ``t`` is within budget.
+
+        Victims whose delay would contradict the constraints (positive
+        cycle — e.g. a locked task) are skipped rather than failing the
+        branch; the branch dead-ends only when no delayable active task
+        remains.
+        """
+        guard = 4 * len(graph) + 8
+        blocked: "set[str]" = set()
+        zero_slack_delayed = False
+        schedule = None
+        while guard > 0:
+            guard -= 1
+            try:
+                schedule = asap_schedule(graph)
+            except PositiveCycleError:  # pragma: no cover - defensive
+                return False
+            power = baseline + schedule.power_at(t)
+            if power <= p_max + PowerProfile.POWER_TOL:
+                if zero_slack_delayed:
+                    self._lock_remaining(graph, schedule, t)
+                return True
+            order = [n for n in self._ordered_active(schedule, t)
+                     if n not in blocked]
+            if not order:
+                # Every active task is blocked — typically because an
+                # earlier zero-slack repair locked it.  Paper Fig. 4:
+                # when the recursion fails, "these locks will be undone
+                # ... the algorithm will choose one task from them to
+                # make further delay".  Unlock one and retry.
+                if not self._unlock_one(graph, schedule, t, blocked):
+                    return False
+                continue
+            victim = prefer if prefer in order else order[0]
+            prefer = None
+            target = self._segment_end(schedule, baseline, t)
+            had_zero_slack = slack(schedule, victim) == 0
+            token = graph.checkpoint()
+            if not self._delay_past(graph, schedule, victim, t, target):
+                blocked.add(victim)
+                continue
+            try:
+                asap_schedule(graph)
+            except PositiveCycleError:
+                graph.rollback(token)
+                blocked.add(victim)
+                continue
+            self.stats.delays_applied += 1
+            if had_zero_slack:
+                zero_slack_delayed = True
+        return False
+
+    def _delay_past(self, graph: ConstraintGraph, schedule: Schedule,
+                    name: str, t: int, target: int) -> bool:
+        """Add a delay edge pushing ``name`` toward ``target`` (the end
+        of the spiking profile segment, always > ``t``).
+
+        The delay distance follows the paper's bounds: at most the
+        task's slack when it has any, and at most its execution time
+        (``delay_bound_by_duration``).  A partial delay (bounds shorter
+        than needed) is allowed — the caller loops until the slot
+        clears or the branch dead-ends.
+        """
+        task = graph.task(name)
+        current = schedule.start(name)
+        needed = max(target - current, t - current + 1)
+        room = slack(schedule, name)
+        if room > 0:
+            distance = min(needed, room)
+        else:
+            distance = needed             # cascading reschedule
+        if self.options.delay_bound_by_duration and task.duration > 0:
+            distance = min(distance, max(task.duration, 1))
+        if distance <= 0:
+            return False
+        return graph.add_edge(ANCHOR_NAME, name, current + distance,
+                              tag="delay")
+
+    @staticmethod
+    def _segment_end(schedule: Schedule, baseline: float, t: int) -> int:
+        """End of the profile segment containing ``t`` — the natural
+        landing point for a delayed task (just past the moment where
+        the power composition changes)."""
+        profile = PowerProfile.from_schedule(schedule, baseline=baseline)
+        for t0, t1, _ in profile.segments:
+            if t0 <= t < t1:
+                return t1
+        return t + 1
+
+    def _unlock_one(self, graph: ConstraintGraph, schedule: Schedule,
+                    t: int, blocked: "set[str]") -> bool:
+        """Remove the start-time lock of one task active at ``t``.
+
+        Only scheduler-added ``"lock"`` max edges are removed — user
+        deadlines are never touched.  Returns True when a lock was
+        lifted (the task becomes a delay candidate again).
+        """
+        for name in self._ordered_active(schedule, t):
+            if graph.edge_tag(name, ANCHOR_NAME) == "lock":
+                graph.remove_edge(name, ANCHOR_NAME)
+                blocked.discard(name)
+                return True
+        return False
+
+    def _lock_remaining(self, graph: ConstraintGraph, schedule: Schedule,
+                        t: int) -> None:
+        """Lock the start times of the tasks still active at ``t``.
+
+        After a cascading (zero-slack) delay the paper pins the
+        remaining simultaneous tasks so later repairs do not silently
+        shift them; the locks are release-time+deadline edge pairs and
+        roll back with the branch on failure.
+        """
+        for task in schedule.active_tasks(t):
+            graph.lock_start(task.name, schedule.start(task.name))
+
+    # ------------------------------------------------------------------
+    # compaction (left shift of scheduler-added delays)
+    # ------------------------------------------------------------------
+
+    #: Edge tags the compaction pass is allowed to relax.
+    _RELAXABLE_TAGS = frozenset({"delay", "gapfill", "lock"})
+
+    def compact(self, graph: ConstraintGraph, p_max: float,
+                baseline: float) -> Schedule:
+        """Left-shift compaction of scheduler-added delays.
+
+        Visits tasks in start-time order and, for each anchor release
+        edge the spike repair added, tries to relax it: first full
+        removal, then (if that reopens a spike) the earliest
+        power-valid start among the profile's segment boundaries.
+        Every accepted relaxation keeps the schedule valid and never
+        increases the finish time, so the loop converges.
+        """
+        while True:
+            schedule = asap_schedule(graph)
+            if not self._compact_round(graph, schedule, p_max, baseline):
+                return schedule
+
+    def _compact_round(self, graph: ConstraintGraph, schedule: Schedule,
+                       p_max: float, baseline: float) -> bool:
+        """One pass over all tasks; True if anything moved."""
+        makespan = schedule.makespan
+        order = sorted(schedule, key=lambda n: (schedule.start(n), n))
+        moved = False
+        for name in order:
+            tag = graph.edge_tag(ANCHOR_NAME, name)
+            if tag not in self._RELAXABLE_TAGS:
+                continue
+            if self._relax_release(graph, name, p_max, baseline,
+                                   makespan):
+                moved = True
+        return moved
+
+    def _relax_release(self, graph: ConstraintGraph, name: str,
+                       p_max: float, baseline: float,
+                       makespan: int) -> bool:
+        """Try to move one task earlier by weakening its release edge."""
+        release = graph.separation(ANCHOR_NAME, name)
+        tag = graph.edge_tag(ANCHOR_NAME, name)
+        token = graph.checkpoint()
+        graph.remove_edge(ANCHOR_NAME, name)
+        try:
+            trial = asap_schedule(graph)
+        except PositiveCycleError:     # pragma: no cover - defensive
+            graph.rollback(token)
+            return False
+        earliest = trial.start(name)
+        if earliest >= release:
+            graph.rollback(token)
+            return False
+        profile = PowerProfile.from_schedule(trial, baseline=baseline)
+        if trial.makespan <= makespan and profile.is_power_valid(p_max):
+            return True
+        # Full removal reopens a spike: try intermediate starts at the
+        # profile's change points, earliest first.
+        boundaries = sorted({t0 for t0, _, _ in profile.segments
+                             if earliest < t0 < release})
+        for start in boundaries:
+            graph.rollback(token)
+            graph.remove_edge(ANCHOR_NAME, name)
+            graph.add_edge(ANCHOR_NAME, name, start, tag=tag)
+            try:
+                trial = asap_schedule(graph)
+            except PositiveCycleError:  # pragma: no cover - defensive
+                continue
+            trial_profile = PowerProfile.from_schedule(
+                trial, baseline=baseline)
+            if trial.makespan <= makespan \
+                    and trial_profile.is_power_valid(p_max):
+                return True
+        graph.rollback(token)
+        return False
+
+
+def max_power_schedule(problem: SchedulingProblem,
+                       options: "SchedulerOptions | None" = None) \
+        -> ScheduleResult:
+    """Convenience wrapper: timing + spike elimination in one call."""
+    return MaxPowerScheduler(options).solve(problem)

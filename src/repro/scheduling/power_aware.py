@@ -1,0 +1,78 @@
+"""Top-level power-aware scheduling pipeline (paper Section 5).
+
+``PowerAwareScheduler.solve`` runs the three incremental stages —
+timing, max-power, min-power — and returns the final result together
+with the intermediate stage results, so callers (examples, the Gantt
+renderers, EXPERIMENTS.md) can show how the schedule evolves exactly as
+Figs. 2 -> 5 -> 7 do for the paper's running example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.problem import SchedulingProblem
+from .base import ScheduleResult, SchedulerOptions
+from .max_power import MaxPowerScheduler
+from .min_power import MinPowerScheduler
+from .timing import TimingScheduler
+
+__all__ = ["PowerAwareScheduler", "PipelineResult", "schedule"]
+
+
+@dataclass
+class PipelineResult:
+    """The three stage results of one power-aware scheduling run."""
+
+    timing: ScheduleResult
+    max_power: ScheduleResult
+    min_power: ScheduleResult
+
+    @property
+    def final(self) -> ScheduleResult:
+        """The schedule to deploy: the min-power stage output."""
+        return self.min_power
+
+    def stage_rows(self) -> "list[dict]":
+        """Per-stage metric rows (for reports and the Fig. 2/5/7 bench)."""
+        rows = []
+        for label, result in (("time-valid (Fig.2)", self.timing),
+                              ("power-valid (Fig.5)", self.max_power),
+                              ("improved (Fig.7)", self.min_power)):
+            row = {"stage": label}
+            row.update(result.metrics.row())
+            rows.append(row)
+        return rows
+
+
+class PowerAwareScheduler:
+    """Facade running timing -> max power -> min power."""
+
+    def __init__(self, options: "SchedulerOptions | None" = None):
+        self.options = options or SchedulerOptions()
+
+    def solve(self, problem: SchedulingProblem) -> ScheduleResult:
+        """Solve and return only the final result."""
+        return self.solve_pipeline(problem).final
+
+    def solve_pipeline(self, problem: SchedulingProblem) -> PipelineResult:
+        """Solve and return all three stage results.
+
+        The timing stage ignores power constraints entirely (its result
+        may contain spikes, as Fig. 2 does); the max-power stage result
+        is valid; the min-power stage result additionally maximizes
+        utilization found across the heuristic configurations.
+        """
+        timing = TimingScheduler(self.options).solve(problem)
+        max_power = MaxPowerScheduler(self.options).solve(problem)
+        min_power = MinPowerScheduler(self.options).improve(
+            problem, max_power)
+        min_power.stats.merge(max_power.stats)
+        return PipelineResult(timing=timing, max_power=max_power,
+                              min_power=min_power)
+
+
+def schedule(problem: SchedulingProblem,
+             options: "SchedulerOptions | None" = None) -> ScheduleResult:
+    """One-call public API: power-aware schedule for a problem."""
+    return PowerAwareScheduler(options).solve(problem)

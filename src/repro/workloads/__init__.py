@@ -1,0 +1,23 @@
+"""Synthetic workload generators for tests and benchmarks.
+
+Random layered-DAG instances (reproducible by seed) and parametric
+named topologies (chain, independent, fork-join, pipeline).
+"""
+
+from .patterns import chain, fork_join, independent, pipeline
+from .random_graphs import (RandomWorkloadConfig, random_problem,
+                            random_problems)
+from .series_parallel import (SeriesParallelConfig,
+                              series_parallel_problem)
+
+__all__ = [
+    "RandomWorkloadConfig",
+    "SeriesParallelConfig",
+    "chain",
+    "fork_join",
+    "independent",
+    "pipeline",
+    "random_problem",
+    "random_problems",
+    "series_parallel_problem",
+]

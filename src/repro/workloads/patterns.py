@@ -1,0 +1,103 @@
+"""Parametric task-graph patterns.
+
+Named topologies used throughout the tests and benchmarks.  Each
+builder returns a :class:`~repro.core.problem.SchedulingProblem` whose
+structure is obvious by construction, so expected schedules (and
+therefore expected metrics) can be computed by hand:
+
+* :func:`chain` — a serial dependency chain (no scheduling freedom);
+* :func:`independent` — n unconstrained tasks on one resource each
+  (maximum freedom: the power constraint alone shapes the schedule);
+* :func:`fork_join` — a source task fans out to parallel workers that
+  join into a sink, the classic DAG kernel;
+* :func:`pipeline` — ``stages x width`` grid with stage-to-stage
+  precedences and per-stage shared resources, a software-pipelining
+  shape similar to the rover's unrolled iterations.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import ConstraintGraph
+from ..core.problem import SchedulingProblem
+from ..errors import ReproError
+
+__all__ = ["chain", "independent", "fork_join", "pipeline"]
+
+
+def chain(length: int, duration: int = 5, power: float = 4.0,
+          p_max: float = 10.0, p_min: float = 0.0) -> SchedulingProblem:
+    """A serial chain ``t0 -> t1 -> ... -> t(n-1)`` on one resource."""
+    if length < 1:
+        raise ReproError(f"length must be >= 1, got {length}")
+    graph = ConstraintGraph(f"chain-{length}")
+    prev = None
+    for i in range(length):
+        name = f"t{i}"
+        graph.new_task(name, duration=duration, power=power,
+                       resource="R0")
+        if prev is not None:
+            graph.add_precedence(prev, name)
+        prev = name
+    return SchedulingProblem(graph, p_max=p_max, p_min=p_min)
+
+
+def independent(count: int, duration: int = 5, power: float = 4.0,
+                p_max: float = 10.0, p_min: float = 0.0) \
+        -> SchedulingProblem:
+    """``count`` unconstrained tasks, each on its own resource.
+
+    With ``p_max`` the only coupling, the optimal schedule packs
+    ``floor((p_max - baseline) / power)`` tasks per time slot — an
+    analytically checkable case for the max-power scheduler.
+    """
+    if count < 1:
+        raise ReproError(f"count must be >= 1, got {count}")
+    graph = ConstraintGraph(f"independent-{count}")
+    for i in range(count):
+        graph.new_task(f"t{i}", duration=duration, power=power,
+                       resource=f"R{i}")
+    return SchedulingProblem(graph, p_max=p_max, p_min=p_min)
+
+
+def fork_join(width: int, duration: int = 5, power: float = 3.0,
+              p_max: float = 12.0, p_min: float = 0.0) \
+        -> SchedulingProblem:
+    """``source -> width parallel workers -> sink``."""
+    if width < 1:
+        raise ReproError(f"width must be >= 1, got {width}")
+    graph = ConstraintGraph(f"fork-join-{width}")
+    graph.new_task("source", duration=duration, power=power,
+                   resource="ctrl")
+    graph.new_task("sink", duration=duration, power=power,
+                   resource="ctrl")
+    for i in range(width):
+        name = f"w{i}"
+        graph.new_task(name, duration=duration, power=power,
+                       resource=f"R{i}")
+        graph.add_precedence("source", name)
+        graph.add_precedence(name, "sink")
+    return SchedulingProblem(graph, p_max=p_max, p_min=p_min)
+
+
+def pipeline(stages: int, width: int, duration: int = 5,
+             power: float = 3.0, p_max: float = 12.0,
+             p_min: float = 0.0) -> SchedulingProblem:
+    """A ``stages x width`` precedence grid.
+
+    Column ``j`` of stage ``s`` precedes column ``j`` of stage
+    ``s + 1``; all tasks of a stage share one resource, so stages
+    serialize internally but successive stages can overlap across
+    columns — the shape that exercises slack analysis hardest.
+    """
+    if stages < 1 or width < 1:
+        raise ReproError(
+            f"stages and width must be >= 1, got {stages}x{width}")
+    graph = ConstraintGraph(f"pipeline-{stages}x{width}")
+    for s in range(stages):
+        for j in range(width):
+            name = f"s{s}_c{j}"
+            graph.new_task(name, duration=duration, power=power,
+                           resource=f"stage{s}")
+            if s > 0:
+                graph.add_precedence(f"s{s - 1}_c{j}", name)
+    return SchedulingProblem(graph, p_max=p_max, p_min=p_min)

@@ -1,0 +1,123 @@
+"""Series-parallel task-graph generator (TGFF-style).
+
+The EDA scheduling literature benchmarks on series-parallel task
+graphs (the shape TGFF, the standard generator, produces): a graph is
+either a single task, a *series* composition (run one sub-graph after
+another), or a *parallel* composition (fork into sub-graphs, join).
+Such graphs model structured dataflow — exactly the co-synthesis
+workloads the paper's formulation targets — and their recursive
+structure makes properties (critical path, total work) computable by
+construction, which the tests exploit.
+
+The generator is seed-deterministic and emits ordinary
+:class:`~repro.core.problem.SchedulingProblem` instances with power
+budgets derived the same way as :mod:`repro.workloads.random_graphs`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.graph import ConstraintGraph
+from ..core.problem import SchedulingProblem
+from ..core.profile import PowerProfile
+from ..errors import ReproError
+
+__all__ = ["SeriesParallelConfig", "series_parallel_problem"]
+
+
+@dataclass
+class SeriesParallelConfig:
+    """Knobs for the recursive generator."""
+
+    depth: int = 3
+    max_branches: int = 3
+    series_prob: float = 0.5
+    resources: int = 4
+    duration_range: "tuple[int, int]" = (2, 8)
+    power_range: "tuple[float, float]" = (1.0, 6.0)
+    baseline: float = 1.0
+    tightness: float = 0.8
+    p_min_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise ReproError(f"depth must be >= 0, got {self.depth}")
+        if self.max_branches < 2:
+            raise ReproError(
+                f"max_branches must be >= 2, got {self.max_branches}")
+        if not 0 <= self.series_prob <= 1:
+            raise ReproError(
+                f"series_prob must be in [0, 1], got {self.series_prob}")
+
+
+def series_parallel_problem(seed: int,
+                            config: "SeriesParallelConfig | None" = None) \
+        -> SchedulingProblem:
+    """Generate one series-parallel scheduling problem.
+
+    Returns the problem; the graph's tasks carry
+    ``meta["sp_path"]`` breadcrumbs describing their position in the
+    composition tree, and the problem's ``meta`` records the
+    analytically-known ``critical_path`` and ``total_work`` for test
+    oracles.
+    """
+    config = config or SeriesParallelConfig()
+    rng = random.Random(seed)
+    graph = ConstraintGraph(f"sp-{seed}")
+    counter = [0]
+
+    def new_task(path: str) -> "tuple[str, int]":
+        name = f"t{counter[0]:03d}"
+        counter[0] += 1
+        duration = rng.randint(*config.duration_range)
+        graph.new_task(
+            name, duration=duration,
+            power=round(rng.uniform(*config.power_range), 1),
+            resource=f"R{rng.randrange(config.resources)}",
+            meta={"sp_path": path})
+        return name, duration
+
+    def build(depth: int, path: str) \
+            -> "tuple[list[str], list[str], int]":
+        """Returns (entry tasks, exit tasks, critical path length)."""
+        if depth == 0:
+            name, duration = new_task(path)
+            return [name], [name], duration
+        if rng.random() < config.series_prob:
+            first_in, first_out, cp1 = build(depth - 1, path + "S0")
+            second_in, second_out, cp2 = build(depth - 1, path + "S1")
+            for src in first_out:
+                for dst in second_in:
+                    graph.add_precedence(src, dst)
+            return first_in, second_out, cp1 + cp2
+        branches = rng.randint(2, config.max_branches)
+        entries, exits, cps = [], [], []
+        for b in range(branches):
+            b_in, b_out, cp = build(depth - 1, f"{path}P{b}")
+            entries.extend(b_in)
+            exits.extend(b_out)
+            cps.append(cp)
+        return entries, exits, max(cps)
+
+    _, _, critical = build(config.depth, "")
+    total_work = sum(t.duration for t in graph.tasks())
+
+    # derive the power budget exactly as the random generator does
+    from ..scheduling.base import SchedulerOptions
+    from ..scheduling.timing import TimingScheduler, asap_schedule
+    probe = graph.copy()
+    TimingScheduler(SchedulerOptions(max_backtracks=2_000)) \
+        .schedule_graph(probe)
+    profile = PowerProfile.from_schedule(asap_schedule(probe),
+                                         baseline=config.baseline)
+    max_task_power = max(t.power for t in graph.tasks())
+    p_max = max(config.tightness * profile.peak(),
+                config.baseline + max_task_power + 0.5)
+    return SchedulingProblem(
+        graph=graph, p_max=round(p_max, 2),
+        p_min=round(config.p_min_fraction * p_max, 2),
+        baseline=config.baseline, name=graph.name,
+        meta={"seed": seed, "critical_path": critical,
+              "total_work": total_work})

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstraintGraph, SchedulerOptions, SchedulingProblem
+
+
+@pytest.fixture
+def small_graph() -> ConstraintGraph:
+    """Four tasks on three resources with a window and a precedence.
+
+    Layout (ASAP): a[0,5) on A, c[5,10) on A, b[5,15) on B, d[0,8) on C.
+    """
+    g = ConstraintGraph("small")
+    g.new_task("a", duration=5, power=8.0, resource="A")
+    g.new_task("b", duration=10, power=6.0, resource="B")
+    g.new_task("c", duration=5, power=7.0, resource="A")
+    g.new_task("d", duration=8, power=5.0, resource="C")
+    g.add_precedence("a", "b")
+    g.add_max_separation("a", "b", 20)
+    g.add_min_separation("a", "c", 2)
+    return g
+
+
+@pytest.fixture
+def small_problem(small_graph) -> SchedulingProblem:
+    return SchedulingProblem(small_graph, p_max=14.0, p_min=10.0,
+                             baseline=1.0)
+
+
+@pytest.fixture
+def fast_options() -> SchedulerOptions:
+    """Options trimmed for test speed (single restart, fewer scans)."""
+    return SchedulerOptions(max_power_restarts=1, min_power_scans=2,
+                            max_spike_attempts=500, seed=7)

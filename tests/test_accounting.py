@@ -1,0 +1,65 @@
+"""Unit tests for stand-alone energy accounting.
+
+Crucially, the accounting layer must agree with the metrics layer —
+two independent implementations of Ec and rho.
+"""
+
+import pytest
+
+from repro import PowerProfile
+from repro.power import (ConstantSolar, StepSolar, split_energy,
+                         split_energy_against_solar)
+
+
+@pytest.fixture
+def stepped() -> PowerProfile:
+    return PowerProfile([(0, 5, 16.0), (5, 10, 12.0), (10, 20, 14.0)])
+
+
+class TestSplitEnergy:
+    def test_constant_level(self, stepped):
+        split = split_energy(stepped, 14.0)
+        assert split.consumed == pytest.approx(stepped.energy())
+        assert split.battery_drawn == pytest.approx(
+            stepped.energy_above(14.0))
+        assert split.free_used == pytest.approx(
+            stepped.energy_capped(14.0))
+        assert split.free_available == pytest.approx(14.0 * 20)
+
+    def test_agrees_with_metrics_layer(self, stepped):
+        from repro.core.metrics import (energy_cost,
+                                        min_power_utilization)
+        for level in (0.0, 9.0, 12.0, 14.0, 16.0):
+            split = split_energy(stepped, level)
+            assert split.energy_cost == pytest.approx(
+                energy_cost(stepped, level))
+            if level > 0:
+                assert split.utilization == pytest.approx(
+                    min_power_utilization(stepped, level))
+
+    def test_conservation(self, stepped):
+        split = split_energy(stepped, 13.0)
+        assert split.free_used + split.battery_drawn \
+            == pytest.approx(split.consumed)
+
+    def test_time_varying_solar(self):
+        profile = PowerProfile([(0, 10, 8.0)])
+        solar = StepSolar([(0, 10.0), (5, 2.0)])
+        split = split_energy_against_solar(profile, solar)
+        assert split.free_used == pytest.approx(8 * 5 + 2 * 5)
+        assert split.battery_drawn == pytest.approx(6 * 5)
+        assert split.free_wasted == pytest.approx(2 * 5)
+
+    def test_start_time_offsets_solar(self):
+        profile = PowerProfile([(0, 5, 8.0)])
+        solar = StepSolar([(0, 10.0), (100, 0.0)])
+        late = split_energy_against_solar(profile, solar,
+                                          start_time=100.0)
+        assert late.battery_drawn == pytest.approx(40.0)
+        early = split_energy_against_solar(profile, solar)
+        assert early.battery_drawn == pytest.approx(0.0)
+
+    def test_utilization_one_when_no_free_energy(self):
+        profile = PowerProfile([(0, 5, 3.0)])
+        split = split_energy_against_solar(profile, ConstantSolar(0.0))
+        assert split.utilization == 1.0

@@ -1,0 +1,110 @@
+"""Unit tests for sweeps, comparisons, and report tables."""
+
+import pytest
+
+from repro.analysis import (compare_schedulers, format_cell,
+                            format_markdown_table, format_table,
+                            knee_point, summarize_outcomes, sweep_p_max,
+                            sweep_p_min)
+from repro.scheduling import schedule, serial_schedule
+from repro.workloads import independent
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return independent(4, duration=5, power=4.0, p_max=10.0, p_min=4.0)
+
+
+class TestSweeps:
+    def test_p_max_sweep_monotone_speed(self, problem):
+        points = sweep_p_max(problem, [5.0, 9.0, 17.0])
+        taus = [p.finish_time for p in points if p.feasible]
+        assert taus == sorted(taus, reverse=True)
+        # 17 W fits all four 4 W tasks at once
+        assert points[-1].finish_time == 5
+
+    def test_infeasible_budget_recorded(self, problem):
+        points = sweep_p_max(problem, [3.0])
+        assert points[0].feasible is False
+        assert points[0].finish_time is None
+
+    def test_p_min_sweep_cost_monotone(self, problem):
+        points = sweep_p_min(problem, [0.0, 4.0, 8.0], p_max=10.0)
+        costs = [p.energy_cost for p in points]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[0] == pytest.approx(80.0)  # all energy is costly
+
+    def test_knee_point(self, problem):
+        points = sweep_p_max(problem, [5.0, 9.0, 13.0, 17.0, 25.0])
+        knee = knee_point(points)
+        assert knee is not None
+        assert knee.finish_time == 5
+        assert knee.p_max == 17.0  # smallest budget achieving tau = 5
+
+    def test_knee_none_when_all_infeasible(self, problem):
+        assert knee_point(sweep_p_max(problem, [1.0])) is None
+
+    def test_rows_have_stable_columns(self, problem):
+        point = sweep_p_max(problem, [9.0])[0]
+        assert set(point.row()) == {"P_max_W", "P_min_W", "feasible",
+                                    "tau_s", "Ec_J", "rho_pct",
+                                    "peak_W"}
+
+
+class TestCompare:
+    def test_matrix_and_summary(self, problem):
+        outcomes = compare_schedulers(
+            {"pa": schedule, "serial": serial_schedule}, [problem])
+        assert len(outcomes) == 2
+        assert all(o.success for o in outcomes)
+        summary = summarize_outcomes(outcomes)
+        assert {row["scheduler"] for row in summary} == {"pa", "serial"}
+        assert all(row["solved"] == "1/1" for row in summary)
+
+    def test_failures_recorded_not_raised(self):
+        def exploding(problem):
+            from repro.errors import SchedulingFailure
+            raise SchedulingFailure("boom")
+
+        outcomes = compare_schedulers({"bad": exploding},
+                                      [independent(1, p_max=10.0)])
+        assert outcomes[0].success is False
+        assert "boom" in outcomes[0].error
+        summary = summarize_outcomes(outcomes)
+        assert summary[0]["solved"] == "0/1"
+
+
+class TestReportTables:
+    ROWS = [{"name": "a", "tau": 50, "cost": 79.5},
+            {"name": "b", "tau": 75, "cost": 0.0}]
+
+    def test_format_cell(self):
+        assert format_cell(1.0) == "1"
+        assert format_cell(1.25) == "1.25"
+        assert format_cell(1.256) == "1.26"
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell("x") == "x"
+        assert format_cell(float("nan")) == "-"
+
+    def test_ascii_table(self):
+        text = format_table(self.ROWS, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "cost" in lines[1]
+        assert len(lines) == 2 + 1 + len(self.ROWS)
+
+    def test_ascii_table_empty(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_markdown_table(self):
+        text = format_markdown_table(self.ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| name ")
+        assert lines[1].startswith("|---")
+        assert "79.5" in text
+
+    def test_column_selection_and_order(self):
+        text = format_table(self.ROWS, columns=["cost", "name"])
+        header = text.splitlines()[0]
+        assert header.index("cost") < header.index("name")

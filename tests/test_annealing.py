@@ -1,0 +1,91 @@
+"""Unit tests for the simulated-annealing improver."""
+
+import pytest
+
+from repro import (ConstraintGraph, Schedule, SchedulingProblem,
+                   ValidationError, check_power_valid, schedule,
+                   serial_schedule)
+from repro.errors import ReproError
+from repro.scheduling import AnnealingImprover, anneal
+from repro.workloads import independent
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            AnnealingImprover(iterations=0)
+        with pytest.raises(ReproError):
+            AnnealingImprover(cooling=1.0)
+        with pytest.raises(ReproError):
+            AnnealingImprover(initial_temperature=0)
+
+    def test_rejects_invalid_start(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5, power=6.0, resource="R")
+        g.new_task("b", duration=5, power=6.0, resource="R")
+        problem = SchedulingProblem(g, p_max=10.0)
+        overlap = Schedule(g, {"a": 0, "b": 2})
+        with pytest.raises(ValidationError):
+            anneal(problem, overlap, iterations=10)
+
+
+class TestImprovement:
+    def test_never_worse_than_start(self):
+        problem = independent(4, duration=5, power=4.0, p_max=10.0,
+                              p_min=4.0)
+        base = serial_schedule(problem)
+        result = anneal(problem, base.schedule, iterations=800)
+        assert (result.finish_time, result.energy_cost) \
+            <= (base.finish_time, base.energy_cost + 1e-9)
+
+    def test_finds_parallel_packing_from_serial(self):
+        """From the 20 s serial schedule of four 4 W tasks under a
+        10 W budget, annealing should discover 2-at-a-time packing
+        (10 s), which the serial baseline cannot."""
+        problem = independent(4, duration=5, power=4.0, p_max=10.0)
+        base = serial_schedule(problem)
+        assert base.finish_time == 20
+        result = anneal(problem, base.schedule, iterations=3000,
+                        seed=5)
+        assert result.finish_time <= 15
+        assert check_power_valid(result.schedule, problem.p_max).ok
+
+    def test_result_always_valid(self):
+        problem = independent(5, duration=3, power=3.0, p_max=7.0,
+                              p_min=3.0)
+        base = schedule(problem)
+        result = anneal(problem, base.schedule, iterations=500)
+        report = check_power_valid(result.schedule, problem.p_max)
+        assert report.ok
+
+    def test_deterministic_per_seed(self):
+        problem = independent(4, duration=5, power=4.0, p_max=10.0)
+        base = serial_schedule(problem)
+        a = anneal(problem, base.schedule, iterations=400, seed=3)
+        b = anneal(problem, base.schedule, iterations=400, seed=3)
+        assert a.schedule == b.schedule
+
+    def test_respects_constraints_while_reordering(self):
+        g = ConstraintGraph("c")
+        g.new_task("a", duration=4, power=5.0, resource="R")
+        g.new_task("b", duration=4, power=5.0, resource="S")
+        g.add_separation_window("a", "b", 2, 10)
+        problem = SchedulingProblem(g, p_max=8.0, p_min=0.0)
+        base = schedule(problem)
+        result = anneal(problem, base.schedule, iterations=600)
+        start_gap = result.schedule.start("b") \
+            - result.schedule.start("a")
+        assert 2 <= start_gap <= 10
+
+    def test_empty_problem(self):
+        problem = SchedulingProblem(ConstraintGraph("e"), p_max=5.0)
+        base = schedule(problem)
+        result = anneal(problem, base.schedule, iterations=5)
+        assert result.finish_time == 0
+
+    def test_stage_and_keys(self):
+        problem = independent(3, duration=2, power=2.0, p_max=6.0)
+        base = schedule(problem)
+        result = anneal(problem, base.schedule, iterations=50)
+        assert result.stage == "annealed"
+        assert result.extra["best_key"] <= result.extra["start_key"]

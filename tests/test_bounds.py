@@ -1,0 +1,80 @@
+"""Unit tests for the makespan lower bounds."""
+
+import pytest
+
+from repro import ConstraintGraph, SchedulingProblem, schedule
+from repro.analysis import lower_bound, makespan_bounds
+from repro.errors import ReproError
+from repro.workloads import chain, fork_join, independent, random_problem
+
+
+class TestIndividualBounds:
+    def test_critical_path_bound(self):
+        problem = chain(4, duration=5, power=1.0, p_max=100.0)
+        bounds = makespan_bounds(problem)
+        assert bounds.critical_path == 20
+        assert bounds.best == 20
+        assert bounds.binding() == "critical-path"
+
+    def test_resource_load_bound(self):
+        g = ConstraintGraph()
+        for i in range(3):
+            g.new_task(f"t{i}", duration=4, power=1.0, resource="R")
+        problem = SchedulingProblem(g, p_max=100.0)
+        bounds = makespan_bounds(problem)
+        assert bounds.resource_load == 12
+        assert bounds.best == 12
+
+    def test_resource_load_includes_release(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=4, power=1.0, resource="R")
+        g.new_task("b", duration=4, power=1.0, resource="R")
+        g.add_release("a", 10)
+        g.add_release("b", 10)
+        problem = SchedulingProblem(g, p_max=100.0)
+        assert makespan_bounds(problem).resource_load == 18
+
+    def test_energy_bound(self):
+        # 4 tasks x 5 s x 4 W = 80 J under 8 W headroom -> >= 10 s
+        problem = independent(4, duration=5, power=4.0, p_max=8.0)
+        bounds = makespan_bounds(problem)
+        assert bounds.energy_over_headroom == 10
+        assert bounds.binding() == "energy-over-headroom"
+
+    def test_energy_bound_accounts_for_baseline(self):
+        problem = independent(4, duration=5, power=4.0, p_max=8.0)
+        scaled = SchedulingProblem(problem.graph, p_max=8.0,
+                                   baseline=4.0)
+        assert makespan_bounds(scaled).energy_over_headroom == 20
+
+    def test_zero_headroom_rejected(self):
+        base = independent(1, duration=5, power=4.0, p_max=2.0)
+        problem = SchedulingProblem(base.graph, p_max=2.0, baseline=2.0)
+        with pytest.raises(ReproError):
+            makespan_bounds(problem)
+
+    def test_powerless_tasks_have_zero_energy_bound(self):
+        problem = chain(3, duration=5, power=0.0, p_max=1.0)
+        assert makespan_bounds(problem).energy_over_headroom == 0
+
+
+class TestBoundVsSchedulers:
+    def test_bound_never_exceeds_any_valid_schedule(self):
+        for seed in (20, 21, 22, 23, 24):
+            problem = random_problem(seed)
+            bound = lower_bound(problem)
+            result = schedule(problem)
+            assert result.finish_time >= bound
+
+    def test_bound_is_tight_on_easy_instances(self):
+        problem = independent(4, duration=5, power=4.0, p_max=8.0)
+        result = schedule(problem)
+        assert result.finish_time == lower_bound(problem)
+
+    def test_fork_join_combines_chain_and_energy(self):
+        problem = fork_join(width=6, duration=5, power=3.0, p_max=7.0)
+        bound = lower_bound(problem)
+        result = schedule(problem)
+        assert bound <= result.finish_time
+        # the bound is meaningful: well above the bare critical path
+        assert bound > 15 or result.finish_time == 15

@@ -1,0 +1,125 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.examples_data import fig1_problem
+from repro.io import problem_to_dict
+
+
+@pytest.fixture
+def problem_json(tmp_path) -> str:
+    path = tmp_path / "fig1.json"
+    path.write_text(json.dumps(problem_to_dict(fig1_problem())))
+    return str(path)
+
+
+@pytest.fixture
+def problem_dsl(tmp_path) -> str:
+    path = tmp_path / "tiny.txt"
+    path.write_text(
+        "problem tiny pmax 10 pmin 4\n"
+        "task a R 5 4.0\n"
+        "task b S 5 4.0\n"
+        "precedence a b\n")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_args(self):
+        args = build_parser().parse_args(["solve", "x.json",
+                                          "--seed", "7"])
+        assert args.command == "solve"
+        assert args.seed == 7
+
+
+class TestSolve:
+    def test_solve_json(self, problem_json, capsys):
+        assert main(["solve", problem_json, "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1-example" in out
+        assert "time-valid" in out
+
+    def test_solve_dsl_with_chart(self, problem_dsl, capsys):
+        assert main(["solve", problem_dsl]) == 0
+        out = capsys.readouterr().out
+        assert "power view" in out
+
+    def test_solve_writes_artifacts(self, problem_dsl, tmp_path,
+                                    capsys):
+        svg = str(tmp_path / "out.svg")
+        sched = str(tmp_path / "out.json")
+        assert main(["solve", problem_dsl, "--no-chart",
+                     "--svg", svg, "--out", sched]) == 0
+        assert open(svg).read().startswith("<svg")
+        data = json.loads(open(sched).read())
+        assert data["format"] == "repro-schedule"
+
+    def test_missing_file_is_clean_error(self, capsys):
+        with pytest.raises((SystemExit, OSError)):
+            main(["solve", "/nonexistent/file.json"])
+
+
+class TestExample:
+    def test_example_walks_three_figures(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("Fig. 2", "Fig. 5", "Fig. 7"):
+            assert fig in out
+
+
+class TestRover:
+    def test_single_case_table(self, capsys):
+        assert main(["rover", "--case", "typical"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "typical" in out
+        assert "power-aware" in out
+
+
+class TestDiagnose:
+    @pytest.fixture
+    def bad_problem(self, tmp_path) -> str:
+        path = tmp_path / "bad.txt"
+        path.write_text(
+            "problem bad pmax 10\n"
+            "task a R 5 4.0\n"
+            "task b S 5 4.0\n"
+            "min a b 10\n"
+            "max a b 6\n")
+        return str(path)
+
+    def test_contradiction_explained(self, bad_problem, capsys):
+        assert main(["diagnose", bad_problem]) == 1
+        out = capsys.readouterr().out
+        assert "infeasible" in out
+        assert "sigma(b) >= sigma(a) + 10" in out
+
+    def test_consistent_problem_reports_ok(self, problem_dsl, capsys):
+        assert main(["diagnose", problem_dsl]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_power_warning_surfaces(self, tmp_path, capsys):
+        path = tmp_path / "hot.txt"
+        path.write_text("problem hot pmax 5\ntask a R 5 9.0\n")
+        assert main(["diagnose", str(path)]) == 1
+        assert "power warning" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_default_budget_grid(self, problem_dsl, capsys):
+        assert main(["sweep", problem_dsl]) == 0
+        out = capsys.readouterr().out
+        assert "P_max sweep" in out
+        assert "knee" in out
+
+    def test_explicit_budgets(self, problem_dsl, capsys):
+        assert main(["sweep", problem_dsl, "--budgets", "5,9,20"]) == 0
+        out = capsys.readouterr().out
+        assert "20" in out

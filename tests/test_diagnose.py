@@ -1,0 +1,80 @@
+"""Unit tests for infeasibility diagnosis."""
+
+from repro import ConstraintGraph
+from repro.core.diagnose import explain_infeasibility, find_cycle
+
+
+def contradictory_pair() -> ConstraintGraph:
+    g = ConstraintGraph("bad")
+    g.new_task("a", duration=5)
+    g.new_task("b", duration=5)
+    g.add_min_separation("a", "b", 10)
+    g.add_max_separation("a", "b", 6)
+    return g
+
+
+class TestFindCycle:
+    def test_feasible_graph_has_no_cycle(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=1)
+        g.new_task("b", duration=1)
+        g.add_precedence("a", "b")
+        assert find_cycle(g) is None
+
+    def test_contradictory_window_found(self):
+        cycle = find_cycle(contradictory_pair())
+        assert cycle is not None
+        assert set(cycle) <= {"a", "b"}
+        assert len(cycle) >= 2
+
+    def test_deadline_chain_found(self):
+        g = ConstraintGraph()
+        g.new_task("x", duration=5)
+        g.add_release("x", 10)
+        g.add_start_deadline("x", 4)
+        cycle = find_cycle(g)
+        assert cycle is not None
+        assert "x" in cycle
+
+    def test_three_way_cycle(self):
+        g = ConstraintGraph()
+        for name in "abc":
+            g.new_task(name, duration=1)
+        g.add_min_separation("a", "b", 4)
+        g.add_min_separation("b", "c", 4)
+        g.add_max_separation("a", "c", 5)  # needs >= 8
+        cycle = find_cycle(g)
+        assert cycle is not None
+
+
+class TestExplanation:
+    def test_feasible_returns_none(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=1)
+        assert explain_infeasibility(g) is None
+
+    def test_explanation_shows_both_constraints(self):
+        explanation = explain_infeasibility(contradictory_pair())
+        assert explanation is not None
+        text = explanation.render()
+        assert "infeasible" in text
+        assert "sigma(b) >= sigma(a) + 10" in text
+        assert "at most 6" in text
+
+    def test_excess_is_positive(self):
+        explanation = explain_infeasibility(contradictory_pair())
+        assert explanation.excess >= 1
+
+    def test_tags_surface_in_lines(self):
+        g = contradictory_pair()
+        explanation = explain_infeasibility(g)
+        assert any("[user]" in line for line in explanation.lines)
+
+    def test_anchor_edges_described_as_release_and_deadline(self):
+        g = ConstraintGraph()
+        g.new_task("x", duration=5)
+        g.add_release("x", 10)
+        g.add_start_deadline("x", 4)
+        explanation = explain_infeasibility(g)
+        text = explanation.render()
+        assert "may not start before" in text or "must start by" in text

@@ -1,0 +1,68 @@
+"""Unit tests for schedule diffs."""
+
+import pytest
+
+from repro import ConstraintGraph, Schedule
+from repro.analysis import diff_results, diff_schedules
+from repro.errors import ReproError
+from repro.examples_data import fig1_options, fig1_problem
+from repro.scheduling import PowerAwareScheduler
+
+
+@pytest.fixture
+def graph() -> ConstraintGraph:
+    g = ConstraintGraph("d")
+    g.new_task("a", duration=5, power=4.0, resource="A")
+    g.new_task("b", duration=5, power=4.0, resource="B")
+    return g
+
+
+class TestDiffSchedules:
+    def test_identical_schedules(self, graph):
+        s = Schedule(graph, {"a": 0, "b": 0})
+        diff = diff_schedules(s, s, p_max=10.0, p_min=4.0)
+        assert diff.unchanged
+        assert diff.summary() == "schedules are identical"
+
+    def test_moves_and_deltas(self, graph):
+        before = Schedule(graph, {"a": 0, "b": 0})
+        after = Schedule(graph, {"a": 0, "b": 5})
+        diff = diff_schedules(before, after, p_max=10.0, p_min=4.0)
+        assert diff.moved_tasks == ["b"]
+        assert diff.moves[0].delta == 5
+        assert diff.metric_delta("tau_s") == 5
+        # serializing under P_min=4 removes the above-free-level draw
+        assert diff.metric_delta("energy_cost_J") == pytest.approx(-20.0)
+
+    def test_mismatched_task_sets_rejected(self, graph):
+        other = ConstraintGraph("o")
+        other.new_task("x", duration=1)
+        with pytest.raises(ReproError):
+            diff_schedules(Schedule(graph, {"a": 0, "b": 0}),
+                           Schedule(other, {"x": 0}),
+                           p_max=10.0, p_min=0.0)
+
+    def test_rows_render(self, graph):
+        before = Schedule(graph, {"a": 0, "b": 0})
+        after = Schedule(graph, {"a": 2, "b": 7})
+        diff = diff_schedules(before, after, p_max=10.0, p_min=0.0)
+        rows = diff.rows()
+        assert rows[0]["delta_s"] == "+2"
+        assert rows[1]["delta_s"] == "+7"
+
+
+class TestDiffResults:
+    def test_fig2_to_fig5_names_h_and_f(self):
+        pipeline = PowerAwareScheduler(fig1_options()).solve_pipeline(
+            fig1_problem())
+        diff = diff_results(pipeline.timing, pipeline.max_power)
+        assert diff.moved_tasks == ["f", "h"]
+        assert diff.metric_delta("tau_s") == 0
+        assert diff.metric_delta("energy_cost_J") < 0
+
+    def test_fig5_to_fig7_improves_utilization(self):
+        pipeline = PowerAwareScheduler(fig1_options()).solve_pipeline(
+            fig1_problem())
+        diff = diff_results(pipeline.max_power, pipeline.min_power)
+        assert diff.metric_delta("utilization_pct") > 0
+        assert "moved" in diff.summary()

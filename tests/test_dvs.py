@@ -1,0 +1,118 @@
+"""Unit tests for the DVS related-work baseline."""
+
+import pytest
+
+from repro import ConstraintGraph, SchedulingFailure, SchedulingProblem
+from repro.errors import ReproError
+from repro.scheduling import DvsScheduler, dvs_schedule, schedule
+from repro.scheduling.dvs import CPU_RESOURCE
+
+
+def cpu_jobs(deadlines: "dict[str, int]",
+             p_max: float = 20.0) -> SchedulingProblem:
+    g = ConstraintGraph("dvs")
+    for i, (name, deadline) in enumerate(deadlines.items()):
+        g.new_task(name, duration=4, power=6.0, resource=CPU_RESOURCE)
+        g.add_finish_deadline(name, deadline)
+    return SchedulingProblem(g, p_max=p_max)
+
+
+class TestLadder:
+    def test_ladder_must_contain_full_speed(self):
+        with pytest.raises(ReproError):
+            DvsScheduler(frequencies=(0.5, 0.25))
+
+    def test_ladder_range_checked(self):
+        with pytest.raises(ReproError):
+            DvsScheduler(frequencies=(1.0, 1.5))
+
+
+class TestScheduling:
+    def test_loose_deadlines_pick_slow_frequencies(self):
+        result = dvs_schedule(cpu_jobs({"j1": 40, "j2": 80}))
+        freqs = result.extra["frequencies"]
+        assert all(f < 1.0 for f in freqs.values())
+        # energy scales with f^2: must be below full-speed energy
+        full_energy = 2 * 4 * 6.0
+        assert result.metrics.total_energy < full_energy
+
+    def test_tight_deadlines_force_full_speed(self):
+        result = dvs_schedule(cpu_jobs({"j1": 4, "j2": 8}))
+        assert set(result.extra["frequencies"].values()) == {1.0}
+
+    def test_deadlines_always_met(self):
+        problem = cpu_jobs({"j1": 12, "j2": 30, "j3": 60})
+        result = dvs_schedule(problem)
+        for name, deadline in (("j1", 12), ("j2", 30), ("j3", 60)):
+            assert result.schedule.finish(name) <= deadline
+
+    def test_edf_order(self):
+        problem = cpu_jobs({"late": 60, "soon": 8})
+        result = dvs_schedule(problem)
+        assert result.schedule.start("soon") \
+            < result.schedule.start("late")
+
+    def test_impossible_deadline_fails(self):
+        g = ConstraintGraph()
+        g.new_task("j1", duration=4, power=6.0, resource=CPU_RESOURCE)
+        g.new_task("j2", duration=4, power=6.0, resource=CPU_RESOURCE)
+        g.add_finish_deadline("j1", 4)
+        g.add_finish_deadline("j2", 5)  # cannot follow j1 in time
+        with pytest.raises(SchedulingFailure):
+            dvs_schedule(SchedulingProblem(g, p_max=20.0))
+
+    def test_needs_cpu_tasks(self):
+        g = ConstraintGraph()
+        g.new_task("motor", duration=4, power=6.0, resource="motor")
+        with pytest.raises(SchedulingFailure):
+            dvs_schedule(SchedulingProblem(g, p_max=20.0))
+
+    def test_rejects_inter_job_constraints(self):
+        problem = cpu_jobs({"j1": 40, "j2": 80})
+        problem.graph.add_precedence("j1", "j2")
+        with pytest.raises(SchedulingFailure):
+            dvs_schedule(problem)
+
+    def test_power_scales_cubically(self):
+        result = dvs_schedule(cpu_jobs({"j1": 160}))
+        (freq,) = result.extra["frequencies"].values()
+        job = result.schedule.graph.task("j1")
+        assert job.power == pytest.approx(6.0 * freq ** 3)
+
+
+class TestPaperCritique:
+    """The Section-2 comparison: DVS is oblivious to system power."""
+
+    @staticmethod
+    def system_problem(p_max: float) -> SchedulingProblem:
+        g = ConstraintGraph("system")
+        # an uncontrollable subsystem load occupying [0, 10)
+        g.new_task("heater", duration=10, power=8.0, resource="heater")
+        g.add_start_deadline("heater", 0)  # fixed by the thermal loop
+        # one CPU job that *could* run after the heater instead
+        g.new_task("filter", duration=6, power=6.0,
+                   resource=CPU_RESOURCE)
+        g.add_finish_deadline("filter", 22)
+        return SchedulingProblem(g, p_max=p_max)
+
+    def test_dvs_violates_system_budget(self):
+        """DVS launches the CPU job immediately (slowed, but on top of
+        the heater) because it cannot see the system-level budget."""
+        result = dvs_schedule(self.system_problem(p_max=8.5))
+        assert result.metrics.spikes >= 1
+
+    def test_power_aware_respects_it(self):
+        """The power-aware scheduler slides the CPU job past the heater
+        instead — same deadline, no spike."""
+        result = schedule(self.system_problem(p_max=8.5))
+        assert result.metrics.spikes == 0
+        assert result.schedule.finish("filter") <= 22
+
+    def test_dvs_wins_on_cpu_energy(self):
+        """...but the critique cuts both ways: on a pure-CPU workload
+        with slack, DVS spends less energy than any scheduler that
+        cannot slow the processor."""
+        problem = cpu_jobs({"j1": 60, "j2": 120})
+        dvs = dvs_schedule(problem)
+        pa = schedule(problem)
+        assert dvs.metrics.total_energy < pa.metrics.total_energy

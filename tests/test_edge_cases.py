@@ -1,0 +1,118 @@
+"""Cross-cutting edge cases: degenerate problems through the full
+pipeline.
+
+These are the inputs a downstream user will eventually feed the
+library: empty graphs, single tasks, milestones, exactly-tight budgets,
+P_min == P_max, huge separations.  Each must either work or fail with
+the library's own exception types — never an internal error.
+"""
+
+import pytest
+
+from repro import (ConstraintGraph, GraphError, PowerProfile, Schedule,
+                   SchedulerOptions, SchedulingFailure,
+                   SchedulingProblem, schedule, serial_schedule)
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=1, seed=2)
+
+
+class TestDegenerateProblems:
+    def test_empty_graph(self):
+        problem = SchedulingProblem(ConstraintGraph("empty"), p_max=5.0)
+        result = schedule(problem, FAST)
+        assert result.finish_time == 0
+        assert result.metrics.total_energy == 0.0
+
+    def test_single_task(self):
+        g = ConstraintGraph()
+        g.new_task("only", duration=7, power=3.0, resource="R")
+        result = schedule(SchedulingProblem(g, p_max=5.0), FAST)
+        assert result.schedule.start("only") == 0
+        assert result.finish_time == 7
+
+    def test_milestones_only(self):
+        g = ConstraintGraph()
+        g.new_task("m1", duration=0)
+        g.new_task("m2", duration=0)
+        g.add_min_separation("m1", "m2", 10)
+        result = schedule(SchedulingProblem(g, p_max=5.0), FAST)
+        assert result.schedule.start("m2") >= 10
+        assert result.metrics.total_energy == 0.0
+
+    def test_exactly_tight_budget(self):
+        """Task power + baseline == P_max: legal, zero headroom."""
+        g = ConstraintGraph()
+        g.new_task("t", duration=4, power=4.0, resource="R")
+        result = schedule(SchedulingProblem(g, p_max=5.0, baseline=1.0),
+                          FAST)
+        assert result.metrics.spikes == 0
+
+    def test_p_min_equals_p_max(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5, power=5.0, resource="A")
+        g.new_task("b", duration=5, power=5.0, resource="B")
+        problem = SchedulingProblem(g, p_max=5.0, p_min=5.0)
+        result = schedule(problem, FAST)
+        # the only valid shape is serial, which exactly rides P_min
+        assert result.finish_time == 10
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_zero_p_max_with_powerless_tasks(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=3, power=0.0)
+        result = schedule(SchedulingProblem(g, p_max=0.0), FAST)
+        assert result.finish_time == 3
+
+    def test_huge_separation_is_fine(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=1, power=1.0)
+        g.new_task("b", duration=1, power=1.0)
+        g.add_min_separation("a", "b", 10_000)
+        result = schedule(SchedulingProblem(g, p_max=5.0, p_min=0.0),
+                          FAST)
+        assert result.schedule.start("b") == 10_000
+
+    def test_infeasible_window_fails_cleanly(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5, power=4.0, resource="R")
+        g.new_task("b", duration=5, power=4.0, resource="R")
+        g.add_separation_window("a", "b", 0, 3)  # same resource: d=5
+        with pytest.raises(SchedulingFailure):
+            schedule(SchedulingProblem(g, p_max=10.0), FAST)
+
+    def test_serial_on_empty_graph(self):
+        problem = SchedulingProblem(ConstraintGraph("empty"), p_max=5.0)
+        assert serial_schedule(problem, FAST).finish_time == 0
+
+
+class TestGraphEdgeCases:
+    def test_merge_name_clash_rejected(self):
+        a = ConstraintGraph("a")
+        a.new_task("x", duration=1)
+        b = ConstraintGraph("b")
+        b.new_task("x", duration=1)
+        with pytest.raises(GraphError):
+            a.merge(b)  # no prefix -> duplicate name
+
+    def test_merge_same_graph_twice_with_prefixes(self):
+        base = ConstraintGraph("base")
+        base.new_task("x", duration=2, power=1.0, resource="R")
+        combined = ConstraintGraph("combined")
+        combined.merge(base, prefix="i1_")
+        combined.merge(base, prefix="i2_")
+        assert len(combined) == 2
+        assert "i1_x" in combined and "i2_x" in combined
+
+    def test_profile_of_milestone_only_schedule(self):
+        g = ConstraintGraph()
+        g.new_task("m", duration=0)
+        profile = PowerProfile.from_schedule(Schedule(g, {"m": 5}))
+        # milestone at t=5 still defines a 5-unit horizon of silence
+        assert profile.horizon in (0, 5)
+        assert profile.energy() == 0.0
+
+    def test_schedule_power_at_beyond_horizon(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=2, power=3.0)
+        s = Schedule(g, {"a": 0})
+        assert s.power_at(99) == 0.0

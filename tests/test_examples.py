@@ -1,0 +1,48 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The slower case-study examples (mars_rover.py, mission_scenario.py,
+design_space_exploration.py) exercise the same code paths as the
+benchmark suite and are validated there; here we keep the quick ones
+green so the README's first contact never breaks.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "examples")
+
+FAST_EXAMPLES = ("quickstart.py", "custom_workload_dsl.py",
+                 "uncertainty_and_phases.py", "runtime_execution.py",
+                 "solar_uav.py", "thermal_synthesis.py")
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    path = os.path.join(EXAMPLES, script)
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=240)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example should print something"
+
+
+def test_quickstart_reports_core_quantities():
+    path = os.path.join(EXAMPLES, "quickstart.py")
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=240)
+    for needle in ("finish time", "energy cost", "utilization",
+                   "power view"):
+        assert needle in proc.stdout
+
+
+def test_all_documented_examples_exist():
+    present = {name for name in os.listdir(EXAMPLES)
+               if name.endswith(".py")}
+    expected = {"quickstart.py", "mars_rover.py", "mission_scenario.py",
+                "design_space_exploration.py", "custom_workload_dsl.py",
+                "uncertainty_and_phases.py", "runtime_execution.py",
+                "solar_uav.py", "thermal_synthesis.py"}
+    assert expected <= present

@@ -1,0 +1,85 @@
+"""Property-based tests for the execution layer.
+
+The self-timed dispatcher's contract: *whatever the jitter does*, the
+realized execution never violates a min separation, never overlaps a
+resource, and never exceeds the power budget it can see.  The static
+dispatcher's contract: with exact durations it replays the plan
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SchedulerOptions, SchedulingFailure
+from repro.core.task import ANCHOR_NAME
+from repro.execution import ScheduleExecutor, UniformJitter
+from repro.scheduling import PowerAwareScheduler
+from tests.test_properties import precedence_problems
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=1,
+                        max_spike_attempts=300, seed=1)
+
+
+def _plan(problem):
+    try:
+        return PowerAwareScheduler(FAST).solve(problem)
+    except SchedulingFailure:
+        return None
+
+
+class TestSelfTimedInvariants:
+    @given(precedence_problems(),
+           st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_never_violates_under_jitter(self, problem, fraction,
+                                         seed):
+        plan = _plan(problem)
+        if plan is None:
+            return
+        run = ScheduleExecutor(problem, plan.schedule,
+                               durations=UniformJitter(fraction,
+                                                       seed=seed),
+                               policy="self_timed").run()
+        assert run.trace.violations() == []
+        assert not run.pending
+
+        # realized min separations hold against realized starts
+        graph = problem.graph
+        for edge in graph.edges():
+            if edge.weight < 0 or ANCHOR_NAME in (edge.src, edge.dst):
+                continue
+            src_start = run.spans[edge.src][0]
+            dst_start = run.spans[edge.dst][0]
+            assert dst_start - src_start >= edge.weight
+
+        # no resource ever double-booked
+        for name, (start, end) in run.spans.items():
+            resource = graph.task(name).resource
+            if resource is None:
+                continue
+            for other, (ostart, oend) in run.spans.items():
+                if other == name \
+                        or graph.task(other).resource != resource:
+                    continue
+                assert end <= ostart or oend <= start
+
+        # realized profile under the visible budget
+        assert run.profile.is_power_valid(problem.p_max)
+
+    @given(precedence_problems())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_static_replay_is_exact(self, problem):
+        plan = _plan(problem)
+        if plan is None:
+            return
+        run = ScheduleExecutor(problem, plan.schedule,
+                               policy="static").run()
+        assert run.ok
+        for name in plan.schedule:
+            assert run.spans[name][0] == plan.schedule.start(name)
+        assert run.finished_at == plan.finish_time

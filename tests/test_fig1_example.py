@@ -1,0 +1,101 @@
+"""Narrative tests for the reconstructed Fig. 1 running example.
+
+Every statement the paper makes about Figs. 1/2/5/7 must hold on the
+reconstruction (see the derivation in ``repro.examples_data``).
+"""
+
+import pytest
+
+from repro.core.task import ANCHOR_NAME
+from repro.examples_data import (FIG1_P_MAX, FIG1_P_MIN, FIG1_TAU,
+                                 fig1_graph, fig1_options, fig1_problem)
+from repro.scheduling import PowerAwareScheduler
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return PowerAwareScheduler(fig1_options()).solve_pipeline(
+        fig1_problem())
+
+
+class TestFig1Structure:
+    def test_nine_tasks_named_a_to_i(self):
+        graph = fig1_graph()
+        assert sorted(graph.task_names()) == list("abcdefghi")
+
+    def test_three_resources(self):
+        graph = fig1_graph()
+        assert sorted(graph.resources.names) == ["A", "B", "C"]
+
+    def test_rows(self):
+        graph = fig1_graph()
+        rows = {res: sorted(t.name for t in graph.tasks_on(res))
+                for res in graph.resources.names}
+        assert rows == {"A": ["a", "d", "g"], "B": ["b", "e", "h"],
+                        "C": ["c", "f", "i"]}
+
+
+class TestFig2TimeValid:
+    def test_exactly_one_power_spike(self, pipeline):
+        spikes = pipeline.timing.profile.spikes(FIG1_P_MAX)
+        assert len(spikes) == 1
+        assert spikes[0].extremum > FIG1_P_MAX
+
+    def test_several_power_gaps(self, pipeline):
+        """'Several' gaps: at least two distinct sub-P_min plateaus."""
+        profile = pipeline.timing.profile
+        low_segments = [seg for seg in profile.segments
+                        if seg[2] < FIG1_P_MIN - 1e-9]
+        assert len(low_segments) >= 2
+
+    def test_finish_time(self, pipeline):
+        assert pipeline.timing.finish_time == FIG1_TAU
+
+
+class TestFig5MaxPower:
+    def test_valid_after_max_power(self, pipeline):
+        assert pipeline.max_power.metrics.spikes == 0
+
+    def test_exactly_h_and_f_delayed(self, pipeline):
+        """Paper: 'Tasks h and f are delayed to remove the power
+        spike.'  The delay edges the scheduler added target exactly
+        those two tasks."""
+        graph = pipeline.max_power.extra["graph"]
+        delayed = sorted(e.dst for e in graph.edges()
+                         if e.src == ANCHOR_NAME and e.tag == "delay")
+        assert delayed == ["f", "h"]
+
+    def test_h_and_f_moved_relative_to_fig2(self, pipeline):
+        before = pipeline.timing.schedule
+        after = pipeline.max_power.schedule
+        moved = {name for name, _, _ in before.differences(after)}
+        assert moved == {"f", "h"}
+
+    def test_performance_preserved(self, pipeline):
+        assert pipeline.max_power.finish_time == FIG1_TAU
+
+
+class TestFig7Improved:
+    def test_full_min_power_utilization(self, pipeline):
+        assert pipeline.min_power.utilization == pytest.approx(1.0)
+
+    def test_utilization_strictly_improved(self, pipeline):
+        assert pipeline.min_power.utilization \
+            > pipeline.max_power.utilization
+
+    def test_energy_cost_reduced_at_same_performance(self, pipeline):
+        assert pipeline.min_power.finish_time == FIG1_TAU
+        assert pipeline.min_power.energy_cost \
+            < pipeline.max_power.energy_cost
+
+    def test_validity_range_matches_paper(self, pipeline):
+        """'The same schedule can be directly applied to all cases
+        with P_max >= 16, P_min <= 14.'"""
+        profile = pipeline.min_power.profile
+        assert profile.peak() <= FIG1_P_MAX + 1e-9   # valid for >= 16
+        assert profile.floor() >= FIG1_P_MIN - 1e-9  # full use for <= 14
+
+    def test_final_profile_is_flat_14w(self, pipeline):
+        """The reconstruction lands on the perfectly flat packing."""
+        assert pipeline.min_power.profile.segments \
+            == [(0, FIG1_TAU, pytest.approx(14.0))]

@@ -1,0 +1,140 @@
+"""Unit tests for the power-aware Gantt chart and its renderers."""
+
+import pytest
+
+from repro import (ConstraintGraph, Schedule, ValidationError,
+                   schedule)
+from repro.gantt import (GanttChart, chart_result, render_chart,
+                         render_power_view, render_time_view,
+                         render_svg, write_svg)
+
+
+@pytest.fixture
+def chart() -> GanttChart:
+    g = ConstraintGraph("demo")
+    g.new_task("alpha", duration=5, power=6.0, resource="A")
+    g.new_task("beta", duration=5, power=8.0, resource="B")
+    g.new_task("gamma", duration=5, power=6.0, resource="A")
+    g.add_precedence("alpha", "gamma")
+    s = Schedule(g, {"alpha": 0, "beta": 0, "gamma": 5})
+    return GanttChart(schedule=s, p_max=12.0, p_min=5.0, baseline=1.0)
+
+
+class TestModel:
+    def test_rows_grouped_by_resource(self, chart):
+        assert set(chart.rows) == {"A", "B"}
+        assert [b.task for b in chart.rows["A"]] == ["alpha", "gamma"]
+
+    def test_bin_geometry(self, chart):
+        alpha = chart.rows["A"][0]
+        assert (alpha.start, alpha.end) == (0, 5)
+        assert alpha.energy == pytest.approx(30.0)
+
+    def test_spike_and_gap_annotations(self, chart):
+        # t in [0,5): 6+8+1 = 15 > 12 -> spike; [5,10): 7 no gap
+        assert len(chart.spikes()) == 1
+        assert chart.gaps() == []
+
+    def test_composition_stack(self, chart):
+        stack = chart.composition_at(0)
+        names = [name for name, _ in stack]
+        assert names[0] == "(baseline)"
+        assert set(names[1:]) == {"alpha", "beta"}
+
+    def test_annotations_summary(self, chart):
+        ann = chart.annotations()
+        assert ann["tau"] == 10
+        assert ann["P_max"] == 12.0
+        assert ann["spikes"] == 1
+
+    def test_with_bin_moved_valid(self, chart):
+        moved = chart.with_bin_moved("beta", 10)
+        assert moved.schedule.start("beta") == 10
+        assert chart.schedule.start("beta") == 0  # original intact
+        assert len(moved.spikes()) == 0
+
+    def test_with_bin_moved_rejects_constraint_violation(self, chart):
+        with pytest.raises(ValidationError):
+            chart.with_bin_moved("gamma", 2)  # overlaps alpha on A
+
+
+class TestAsciiRenderer:
+    def test_time_view_has_one_row_per_resource(self, chart):
+        text = render_time_view(chart)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("A")
+        assert "a" in lines[0] and "g" in lines[0]
+
+    def test_power_view_marks_levels(self, chart):
+        text = render_power_view(chart)
+        assert "P_max" in text
+        assert "P_min" in text
+
+    def test_full_chart_contains_header(self, chart):
+        text = render_chart(chart)
+        assert "P_max=12" in text
+        assert "time view" in text and "power view" in text
+
+    def test_slack_markers_optional(self, chart):
+        plain = render_time_view(chart, show_slack=False)
+        dotted = render_time_view(chart, show_slack=True)
+        assert "." not in plain.replace("...", "")
+        assert "." in dotted  # beta has slack to spare
+
+    def test_bad_scales_rejected(self, chart):
+        with pytest.raises(ValueError):
+            render_time_view(chart, time_scale=0)
+        with pytest.raises(ValueError):
+            render_power_view(chart, power_scale=0)
+
+
+class TestSvgRenderer:
+    def test_svg_is_well_formed(self, chart):
+        import xml.etree.ElementTree as ET
+        document = render_svg(chart)
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+
+    def test_svg_mentions_tasks_and_levels(self, chart):
+        document = render_svg(chart)
+        for needle in ("alpha", "beta", "gamma", "P_max", "P_min",
+                       "time-view", "power-view"):
+            assert needle in document
+
+    def test_write_svg(self, chart, tmp_path):
+        path = write_svg(chart, str(tmp_path / "chart.svg"))
+        with open(path) as handle:
+            assert handle.read().startswith("<svg")
+
+    def test_chart_result_builder(self, small_problem):
+        result = schedule(small_problem)
+        chart = chart_result(result)
+        assert chart.p_max == small_problem.p_max
+        assert chart.schedule is result.schedule
+        assert render_svg(chart)  # renders without error
+
+
+class TestHtmlReport:
+    def test_report_contains_all_charts(self, chart):
+        from repro.gantt import render_html_report
+        other = chart.with_bin_moved("beta", 10)
+        other.title = "alternative"
+        document = render_html_report([chart, other], title="review")
+        assert document.startswith("<!DOCTYPE html>")
+        assert "review" in document
+        assert document.count("<svg") == 2
+        assert "alternative" in document
+
+    def test_write_html_report(self, chart, tmp_path):
+        from repro.gantt import write_html_report
+        path = write_html_report([chart], str(tmp_path / "r.html"))
+        with open(path) as handle:
+            body = handle.read()
+        assert "</html>" in body
+
+    def test_metadata_line_present(self, chart):
+        from repro.gantt import render_html_report
+        document = render_html_report([chart])
+        assert "P_max=12" in document
+        assert "spikes=1" in document

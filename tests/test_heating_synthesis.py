@@ -1,0 +1,80 @@
+"""Tests for automatic heating-task synthesis."""
+
+import pytest
+
+from repro.mission import MarsRover, SolarCase
+from repro.mission.heating_synthesis import (strip_heating,
+                                             synthesize_heating)
+from repro.mission.thermal import check_thermal
+from repro.scheduling import SchedulerOptions
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def rover() -> MarsRover:
+    return MarsRover(options=FAST)
+
+
+class TestStripHeating:
+    def test_removes_heat_tasks_only(self, rover):
+        graph = rover.iteration_graph(SolarCase.TYPICAL)
+        bare = strip_heating(graph)
+        kinds = {t.meta.get("kind") for t in bare.tasks()}
+        assert "heat" not in kinds
+        assert len(bare) == 6  # 2 x (hazard, steer, drive)
+
+    def test_keeps_operation_constraints(self, rover):
+        bare = strip_heating(rover.iteration_graph(SolarCase.TYPICAL))
+        assert bare.separation("hazard_1", "steer_1") == 10
+        assert bare.separation("drive_1", "hazard_2") == 10
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("case", list(SolarCase))
+    def test_rederives_the_hand_allocation(self, rover, case):
+        """Starting from a heat-free graph, synthesis converges to the
+        paper's allocation: five shared firings per 2-step iteration,
+        with the same finish time and energy cost as the hand-placed
+        model."""
+        bare = strip_heating(rover.iteration_graph(case))
+        outcome = synthesize_heating(bare, case, options=FAST)
+        hand = rover.power_aware_result(case)
+        assert outcome.firings == 5
+        assert outcome.result.finish_time == hand.finish_time
+        assert outcome.result.energy_cost \
+            == pytest.approx(hand.energy_cost, abs=0.5)
+
+    def test_result_is_thermally_sound(self, rover):
+        bare = strip_heating(rover.iteration_graph(SolarCase.TYPICAL))
+        outcome = synthesize_heating(bare, SolarCase.TYPICAL,
+                                     options=FAST)
+        assert check_thermal(outcome.result.schedule) == []
+
+    def test_synthesized_tasks_are_tagged(self, rover):
+        bare = strip_heating(rover.iteration_graph(SolarCase.TYPICAL))
+        outcome = synthesize_heating(bare, SolarCase.TYPICAL,
+                                     options=FAST)
+        for name in outcome.inserted:
+            assert outcome.graph.task(name).meta["synthesized"]
+
+    def test_already_sound_graph_needs_no_firings(self, rover):
+        """A graph whose hand-placed heatings already satisfy the
+        physics comes back unchanged after one verification round."""
+        graph = rover.iteration_graph(SolarCase.TYPICAL)
+        outcome = synthesize_heating(graph, SolarCase.TYPICAL,
+                                     options=FAST)
+        assert outcome.firings == 0
+        assert outcome.rounds == 1
+
+    def test_hopeless_physics_fails_cleanly(self, rover):
+        from repro.errors import ReproError
+        from repro.mission.thermal import ThermalParams
+
+        bare = strip_heating(rover.iteration_graph(SolarCase.TYPICAL))
+        # a motor that cools nearly instantly can never stay warm
+        hopeless = ThermalParams(cool_tau=0.25, heat_tau=0.2)
+        with pytest.raises(ReproError):
+            synthesize_heating(bare, SolarCase.TYPICAL,
+                               params=hopeless, options=FAST,
+                               max_rounds=3)

@@ -1,0 +1,108 @@
+"""Property-based tests for the persistence layer.
+
+Contracts: (1) problem -> dict -> problem is a fixpoint (the second
+dict equals the first); (2) the DSL parser never crashes with anything
+but :class:`SerializationError` on malformed text; (3) a problem
+rendered *to* DSL and parsed back round-trips (we generate the DSL from
+the problem, so this also pins the documented syntax).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SchedulingProblem, SerializationError
+from repro.io import parse_problem, problem_from_dict, problem_to_dict
+from tests.test_properties import precedence_problems
+
+# ----------------------------------------------------------------------
+# JSON fixpoint
+# ----------------------------------------------------------------------
+
+
+class TestJsonFixpoint:
+    @given(precedence_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_dict_round_trip_is_fixpoint(self, problem):
+        first = problem_to_dict(problem)
+        rebuilt = problem_from_dict(first)
+        second = problem_to_dict(rebuilt)
+        assert first == second
+
+    @given(precedence_problems())
+    @settings(max_examples=20, deadline=None)
+    def test_rebuilt_problem_is_equivalent(self, problem):
+        rebuilt = problem_from_dict(problem_to_dict(problem))
+        assert rebuilt.p_max == problem.p_max
+        assert rebuilt.graph.task_names() == problem.graph.task_names()
+        for task in problem.graph.tasks():
+            clone = rebuilt.graph.task(task.name)
+            assert (clone.duration, clone.power, clone.resource) \
+                == (task.duration, task.power, task.resource)
+
+
+# ----------------------------------------------------------------------
+# DSL robustness and round-trip
+# ----------------------------------------------------------------------
+
+def problem_to_dsl(problem: SchedulingProblem) -> str:
+    """Render a (precedence-style) problem in the documented DSL."""
+    lines = [f"problem {problem.name or 'p'} pmax {problem.p_max} "
+             f"pmin {problem.p_min} baseline {problem.baseline}"]
+    for task in problem.graph.tasks():
+        resource = task.resource or "none"
+        lines.append(f"task {task.name} {resource} {task.duration} "
+                     f"{task.power}")
+    for edge in problem.graph.edges():
+        if edge.weight >= 0:
+            lines.append(f"min {edge.src} {edge.dst} {edge.weight}")
+        else:
+            lines.append(f"max {edge.dst} {edge.src} {-edge.weight}")
+    return "\n".join(lines)
+
+
+class TestDslRoundTrip:
+    @given(precedence_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_render_parse_round_trip(self, problem):
+        text = problem_to_dsl(problem)
+        parsed = parse_problem(text)
+        assert parsed.p_max == pytest.approx(problem.p_max)
+        assert parsed.graph.task_names() == problem.graph.task_names()
+        assert sorted((e.src, e.dst, e.weight)
+                      for e in parsed.graph.edges()) \
+            == sorted((e.src, e.dst, e.weight)
+                      for e in problem.graph.edges())
+
+
+junk_lines = st.lists(
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=40),
+    max_size=8)
+
+
+class TestDslRobustness:
+    @given(junk_lines)
+    @settings(max_examples=80, deadline=None)
+    def test_garbage_never_crashes(self, lines):
+        """Arbitrary printable garbage either parses or raises the
+        library's own SerializationError — never anything else."""
+        text = "\n".join(lines)
+        try:
+            parse_problem(text)
+        except SerializationError:
+            pass
+
+    @given(st.integers(min_value=0, max_value=6), junk_lines)
+    @settings(max_examples=60, deadline=None)
+    def test_garbage_after_valid_header(self, n_tasks, lines):
+        head = ["problem fuzz pmax 50"]
+        head += [f"task t{i} R{i % 2} {i + 1} 1.0"
+                 for i in range(n_tasks)]
+        text = "\n".join(head + lines)
+        try:
+            parse_problem(text)
+        except SerializationError:
+            pass

@@ -1,0 +1,59 @@
+"""Unit tests for the greedy power-capped list scheduler."""
+
+import pytest
+
+from repro import (ConstraintGraph, SchedulingFailure, SchedulingProblem,
+                   check_power_valid, greedy_schedule)
+from repro.workloads import fork_join, independent
+
+
+class TestGreedy:
+    def test_packs_under_power_cap(self):
+        problem = independent(4, duration=5, power=4.0, p_max=10.0)
+        result = greedy_schedule(problem)
+        assert result.metrics.peak_power <= 10.0 + 1e-9
+        assert result.finish_time == 10
+
+    def test_respects_resources(self):
+        g = ConstraintGraph()
+        g.new_task("u", duration=5, power=1.0, resource="R")
+        g.new_task("v", duration=5, power=1.0, resource="R")
+        result = greedy_schedule(SchedulingProblem(g, p_max=10.0))
+        assert result.schedule.overlapping_on_resource("R") == []
+
+    def test_respects_precedences(self):
+        problem = fork_join(width=3, power=2.0, p_max=20.0)
+        result = greedy_schedule(problem)
+        s = result.schedule
+        for i in range(3):
+            assert s.start(f"w{i}") >= s.finish("source")
+            assert s.start("sink") >= s.finish(f"w{i}")
+
+    def test_result_power_valid(self, small_problem):
+        result = greedy_schedule(small_problem)
+        assert check_power_valid(result.schedule, small_problem.p_max,
+                                 baseline=small_problem.baseline).ok
+
+    def test_infeasible_task_rejected(self):
+        problem = independent(1, duration=5, power=12.0, p_max=10.0)
+        with pytest.raises(SchedulingFailure):
+            greedy_schedule(problem)
+
+    def test_max_separations_cause_honest_failure(self):
+        """Greedy does not backtrack: a window it happens to violate is
+        reported as a failure rather than silently returned."""
+        g = ConstraintGraph()
+        g.new_task("a", duration=5, power=6.0, resource="A")
+        g.new_task("b", duration=5, power=6.0, resource="B")
+        # b within 2 s of a, but both cannot run together (12 > 10):
+        g.add_separation_window("a", "b", 0, 2)
+        problem = SchedulingProblem(g, p_max=10.0)
+        with pytest.raises(SchedulingFailure):
+            greedy_schedule(problem)
+
+    def test_greedy_not_slower_than_serial_on_independent(self):
+        from repro import serial_schedule
+        problem = independent(6, duration=3, power=2.0, p_max=5.0)
+        greedy = greedy_schedule(problem)
+        serial = serial_schedule(problem)
+        assert greedy.finish_time <= serial.finish_time

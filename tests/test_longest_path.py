@@ -1,0 +1,109 @@
+"""Unit tests for single-source longest path and ASAP/ALAP analysis."""
+
+import pytest
+
+from repro import (ConstraintGraph, PositiveCycleError, earliest_starts,
+                   latest_starts, longest_paths)
+from repro.core.task import ANCHOR_NAME
+
+
+def make_chain() -> ConstraintGraph:
+    g = ConstraintGraph("chain")
+    g.new_task("a", duration=5)
+    g.new_task("b", duration=3)
+    g.new_task("c", duration=4)
+    g.add_precedence("a", "b")
+    g.add_precedence("b", "c")
+    return g
+
+
+class TestLongestPaths:
+    def test_chain_distances(self):
+        dist = longest_paths(make_chain()).distance
+        assert dist["a"] == 0
+        assert dist["b"] == 5
+        assert dist["c"] == 8
+
+    def test_unconstrained_tasks_start_at_zero(self):
+        g = ConstraintGraph()
+        g.new_task("x", duration=7)
+        assert longest_paths(g).distance["x"] == 0
+
+    def test_release_raises_distance(self):
+        g = make_chain()
+        g.add_release("a", 10)
+        dist = longest_paths(g).distance
+        assert dist["a"] == 10
+        assert dist["c"] == 18
+
+    def test_max_separation_alone_does_not_move_tasks(self):
+        g = ConstraintGraph()
+        g.new_task("u", duration=5)
+        g.new_task("v", duration=5)
+        g.add_max_separation("u", "v", 10)
+        dist = longest_paths(g).distance
+        assert dist["u"] == 0
+        assert dist["v"] == 0
+
+    def test_max_separation_can_push_earlier_task(self):
+        # v released at 60, u must be within 50 before v:
+        # sigma(u) >= 60 - 50 = 10.
+        g = ConstraintGraph()
+        g.new_task("u", duration=5)
+        g.new_task("v", duration=5)
+        g.add_release("v", 60)
+        g.add_max_separation("u", "v", 50)
+        assert longest_paths(g).distance["u"] == 10
+
+    def test_positive_cycle_detected(self):
+        g = ConstraintGraph()
+        g.new_task("u", duration=5)
+        g.new_task("v", duration=5)
+        g.add_min_separation("u", "v", 10)
+        g.add_max_separation("u", "v", 8)  # contradiction
+        with pytest.raises(PositiveCycleError):
+            longest_paths(g)
+
+    def test_positive_cycle_reports_cycle_vertices(self):
+        g = ConstraintGraph()
+        g.new_task("u", duration=5)
+        g.new_task("v", duration=5)
+        g.add_min_separation("u", "v", 10)
+        g.add_max_separation("u", "v", 8)
+        with pytest.raises(PositiveCycleError) as excinfo:
+            longest_paths(g)
+        cycle = excinfo.value.cycle
+        assert cycle  # non-empty trace
+
+    def test_critical_path_chain(self):
+        result = longest_paths(make_chain())
+        assert result.critical_path("c") == ["a", "b", "c"]
+
+    def test_anchor_distance_zero(self):
+        assert longest_paths(make_chain()).distance[ANCHOR_NAME] == 0
+
+
+class TestAsapAlap:
+    def test_earliest_starts_match_distances(self):
+        assert earliest_starts(make_chain()) == {"a": 0, "b": 5, "c": 8}
+
+    def test_latest_starts_against_horizon(self):
+        late = latest_starts(make_chain(), horizon=20)
+        # c must finish by 20 -> start <= 16; b <= 13; a <= 8.
+        assert late["c"] == 16
+        assert late["b"] == 13
+        assert late["a"] == 8
+
+    def test_alap_window_contains_asap(self):
+        g = make_chain()
+        early = earliest_starts(g)
+        late = latest_starts(g, horizon=30)
+        for name in early:
+            assert early[name] <= late[name]
+
+    def test_alap_detects_infeasible_horizon(self):
+        from repro import InfeasibleError
+        g = make_chain()
+        g.add_release("a", 25)
+        with pytest.raises(InfeasibleError):
+            latest_starts(g, horizon=10)

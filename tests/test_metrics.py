@@ -1,0 +1,91 @@
+"""Unit tests for the Section 4.2 metrics."""
+
+import math
+
+import pytest
+
+from repro import (ConstraintGraph, PowerProfile, Schedule, energy_cost,
+                   evaluate, min_power_utilization, power_jitter)
+
+
+@pytest.fixture
+def stepped() -> PowerProfile:
+    # 16 W for 5 s, 12 W for 5 s, 14 W for 10 s.
+    return PowerProfile([(0, 5, 16.0), (5, 10, 12.0), (10, 20, 14.0)])
+
+
+class TestEnergyCost:
+    def test_cost_above_free_level(self, stepped):
+        assert energy_cost(stepped, 14.0) == pytest.approx(10.0)
+
+    def test_zero_free_level_costs_everything(self, stepped):
+        assert energy_cost(stepped, 0.0) == pytest.approx(
+            stepped.energy())
+
+    def test_high_free_level_costs_nothing(self, stepped):
+        assert energy_cost(stepped, 20.0) == 0.0
+
+
+class TestUtilization:
+    def test_partial_utilization(self, stepped):
+        # capped at 14: 14*5 + 12*5 + 14*10 = 270 of 280 available.
+        assert min_power_utilization(stepped, 14.0) \
+            == pytest.approx(270.0 / 280.0)
+
+    def test_full_when_profile_above_level(self, stepped):
+        assert min_power_utilization(stepped, 12.0) == pytest.approx(1.0)
+
+    def test_defined_as_one_for_zero_level(self, stepped):
+        assert min_power_utilization(stepped, 0.0) == 1.0
+
+    def test_empty_profile(self):
+        assert min_power_utilization(PowerProfile([]), 5.0) == 1.0
+
+
+class TestJitter:
+    def test_flat_profile_has_no_jitter(self):
+        flat = PowerProfile([(0, 10, 5.0)])
+        std, ratio = power_jitter(flat)
+        assert std == pytest.approx(0.0)
+        assert ratio == pytest.approx(1.0)
+
+    def test_known_variance(self):
+        p = PowerProfile([(0, 5, 2.0), (5, 10, 6.0)])
+        std, ratio = power_jitter(p)
+        assert std == pytest.approx(2.0)   # mean 4, deviations +-2
+        assert ratio == pytest.approx(6.0 / 4.0)
+
+    def test_empty_profile(self):
+        std, ratio = power_jitter(PowerProfile([]))
+        assert std == 0.0
+        assert ratio == 1.0
+
+    def test_zero_mean_ratio_is_inf(self):
+        p = PowerProfile([(0, 5, 0.0)])
+        _, ratio = power_jitter(p)
+        assert math.isinf(ratio)
+
+
+class TestEvaluate:
+    def test_full_metric_set(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5, power=16.0, resource="A")
+        g.new_task("b", duration=5, power=12.0, resource="B")
+        s = Schedule(g, {"a": 0, "b": 5})
+        m = evaluate(s, p_max=14.0, p_min=14.0)
+        assert m.finish_time == 10
+        assert m.total_energy == pytest.approx(140.0)
+        assert m.energy_cost == pytest.approx(10.0)   # 2 W x 5 s
+        assert m.utilization == pytest.approx(130.0 / 140.0)
+        assert m.peak_power == pytest.approx(16.0)
+        assert m.spikes == 1
+        assert m.gaps == 1
+
+    def test_row_shape(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=2, power=3.0)
+        m = evaluate(Schedule(g, {"a": 0}), p_max=5.0, p_min=1.0)
+        row = m.row()
+        assert set(row) == {"tau_s", "energy_J", "energy_cost_J",
+                            "utilization_pct", "peak_W", "jitter_std_W"}
+        assert row["tau_s"] == 2

@@ -1,0 +1,102 @@
+"""Unit tests for the min-power scheduler (paper Fig. 6)."""
+
+import pytest
+
+from repro import (ConstraintGraph, MaxPowerScheduler, MinPowerScheduler,
+                   SchedulerOptions, SchedulingProblem,
+                   check_power_valid, min_power_schedule)
+from repro.examples_data import fig1_options, fig1_problem
+
+
+def gap_problem() -> SchedulingProblem:
+    """A movable task can fill the gap behind a fixed chain.
+
+    Chain x(6W) -> y(6W) occupies [0,10) on resource A; task m (6 W,
+    slack-rich) idles the interval [10, 20) unless delayed; with
+    P_min = 6 the min-power scheduler should slide m right to keep the
+    profile at the free level longer.
+    """
+    g = ConstraintGraph("gap")
+    g.new_task("x", duration=5, power=6.0, resource="A")
+    g.new_task("y", duration=5, power=6.0, resource="A")
+    g.add_precedence("x", "y")
+    g.new_task("m", duration=5, power=6.0, resource="B")
+    g.new_task("end", duration=5, power=6.0, resource="A")
+    g.add_precedence("y", "end", gap=5)  # hole in [10, 15)
+    return SchedulingProblem(g, p_max=20.0, p_min=6.0)
+
+
+class TestGapFilling:
+    def test_gap_filled_and_cost_reduced(self):
+        problem = gap_problem()
+        base = MaxPowerScheduler().solve(problem)
+        improved = MinPowerScheduler().improve(problem, base)
+        assert improved.utilization >= base.utilization
+        assert improved.energy_cost <= base.energy_cost + 1e-9
+        # m should have been moved into the [10, 15) hole
+        assert improved.schedule.start("m") == 10
+
+    def test_finish_time_never_increases(self):
+        problem = gap_problem()
+        base = MaxPowerScheduler().solve(problem)
+        improved = MinPowerScheduler().improve(problem, base)
+        assert improved.finish_time <= base.finish_time
+
+    def test_result_stays_valid(self):
+        problem = gap_problem()
+        result = min_power_schedule(problem)
+        assert check_power_valid(result.schedule, problem.p_max).ok
+
+    def test_no_op_when_p_min_zero(self):
+        problem = gap_problem().with_power_constraints(p_max=20.0,
+                                                       p_min=0.0)
+        base = MaxPowerScheduler().solve(problem)
+        improved = MinPowerScheduler().improve(problem, base)
+        assert improved.schedule == base.schedule
+
+    def test_no_op_at_full_utilization(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5, power=6.0, resource="A")
+        problem = SchedulingProblem(g, p_max=10.0, p_min=6.0)
+        result = min_power_schedule(problem)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_stage_label(self):
+        result = min_power_schedule(gap_problem())
+        assert result.stage == "min_power"
+
+
+class TestHeuristicConfigurations:
+    def test_single_scan_not_better_than_multi(self):
+        problem = gap_problem()
+        single = min_power_schedule(
+            problem, SchedulerOptions(min_power_scans=1,
+                                      scan_orders=("forward",),
+                                      slot_heuristics=("start_at_gap",)))
+        multi = min_power_schedule(
+            problem, SchedulerOptions(min_power_scans=9))
+        assert multi.utilization >= single.utilization - 1e-12
+
+    def test_deterministic_for_fixed_seed(self):
+        a = min_power_schedule(gap_problem(), SchedulerOptions(seed=11))
+        b = min_power_schedule(gap_problem(), SchedulerOptions(seed=11))
+        assert a.schedule == b.schedule
+
+    def test_random_slot_heuristic_valid(self):
+        options = SchedulerOptions(slot_heuristics=("random",), seed=3)
+        result = min_power_schedule(gap_problem(), options)
+        problem = gap_problem()
+        assert check_power_valid(result.schedule, problem.p_max).ok
+
+    def test_reverse_scan_order_valid(self):
+        options = SchedulerOptions(scan_orders=("reverse",))
+        result = min_power_schedule(gap_problem(), options)
+        assert result.metrics.spikes == 0
+
+
+class TestPaperExample:
+    def test_fig7_reaches_full_utilization(self):
+        result = min_power_schedule(fig1_problem(), fig1_options())
+        assert result.utilization == pytest.approx(1.0)
+        assert result.profile.floor() == pytest.approx(14.0)
+        assert result.metrics.peak_power <= 16.0 + 1e-9

@@ -1,0 +1,189 @@
+"""Targeted edge-case coverage across modules.
+
+Small behaviours that the mainline tests step over: reprs, error
+hierarchies, degenerate inputs, and rarely-taken branches.  Each test
+documents a contract a downstream user could reasonably rely on.
+"""
+
+import pytest
+
+from repro import (ConstraintGraph, Edge, GraphError, InfeasibleError,
+                   PositiveCycleError, PowerProfile, ReproError,
+                   Schedule, SchedulingFailure, SchedulingProblem,
+                   SerializationError, ValidationError, longest_paths,
+                   schedule)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [GraphError, InfeasibleError,
+                                     PositiveCycleError,
+                                     SchedulingFailure,
+                                     SerializationError,
+                                     ValidationError])
+    def test_all_errors_are_repro_errors(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_positive_cycle_carries_trace(self):
+        error = PositiveCycleError("boom", cycle=["a", "b"])
+        assert error.cycle == ["a", "b"]
+        assert PositiveCycleError("x").cycle is None
+
+
+class TestReprsAndEdges:
+    def test_edge_direction_flag(self):
+        assert Edge("a", "b", 5).is_forward
+        assert not Edge("a", "b", -5).is_forward
+
+    def test_graph_repr_mentions_counts(self):
+        g = ConstraintGraph("demo")
+        g.new_task("t", duration=1)
+        assert "demo" in repr(g)
+        assert "tasks=1" in repr(g)
+
+    def test_schedule_repr_shows_makespan(self):
+        g = ConstraintGraph()
+        g.new_task("t", duration=4)
+        assert "tau=4" in repr(Schedule(g, {"t": 0}))
+
+    def test_profile_repr(self):
+        profile = PowerProfile([(0, 5, 2.0)])
+        assert "peak=2" in repr(profile)
+
+    def test_problem_repr(self):
+        g = ConstraintGraph("p")
+        g.new_task("t", duration=1)
+        text = repr(SchedulingProblem(g, p_max=9.0))
+        assert "P_max=9" in text
+
+
+class TestLongestPathExtras:
+    def test_critical_path_trace(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=3)
+        g.new_task("b", duration=3)
+        g.new_task("c", duration=3)
+        g.add_precedence("a", "b")
+        g.add_precedence("b", "c")
+        result = longest_paths(g)
+        assert result.critical_path("c") == ["a", "b", "c"]
+        assert result.critical_path("a") == ["a"]
+
+    def test_cache_survives_copy(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=3)
+        longest_paths(g)
+        clone = g.copy()
+        # the clone starts cold but must compute correctly
+        assert longest_paths(clone).distance["a"] == 0
+
+    def test_new_task_invalidates_fast_path(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=3)
+        longest_paths(g)
+        g.new_task("b", duration=2)
+        g.add_precedence("a", "b")
+        assert longest_paths(g).distance["b"] == 3
+
+
+class TestProfileEdges:
+    def test_sampled_rejects_bad_step(self):
+        profile = PowerProfile([(0, 4, 1.0)])
+        with pytest.raises(ValidationError):
+            profile.sampled(step=0)
+
+    def test_empty_profile_queries(self):
+        empty = PowerProfile([])
+        assert empty.peak() == 0.0
+        assert empty.floor() == 0.0
+        assert empty.value(3) == 0.0
+        assert empty.spikes(1.0) == []
+
+
+class TestScheduleTableExtras:
+    def test_add_plain_schedule(self):
+        from repro import ScheduleTable
+
+        g = ConstraintGraph()
+        g.new_task("t", duration=2, power=3.0)
+        table = ScheduleTable()
+        entry = table.add("manual", Schedule(g, {"t": 0}),
+                          baseline=1.0)
+        assert entry.min_p_max == pytest.approx(4.0)
+        assert len(table) == 1
+
+
+class TestTraceExtras:
+    def test_first_returns_none_when_absent(self):
+        from repro.execution import Trace
+
+        trace = Trace()
+        assert trace.first("task-started") is None
+        assert trace.for_task("x") == []
+        assert list(trace) == []
+
+
+class TestBatteryExtras:
+    def test_ideal_battery_validation(self):
+        from repro.power import IdealBattery
+
+        with pytest.raises(ReproError):
+            IdealBattery(capacity=-1.0)
+        battery = IdealBattery(capacity=10.0, max_power=5.0)
+        with pytest.raises(ReproError):
+            battery.draw(-1.0, 1.0)
+
+    def test_rate_capacity_validation(self):
+        from repro.power import RateCapacityBattery
+
+        with pytest.raises(ReproError):
+            RateCapacityBattery(capacity=10.0, rated_power=0.0)
+        with pytest.raises(ReproError):
+            RateCapacityBattery(capacity=10.0, alpha=-0.1)
+
+
+class TestSweepPointRows:
+    def test_infeasible_point_row(self):
+        from repro.analysis import SweepPoint
+
+        point = SweepPoint(p_max=3.0, p_min=1.0, feasible=False)
+        row = point.row()
+        assert row["feasible"] is False
+        assert row["tau_s"] is None
+        assert row["rho_pct"] is None
+
+
+class TestOptimalExtras:
+    def test_energy_objective_with_default_horizon(self):
+        from repro import optimal_schedule
+        from repro.workloads import independent
+
+        problem = independent(2, duration=3, power=4.0, p_max=10.0,
+                              p_min=4.0)
+        result = optimal_schedule(problem, objective="energy_cost")
+        # serializing costs nothing above the 4 W free level
+        assert result.energy_cost == pytest.approx(0.0)
+
+
+class TestVersionFlag:
+    def test_cli_version_exits_zero(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro-schedule" in capsys.readouterr().out
+
+
+class TestMissionReportExtras:
+    def test_empty_report_totals(self):
+        from repro.mission import MissionReport
+
+        report = MissionReport(policy="x", target_steps=10)
+        assert report.total_steps == 0
+        assert report.total_time == 0.0
+        assert report.phases() == []
+        assert not report.completed
+
+    def test_pipeline_schedule_functional_api(self, small_problem):
+        result = schedule(small_problem)
+        assert result.summary().startswith(small_problem.name)

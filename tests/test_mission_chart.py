@@ -1,0 +1,67 @@
+"""Unit tests for the mission timeline chart."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import PowerProfile
+from repro.gantt import (MissionTrack, render_mission_svg,
+                         write_mission_svg)
+from repro.power import StepSolar
+
+
+@pytest.fixture
+def track() -> MissionTrack:
+    track = MissionTrack("demo mission")
+    first = PowerProfile([(0, 10, 12.0), (10, 20, 16.0)])
+    second = PowerProfile([(0, 15, 10.0)])
+    track.add_profile(first, start_time=0.0, note="iter 1")
+    track.add_profile(second, start_time=20.0, note="iter 2")
+    return track
+
+
+@pytest.fixture
+def solar() -> StepSolar:
+    return StepSolar([(0, 14.0), (20, 9.0)])
+
+
+class TestTrack:
+    def test_segments_are_absolute(self, track):
+        assert track.segments[0] == (0.0, 10.0, 12.0)
+        assert track.segments[-1] == (20.0, 35.0, 10.0)
+        assert track.end_time == 35.0
+
+    def test_boundaries_carry_notes(self, track):
+        assert track.boundaries == [(0.0, "iter 1"), (20.0, "iter 2")]
+
+
+class TestRenderer:
+    def test_svg_well_formed(self, track, solar):
+        document = render_mission_svg(track, solar, title="T4")
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+        assert "T4" in document
+
+    def test_free_and_battery_fills_present(self, track, solar):
+        document = render_mission_svg(track, solar)
+        # segment at 16 W over 14 W solar -> both colours appear
+        assert "#74b06f" in document  # free
+        assert "#d9644a" in document  # battery
+        assert "solar" in document
+
+    def test_all_free_when_under_solar(self, solar):
+        track = MissionTrack("cheap")
+        track.add_profile(PowerProfile([(0, 10, 5.0)]), 0.0)
+        document = render_mission_svg(track, solar)
+        # the battery colour appears only in the legend swatch
+        assert document.count("#d9644a") == 1
+
+    def test_write_to_file(self, track, solar, tmp_path):
+        path = write_mission_svg(track, solar,
+                                 str(tmp_path / "mission.svg"))
+        assert open(path).read().startswith("<svg")
+
+    def test_boundary_markers_rendered(self, track, solar):
+        document = render_mission_svg(track, solar)
+        assert "iter 2" in document
+        assert document.count("stroke-dasharray") >= 2

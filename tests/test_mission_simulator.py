@@ -1,0 +1,146 @@
+"""Unit tests for the mission environment, policies, and simulator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mission import (IterationPlan, JPLPolicy, MarsRover,
+                           MissionEnvironment, MissionPolicy,
+                           MissionSimulator, PowerAwarePolicy, SolarCase,
+                           compare_reports, paper_mission_environment)
+from repro.power import IdealBattery, StepSolar
+from repro import PowerProfile
+
+
+@pytest.fixture(scope="module")
+def rover() -> MarsRover:
+    return MarsRover.standard()
+
+
+class TestEnvironment:
+    def test_case_mapping_follows_solar(self):
+        env = paper_mission_environment()
+        assert env.case_at(0) is SolarCase.BEST
+        assert env.case_at(600) is SolarCase.TYPICAL
+        assert env.case_at(1200) is SolarCase.WORST
+        assert env.case_at(99999) is SolarCase.WORST
+
+    def test_nearest_case_for_intermediate_levels(self):
+        env = MissionEnvironment(StepSolar([(0, 13.5)]))
+        assert env.case_at(0) is SolarCase.BEST  # 13.5 closer to 14.9
+
+    def test_constraints_track_solar(self):
+        env = paper_mission_environment()
+        assert env.constraints_at(0) == (pytest.approx(24.9),
+                                         pytest.approx(14.9))
+        assert env.constraints_at(1500) == (pytest.approx(19.0),
+                                            pytest.approx(9.0))
+
+    def test_invalid_battery_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            paper_mission_environment(battery_capacity=0)
+
+
+class TestPolicies:
+    def test_jpl_plan_is_case_independent_in_time(self, rover):
+        policy = JPLPolicy(rover)
+        plans = [policy.next_iteration(case, 0.0) for case in SolarCase]
+        assert len({p.duration for p in plans}) == 1
+        # but the *power* differs with temperature
+        energies = {round(p.profile.energy(), 1) for p in plans}
+        assert len(energies) == 3
+
+    def test_power_aware_plans_differ_by_case(self, rover):
+        policy = PowerAwarePolicy(rover)
+        typical = policy.next_iteration(SolarCase.TYPICAL, 0.0)
+        worst = policy.next_iteration(SolarCase.WORST, 0.0)
+        assert typical.duration < worst.duration
+
+    def test_best_case_first_vs_steady(self, rover):
+        policy = PowerAwarePolicy(rover)
+        first = policy.next_iteration(SolarCase.BEST, 0.0)
+        steady = policy.next_iteration(SolarCase.BEST, 50.0)
+        assert first.label.endswith("first")
+        assert steady.label.endswith("steady")
+        policy.reset()
+        again = policy.next_iteration(SolarCase.BEST, 0.0)
+        assert again.label.endswith("first")
+
+    def test_iteration_plan_validation(self):
+        profile = PowerProfile([(0, 5, 1.0)])
+        with pytest.raises(ReproError):
+            IterationPlan(label="x", duration=0, steps=2,
+                          profile=profile)
+        with pytest.raises(ReproError):
+            IterationPlan(label="x", duration=5, steps=0,
+                          profile=profile)
+
+
+class _ConstantPolicy(MissionPolicy):
+    """Test double: fixed 10 s / 2 step iterations at constant power."""
+
+    name = "constant"
+
+    def __init__(self, power: float = 12.0):
+        self.profile = PowerProfile([(0, 10, power)])
+
+    def next_iteration(self, case, mission_time):
+        return IterationPlan(label="const", duration=10, steps=2,
+                             profile=self.profile)
+
+
+class TestSimulator:
+    def test_runs_until_target(self):
+        env = paper_mission_environment()
+        report = MissionSimulator(env, _ConstantPolicy(), 10).run()
+        assert report.total_steps == 10
+        assert report.total_time == pytest.approx(50.0)
+        assert report.completed
+
+    def test_energy_cost_respects_solar_trace(self):
+        env = MissionEnvironment(StepSolar([(0, 14.9), (20, 9.0)]))
+        report = MissionSimulator(env, _ConstantPolicy(12.0), 8).run()
+        # first 20 s free (12 < 14.9), last 20 s draw 3 W above solar
+        assert report.total_energy_cost == pytest.approx(3.0 * 20)
+
+    def test_battery_depletion_aborts(self):
+        env = MissionEnvironment(StepSolar([(0, 0.0)]),
+                                 IdealBattery(capacity=50.0,
+                                              max_power=20.0))
+        report = MissionSimulator(env, _ConstantPolicy(10.0), 100).run()
+        assert report.battery_depleted
+        assert not report.completed
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ReproError):
+            MissionSimulator(paper_mission_environment(),
+                             _ConstantPolicy(), 0)
+
+    def test_phase_grouping(self):
+        env = paper_mission_environment()
+        report = MissionSimulator(env, _ConstantPolicy(), 300).run()
+        phases = report.phases()
+        assert [p.solar for p in phases] == [14.9, 12.0, 9.0]
+        assert sum(p.steps for p in phases) == report.total_steps
+
+    def test_compare_reports_math(self):
+        env = paper_mission_environment()
+        a = MissionSimulator(env, _ConstantPolicy(14.0), 40).run()
+        b = MissionSimulator(paper_mission_environment(),
+                             _ConstantPolicy(14.0), 40).run()
+        comparison = compare_reports(a, b)
+        assert comparison["time_improvement_pct"] == pytest.approx(0.0)
+        assert comparison["energy_improvement_pct"] == pytest.approx(0.0)
+
+    def test_compare_rejects_empty_baseline(self):
+        report = MissionSimulator(paper_mission_environment(),
+                                  _ConstantPolicy(), 2).run()
+        empty = MissionSimulator(paper_mission_environment(),
+                                 _ConstantPolicy(), 2).run()
+        empty.iterations.clear()
+        with pytest.raises(ReproError):
+            compare_reports(empty, report)
+
+    def test_summary_text(self):
+        report = MissionSimulator(paper_mission_environment(),
+                                  _ConstantPolicy(), 4).run()
+        assert "completed" in report.summary()

@@ -1,0 +1,85 @@
+"""Unit tests for Pareto-front design-space exploration."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import SchedulerOptions, schedule, serial_schedule
+from repro.analysis import (DesignPoint, explore, pareto_front,
+                            render_pareto_svg, write_pareto_svg)
+from repro.errors import ReproError, SchedulingFailure
+from repro.workloads import independent
+
+
+def pt(label, tau, ec) -> DesignPoint:
+    return DesignPoint(label=label, finish_time=tau, energy_cost=ec,
+                       utilization=1.0)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert pt("a", 10, 5.0).dominates(pt("b", 12, 7.0))
+
+    def test_tradeoff_points_do_not_dominate(self):
+        fast = pt("fast", 10, 9.0)
+        cheap = pt("cheap", 20, 2.0)
+        assert not fast.dominates(cheap)
+        assert not cheap.dominates(fast)
+
+    def test_equal_points_do_not_dominate(self):
+        assert not pt("a", 10, 5.0).dominates(pt("b", 10, 5.0))
+
+    def test_front_extraction(self):
+        points = [pt("fast", 10, 9.0), pt("cheap", 20, 2.0),
+                  pt("bad", 25, 9.5), pt("mid", 15, 5.0)]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["fast", "mid", "cheap"]
+
+    def test_front_deduplicates_coordinates(self):
+        points = [pt("a", 10, 5.0), pt("b", 10, 5.0)]
+        assert len(pareto_front(points)) == 1
+
+
+class TestExplore:
+    def test_explore_runs_all_solvers(self):
+        problem = independent(4, duration=5, power=4.0, p_max=10.0,
+                              p_min=4.0)
+        points = explore(problem, {
+            "power-aware": lambda p: schedule(
+                p, SchedulerOptions(max_power_restarts=1)),
+            "serial": lambda p: serial_schedule(p),
+        })
+        labels = {p.label for p in points}
+        assert labels == {"power-aware", "serial"}
+        front = pareto_front(points)
+        assert front  # something survives
+
+    def test_failures_are_skipped(self):
+        def exploding(problem):
+            raise SchedulingFailure("nope")
+
+        problem = independent(2, duration=2, power=2.0, p_max=10.0)
+        points = explore(problem, {"boom": exploding})
+        assert points == []
+
+
+class TestRendering:
+    def test_svg_well_formed_and_front_labelled(self):
+        points = [pt("fast", 10, 9.0), pt("cheap", 20, 2.0),
+                  pt("bad", 25, 9.5)]
+        document = render_pareto_svg(points, title="plane")
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+        assert "plane" in document
+        assert "fast" in document and "cheap" in document
+        # dominated point drawn grey, no label
+        assert "#bbb" in document
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ReproError):
+            render_pareto_svg([])
+
+    def test_write_to_file(self, tmp_path):
+        path = write_pareto_svg([pt("only", 5, 1.0)],
+                                str(tmp_path / "front.svg"))
+        assert open(path).read().startswith("<svg")

@@ -1,0 +1,88 @@
+"""Unit tests for phased tasks (power as a function of time)."""
+
+import pytest
+
+from repro import (ConstraintGraph, GraphError, PowerProfile, Schedule,
+                   SchedulingProblem, check_power_valid, schedule)
+from repro.core.phased import (add_phased_task, is_phase_of,
+                               phase_names, phased_start)
+
+
+def motor_graph() -> ConstraintGraph:
+    g = ConstraintGraph("phased")
+    add_phased_task(g, "drive", [(2, 20.0), (8, 12.0)],
+                    resource="wheels")
+    return g
+
+
+class TestConstruction:
+    def test_segments_created_in_order(self):
+        g = motor_graph()
+        assert g.task("drive#0").duration == 2
+        assert g.task("drive#1").power == 12.0
+        assert phase_names("drive", 2) == ["drive#0", "drive#1"]
+
+    def test_chain_is_rigid(self):
+        g = motor_graph()
+        assert g.separation("drive#0", "drive#1") == 2
+        assert g.separation("drive#1", "drive#0") == -2
+
+    def test_same_resource(self):
+        g = motor_graph()
+        assert g.task("drive#0").resource == "wheels"
+        assert g.task("drive#1").resource == "wheels"
+
+    def test_metadata_links_phases(self):
+        g = motor_graph()
+        assert is_phase_of(g.task("drive#1"), "drive")
+        assert not is_phase_of(g.task("drive#1"), "other")
+
+    def test_bad_inputs_rejected(self):
+        g = ConstraintGraph()
+        with pytest.raises(GraphError):
+            add_phased_task(g, "a#b", [(1, 1.0)])
+        with pytest.raises(GraphError):
+            add_phased_task(g, "x", [])
+        with pytest.raises(GraphError):
+            add_phased_task(g, "y", [(0, 1.0)])
+
+
+class TestProfiles:
+    def test_profile_matches_power_function(self):
+        g = motor_graph()
+        s = Schedule(g, {"drive#0": 3, "drive#1": 5})
+        profile = PowerProfile.from_schedule(s)
+        assert profile.value(3) == 20.0
+        assert profile.value(5) == 12.0
+        assert profile.energy() == pytest.approx(2 * 20 + 8 * 12)
+
+    def test_phased_start_helper(self):
+        g = motor_graph()
+        s = Schedule(g, {"drive#0": 3, "drive#1": 5})
+        assert phased_start(s, "drive") == 3
+        with pytest.raises(GraphError):
+            phased_start(s, "nope")
+
+
+class TestScheduling:
+    def test_scheduler_moves_phases_together(self):
+        """Two phased motors on one budget: the inrush peaks must not
+        coincide, and each chain must stay contiguous."""
+        g = ConstraintGraph("two-motors")
+        add_phased_task(g, "m1", [(2, 8.0), (6, 3.0)], resource="A")
+        add_phased_task(g, "m2", [(2, 8.0), (6, 3.0)], resource="B")
+        problem = SchedulingProblem(g, p_max=12.0)
+        result = schedule(problem)
+        s = result.schedule
+        for name in ("m1", "m2"):
+            assert s.start(f"{name}#1") == s.finish(f"{name}#0")
+        assert result.metrics.peak_power <= 12.0 + 1e-9
+        assert check_power_valid(s, 12.0).ok
+
+    def test_inrush_alignment_not_forced_apart_when_budget_allows(self):
+        g = ConstraintGraph("wide")
+        add_phased_task(g, "m1", [(2, 8.0), (6, 3.0)], resource="A")
+        add_phased_task(g, "m2", [(2, 8.0), (6, 3.0)], resource="B")
+        problem = SchedulingProblem(g, p_max=20.0)
+        result = schedule(problem)
+        assert result.finish_time == 8  # fully parallel

@@ -1,0 +1,76 @@
+"""Integration tests for the three-stage pipeline (Section 5)."""
+
+import pytest
+
+from repro import (PowerAwareScheduler, SchedulerOptions,
+                   check_power_valid, schedule)
+from repro.scheduling import preset, preset_names
+from repro.workloads import fork_join, random_problem
+
+
+class TestPipeline:
+    def test_stages_are_ordered_improvements(self, small_problem):
+        pipeline = PowerAwareScheduler().solve_pipeline(small_problem)
+        # timing may violate power; max-power must not; min-power must
+        # not regress validity or utilization.
+        assert pipeline.max_power.metrics.spikes == 0
+        assert pipeline.min_power.metrics.spikes == 0
+        assert pipeline.min_power.utilization \
+            >= pipeline.max_power.utilization - 1e-12
+        assert pipeline.min_power.finish_time \
+            <= pipeline.max_power.finish_time
+
+    def test_final_is_min_power_stage(self, small_problem):
+        pipeline = PowerAwareScheduler().solve_pipeline(small_problem)
+        assert pipeline.final is pipeline.min_power
+
+    def test_stage_rows_cover_three_stages(self, small_problem):
+        pipeline = PowerAwareScheduler().solve_pipeline(small_problem)
+        rows = pipeline.stage_rows()
+        assert len(rows) == 3
+        assert [r["stage"].split()[0] for r in rows] \
+            == ["time-valid", "power-valid", "improved"]
+
+    def test_schedule_function_is_shorthand(self, small_problem):
+        direct = schedule(small_problem)
+        via_class = PowerAwareScheduler().solve(small_problem)
+        assert direct.schedule == via_class.schedule
+
+    def test_problem_graph_unchanged(self, small_problem):
+        before = small_problem.graph.edge_count()
+        schedule(small_problem)
+        assert small_problem.graph.edge_count() == before
+
+    @pytest.mark.parametrize("seed", [10, 16, 20])
+    def test_random_instances_end_valid(self, seed, fast_options):
+        problem = random_problem(seed)
+        result = PowerAwareScheduler(fast_options).solve(problem)
+        report = check_power_valid(result.schedule, problem.p_max,
+                                   baseline=problem.baseline)
+        assert report.ok
+
+    def test_deterministic_across_runs(self, fast_options):
+        problem = fork_join(width=4, power=3.0, p_max=8.0, p_min=5.0)
+        a = PowerAwareScheduler(fast_options).solve(problem)
+        b = PowerAwareScheduler(fast_options).solve(problem)
+        assert a.schedule == b.schedule
+
+
+class TestPresets:
+    def test_all_presets_resolve(self):
+        for name in preset_names():
+            options = preset(name)
+            assert isinstance(options, SchedulerOptions)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            preset("nope")
+
+    @pytest.mark.parametrize("name", preset_names())
+    def test_every_preset_solves_fork_join(self, name):
+        problem = fork_join(width=3, power=3.0, p_max=8.0, p_min=5.0)
+        result = PowerAwareScheduler(preset(name)).solve(problem)
+        assert result.metrics.spikes == 0
+
+    def test_paper_preset_is_default_options(self):
+        assert preset("paper") == SchedulerOptions()

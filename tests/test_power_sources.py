@@ -1,0 +1,147 @@
+"""Unit tests for solar models, batteries, and the hybrid supply."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.power import (AbsorbReport, BatteryDepletedError,
+                         ConstantSolar, DiurnalSolar, IdealBattery,
+                         PowerSystem, RateCapacityBattery, StepSolar)
+from repro import PowerProfile
+
+
+class TestSolarModels:
+    def test_constant(self):
+        solar = ConstantSolar(12.0)
+        assert solar.power(0) == 12.0
+        assert solar.power(1e6) == 12.0
+        assert solar.energy(0, 10) == pytest.approx(120.0)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ReproError):
+            ConstantSolar(-1.0)
+
+    def test_step_levels_and_breakpoints(self):
+        solar = StepSolar([(0, 14.9), (600, 12.0), (1200, 9.0)])
+        assert solar.power(0) == 14.9
+        assert solar.power(599.9) == 14.9
+        assert solar.power(600) == 12.0
+        assert solar.power(5000) == 9.0
+        assert solar.breakpoints(0, 1800) == [600, 1200]
+        assert solar.breakpoints(700, 1100) == []
+
+    def test_step_energy_across_boundary(self):
+        solar = StepSolar([(0, 10.0), (10, 5.0)])
+        assert solar.energy(5, 15) == pytest.approx(10 * 5 + 5 * 5)
+
+    def test_step_must_start_at_zero(self):
+        with pytest.raises(ReproError):
+            StepSolar([(5, 10.0)])
+
+    def test_paper_mission_trace(self):
+        solar = StepSolar.paper_mission()
+        assert solar.power(0) == 14.9
+        assert solar.power(600) == 12.0
+        assert solar.power(1200) == 9.0
+
+    def test_diurnal_shape(self):
+        solar = DiurnalSolar(peak=20.0, dawn=0, dusk=100)
+        assert solar.power(0) == 0.0
+        assert solar.power(50) == pytest.approx(20.0)
+        assert solar.power(100) == 0.0
+        assert 0 < solar.power(25) < 20.0
+
+    def test_diurnal_energy_positive(self):
+        solar = DiurnalSolar(peak=10.0, dawn=0, dusk=100, resolution=1)
+        energy = solar.energy(0, 100)
+        # integral of a half sine: 2/pi * peak * span ~ 636
+        assert energy == pytest.approx(2 / 3.141592653589793 * 1000,
+                                       rel=0.01)
+
+
+class TestBatteries:
+    def test_ideal_draw_and_remaining(self):
+        battery = IdealBattery(capacity=100.0, max_power=10.0)
+        used = battery.draw(5.0, 10.0)
+        assert used == pytest.approx(50.0)
+        assert battery.remaining == pytest.approx(50.0)
+
+    def test_ideal_depletion(self):
+        battery = IdealBattery(capacity=10.0)
+        with pytest.raises(BatteryDepletedError):
+            battery.draw(5.0, 10.0)
+
+    def test_max_power_enforced(self):
+        battery = IdealBattery(capacity=1000.0, max_power=10.0)
+        with pytest.raises(ReproError):
+            battery.draw(12.0, 1.0)
+
+    def test_rate_capacity_penalty_above_rated(self):
+        battery = RateCapacityBattery(capacity=1000.0, max_power=10.0,
+                                      rated_power=5.0, alpha=0.5)
+        assert battery.inefficiency(5.0) == 1.0
+        assert battery.inefficiency(10.0) == pytest.approx(1.5)
+        charge = battery.draw(10.0, 10.0)  # delivers 100 J
+        assert charge == pytest.approx(150.0)
+
+    def test_rate_capacity_lossless_below_rated(self):
+        battery = RateCapacityBattery(capacity=100.0, rated_power=5.0,
+                                      alpha=0.5)
+        assert battery.draw(4.0, 10.0) == pytest.approx(40.0)
+
+    def test_flat_draw_cheaper_than_spiky_same_energy(self):
+        """The jitter argument: same delivered energy, less charge."""
+        flat = RateCapacityBattery(capacity=1000.0, rated_power=5.0,
+                                   alpha=1.0)
+        spiky = RateCapacityBattery(capacity=1000.0, rated_power=5.0,
+                                    alpha=1.0)
+        flat.draw(5.0, 20.0)            # 100 J at rated power
+        spiky.draw(10.0, 10.0)          # 100 J at double rated power
+        assert flat.used < spiky.used
+
+
+class TestPowerSystem:
+    def test_constraints(self):
+        system = PowerSystem(ConstantSolar(12.0),
+                             IdealBattery(capacity=100.0,
+                                          max_power=10.0))
+        assert system.p_max(0) == pytest.approx(22.0)
+        assert system.p_min(0) == pytest.approx(12.0)
+        assert system.constraints_at(0) == (22.0, 12.0)
+
+    def test_absorb_splits_free_and_costly(self):
+        system = PowerSystem(ConstantSolar(10.0),
+                             IdealBattery(capacity=1000.0,
+                                          max_power=10.0))
+        profile = PowerProfile([(0, 5, 14.0), (5, 10, 6.0)])
+        report = system.absorb(profile)
+        assert isinstance(report, AbsorbReport)
+        assert report.consumed == pytest.approx(100.0)
+        assert report.battery_delivered == pytest.approx(20.0)
+        assert report.free_used == pytest.approx(80.0)
+        assert report.free_wasted == pytest.approx(20.0)
+        assert report.utilization == pytest.approx(0.8)
+
+    def test_absorb_honours_solar_steps(self):
+        system = PowerSystem(StepSolar([(0, 10.0), (5, 2.0)]),
+                             IdealBattery(capacity=1000.0,
+                                          max_power=10.0))
+        profile = PowerProfile([(0, 10, 8.0)])
+        report = system.absorb(profile)
+        # first 5 s fully solar, last 5 s draws 6 W from battery
+        assert report.battery_delivered == pytest.approx(30.0)
+
+    def test_absorb_rejects_overdraw(self):
+        system = PowerSystem(ConstantSolar(5.0),
+                             IdealBattery(capacity=1000.0,
+                                          max_power=3.0))
+        profile = PowerProfile([(0, 5, 10.0)])  # needs 5 W above solar
+        with pytest.raises(ReproError):
+            system.absorb(profile)
+
+    def test_absorb_depletes_battery(self):
+        system = PowerSystem(ConstantSolar(0.0),
+                             IdealBattery(capacity=10.0,
+                                          max_power=10.0))
+        profile = PowerProfile([(0, 10, 5.0)])
+        with pytest.raises(BatteryDepletedError):
+            system.absorb(profile)

@@ -1,0 +1,57 @@
+"""Unit tests for resources and the resource pool."""
+
+import pytest
+
+from repro import GraphError, Resource, ResourcePool
+
+
+class TestResource:
+    def test_defaults(self):
+        r = Resource(name="heater")
+        assert r.idle_power == 0.0
+        assert r.kind == "generic"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            Resource(name="")
+
+    def test_negative_idle_power_rejected(self):
+        with pytest.raises(GraphError):
+            Resource(name="r", idle_power=-1.0)
+
+
+class TestResourcePool:
+    def test_add_and_lookup(self):
+        pool = ResourcePool()
+        pool.add(Resource(name="cpu", idle_power=2.5))
+        assert pool["cpu"].idle_power == 2.5
+        assert "cpu" in pool
+
+    def test_duplicate_rejected(self):
+        pool = ResourcePool([Resource(name="cpu")])
+        with pytest.raises(GraphError):
+            pool.add(Resource(name="cpu"))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(GraphError):
+            ResourcePool()["nope"]
+
+    def test_ensure_creates_default_once(self):
+        pool = ResourcePool()
+        first = pool.ensure("r")
+        second = pool.ensure("r")
+        assert first is second
+        assert len(pool) == 1
+
+    def test_insertion_order_preserved(self):
+        pool = ResourcePool([Resource(name="b"), Resource(name="a")])
+        assert pool.names == ["b", "a"]
+
+    def test_total_idle_power(self):
+        pool = ResourcePool([Resource(name="cpu", idle_power=2.5),
+                             Resource(name="fpga", idle_power=1.5)])
+        assert pool.total_idle_power == pytest.approx(4.0)
+
+    def test_iteration_yields_resources(self):
+        pool = ResourcePool([Resource(name="a"), Resource(name="b")])
+        assert [r.name for r in pool] == ["a", "b"]

@@ -1,0 +1,95 @@
+"""Unit tests for (min, typical, max) power-uncertainty analysis."""
+
+import pytest
+
+from repro import ConstraintGraph, SchedulerOptions, SchedulingProblem
+from repro.analysis import (PowerTriple, attach_triples, corner_problems,
+                            robust_schedule)
+from repro.errors import ReproError
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=1, seed=3)
+
+
+def triple_problem(p_max: float = 14.0) -> SchedulingProblem:
+    g = ConstraintGraph("uncertain")
+    g.new_task("a", duration=5, power=0.0, resource="A")
+    g.new_task("b", duration=5, power=0.0, resource="B")
+    g.new_task("c", duration=5, power=0.0, resource="C")
+    g.add_precedence("a", "c")
+    graph = attach_triples(g, {
+        "a": PowerTriple(4.0, 6.0, 8.0),
+        "b": PowerTriple(5.0, 7.0, 9.0),
+        "c": PowerTriple(3.0, 5.0, 6.0),
+    })
+    return SchedulingProblem(graph, p_max=p_max, p_min=5.0)
+
+
+class TestPowerTriple:
+    def test_ordering_enforced(self):
+        with pytest.raises(ReproError):
+            PowerTriple(5.0, 4.0, 6.0)
+        with pytest.raises(ReproError):
+            PowerTriple(-1.0, 2.0, 3.0)
+
+    def test_corner_lookup(self):
+        t = PowerTriple(1.0, 2.0, 3.0)
+        assert t.at("min") == 1.0
+        assert t.at("typical") == 2.0
+        assert t.at("max") == 3.0
+        with pytest.raises(ReproError):
+            t.at("best")
+
+
+class TestCorners:
+    def test_attach_sets_typical_power(self):
+        problem = triple_problem()
+        assert problem.graph.task("a").power == 6.0
+        assert isinstance(problem.graph.task("a").meta["power_triple"],
+                          PowerTriple)
+
+    def test_corner_problems_scale_powers(self):
+        corners = corner_problems(triple_problem())
+        assert corners["min"].graph.task("b").power == 5.0
+        assert corners["typical"].graph.task("b").power == 7.0
+        assert corners["max"].graph.task("b").power == 9.0
+
+    def test_corners_share_constraints(self):
+        corners = corner_problems(triple_problem())
+        for corner in corners.values():
+            assert corner.graph.separation("a", "c") == 5
+
+    def test_tasks_without_triples_unchanged(self):
+        g = ConstraintGraph()
+        g.new_task("x", duration=2, power=3.5)
+        problem = SchedulingProblem(g, p_max=10.0)
+        corners = corner_problems(problem)
+        assert corners["max"].graph.task("x").power == 3.5
+
+
+class TestRobustSchedule:
+    def test_reports_ranges_across_corners(self):
+        result = robust_schedule(triple_problem(p_max=25.0),
+                                 options=FAST)
+        lo, hi = result.energy_cost_range
+        assert lo <= hi
+        assert result.peak_range[0] <= result.peak_range[1]
+        assert result.valid_at_max
+
+    def test_replans_at_max_corner_when_needed(self):
+        # typical powers allow a+b together (13 < 14) but max powers
+        # (8+9 = 17) overflow the budget: the planner must fall back to
+        # the pessimistic corner and the final schedule must be valid
+        # there.
+        result = robust_schedule(triple_problem(p_max=14.0),
+                                 options=FAST)
+        assert result.valid_at_max
+        assert result.peak_range[1] <= 14.0 + 1e-9
+
+    def test_unknown_plan_corner_rejected(self):
+        with pytest.raises(ReproError):
+            robust_schedule(triple_problem(), plan_corner="worst")
+
+    def test_summary_mentions_validity(self):
+        result = robust_schedule(triple_problem(p_max=25.0),
+                                 options=FAST)
+        assert "valid" in result.summary()

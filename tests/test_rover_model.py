@@ -1,0 +1,139 @@
+"""Tests for the Mars rover model (Tables 1-2, Fig. 8 reconstruction).
+
+The reconstruction's acceptance test is Table 3's JPL column: the
+hand-crafted serial schedule derived purely from Tables 1-2 must
+reproduce the paper's numbers *exactly* (75 s; 0 / 55 / 388 J;
+60 / 91 / 100 %).
+"""
+
+import pytest
+
+from repro import check_power_valid
+from repro.errors import ReproError
+from repro.mission import (BATTERY_MAX_POWER, POWER_TABLE, MarsRover,
+                           SolarCase)
+
+
+@pytest.fixture(scope="module")
+def rover() -> MarsRover:
+    return MarsRover.standard()
+
+
+class TestPowerTable:
+    def test_table2_values(self):
+        best = POWER_TABLE[SolarCase.BEST]
+        assert (best.solar, best.cpu, best.heating, best.driving,
+                best.steering, best.hazard) \
+            == (14.9, 2.5, 7.6, 7.5, 4.3, 5.1)
+        worst = POWER_TABLE[SolarCase.WORST]
+        assert worst.driving == 13.8
+        assert BATTERY_MAX_POWER == 10.0
+
+
+class TestGraphStructure:
+    def test_task_census(self, rover):
+        graph = rover.iteration_graph(SolarCase.TYPICAL)
+        kinds = {}
+        for task in graph.tasks():
+            kinds.setdefault(task.meta.get("kind"), []).append(task)
+        assert len(kinds["hazard"]) == 2
+        assert len(kinds["steer"]) == 2
+        assert len(kinds["drive"]) == 2
+        assert len(kinds["heat"]) == 5  # 2 steering + 3 wheel heaters
+
+    def test_five_heater_resources(self, rover):
+        graph = rover.iteration_graph(SolarCase.TYPICAL)
+        heaters = [r for r in graph.resources.names
+                   if r.startswith("heater")]
+        assert len(heaters) == 5
+
+    def test_durations_match_table1(self, rover):
+        graph = rover.iteration_graph(SolarCase.TYPICAL)
+        by_kind = {t.meta.get("kind"): t for t in graph.tasks()}
+        assert by_kind["hazard"].duration == 10
+        assert by_kind["steer"].duration == 5
+        assert by_kind["drive"].duration == 10
+        assert by_kind["heat"].duration == 5
+
+    def test_heating_window_constraints(self, rover):
+        graph = rover.iteration_graph(SolarCase.TYPICAL)
+        # every heat task has a [5, 50] window to each task it warms
+        assert graph.separation("heat_s1", "steer_1") == 5
+        assert graph.separation("steer_1", "heat_s1") == -50
+        assert graph.separation("heat_w3", "drive_2") == 5
+        assert graph.separation("drive_2", "heat_w3") == -50
+
+    def test_step_chain_constraints(self, rover):
+        graph = rover.iteration_graph(SolarCase.TYPICAL)
+        assert graph.separation("hazard_1", "steer_1") == 10
+        assert graph.separation("steer_1", "drive_1") == 5
+        assert graph.separation("drive_1", "hazard_2") == 10
+
+    def test_three_steps_per_heating_rejected(self):
+        with pytest.raises(ReproError):
+            MarsRover(steps_per_iteration=3)
+
+    def test_problem_constraints_follow_case(self, rover):
+        for case in SolarCase:
+            problem = rover.problem(case)
+            powers = POWER_TABLE[case]
+            assert problem.p_max == pytest.approx(powers.solar + 10.0)
+            assert problem.p_min == pytest.approx(powers.solar)
+            assert problem.baseline == pytest.approx(powers.cpu)
+
+
+class TestJplBaseline:
+    @pytest.mark.parametrize("case,cost,util", [
+        (SolarCase.BEST, 0.0, 60.2),
+        (SolarCase.TYPICAL, 55.0, 90.8),
+        (SolarCase.WORST, 388.0, 100.0),
+    ])
+    def test_table3_jpl_column_exact(self, rover, case, cost, util):
+        result = rover.jpl_result(case)
+        assert result.finish_time == 75
+        assert result.energy_cost == pytest.approx(cost, abs=1e-6)
+        assert 100 * result.utilization == pytest.approx(util, abs=0.05)
+
+    def test_same_start_times_in_every_case(self, rover):
+        starts = [rover.jpl_result(case).schedule.as_dict()
+                  for case in SolarCase]
+        assert starts[0] == starts[1] == starts[2]
+
+    def test_jpl_schedule_is_valid(self, rover):
+        for case in SolarCase:
+            result = rover.jpl_result(case)
+            problem = rover.problem(case)
+            assert check_power_valid(result.schedule, problem.p_max,
+                                     baseline=problem.baseline).ok
+
+
+class TestUnrolled:
+    def test_unrolled_graph_has_cross_iteration_chain(self, rover):
+        graph = rover.unrolled_graph(SolarCase.BEST, iterations=2)
+        assert graph.separation("i1_drive_2", "i2_hazard_1") == 10
+
+    def test_prewarm_replaces_second_iteration_steer_heats(self, rover):
+        graph = rover.unrolled_graph(SolarCase.BEST, iterations=2,
+                                     prewarm=True)
+        names = graph.task_names()
+        assert "i1_prewarm_s1" in names
+        assert "i2_heat_s1" not in names
+        assert "i2_heat_w1" in names  # wheel heats stay
+
+    def test_no_prewarm_keeps_all_heats(self, rover):
+        graph = rover.unrolled_graph(SolarCase.BEST, iterations=2,
+                                     prewarm=False)
+        names = graph.task_names()
+        assert "i2_heat_s1" in names
+        assert "i1_prewarm_s1" not in names
+
+    def test_prewarm_window_targets_next_iteration(self, rover):
+        graph = rover.unrolled_graph(SolarCase.BEST, iterations=2,
+                                     prewarm=True)
+        assert graph.separation("i1_prewarm_s1", "i2_steer_1") == 5
+        assert graph.separation("i2_steer_1", "i1_prewarm_s1") == -50
+
+    def test_iteration_boundary_requires_unrolled(self, rover):
+        result = rover.power_aware_result(SolarCase.TYPICAL)
+        with pytest.raises(ReproError):
+            rover.iteration_boundary(result)

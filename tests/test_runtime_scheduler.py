@@ -1,0 +1,83 @@
+"""Unit tests for the runtime schedule table (paper Section 5.3)."""
+
+import pytest
+
+from repro import (RuntimeScheduler, ScheduleTable,
+                   SchedulerOptions, schedule)
+from repro.examples_data import fig1_options, fig1_problem
+from repro.workloads import independent
+
+
+class TestScheduleTable:
+    def test_validity_range_from_profile(self):
+        result = schedule(independent(2, duration=5, power=4.0,
+                                      p_max=10.0, p_min=4.0))
+        table = ScheduleTable()
+        entry = table.add_result("demo", result)
+        assert entry.min_p_max == pytest.approx(result.metrics.peak_power)
+        assert entry.is_valid_under(result.metrics.peak_power)
+        assert not entry.is_valid_under(result.metrics.peak_power - 1.0)
+
+    def test_select_returns_none_on_miss(self):
+        table = ScheduleTable()
+        assert table.select(10.0, 5.0) is None
+
+    def test_select_prefers_higher_utilization(self):
+        problem = independent(2, duration=5, power=6.0, p_max=14.0,
+                              p_min=6.0)
+        parallel = schedule(problem)
+        from repro import serial_schedule
+        serial = serial_schedule(problem)
+        table = ScheduleTable()
+        table.add_result("parallel", parallel)
+        table.add_result("serial", serial)
+        # under a tight budget only the serial entry is valid
+        tight = table.select(p_max=7.0, p_min=6.0)
+        assert tight.label == "serial"
+
+    def test_fig7_validity_range_matches_paper(self):
+        """Fig. 7's schedule applies for P_max >= 16, P_min <= 14."""
+        from repro.scheduling import PowerAwareScheduler
+        result = PowerAwareScheduler(fig1_options()).solve(
+            fig1_problem())
+        table = ScheduleTable()
+        entry = table.add_result("fig7", result)
+        assert entry.min_p_max <= 16.0
+        assert entry.max_full_p_min >= 14.0
+
+    def test_describe_lines(self):
+        table = ScheduleTable()
+        result = schedule(independent(1, duration=2, power=3.0,
+                                      p_max=5.0))
+        table.add_result("x", result)
+        lines = table.describe()
+        assert len(lines) == 1
+        assert "P_max" in lines[0]
+
+
+class TestRuntimeScheduler:
+    def test_hit_and_miss_accounting(self):
+        def factory(p_max, p_min):
+            return independent(2, duration=5, power=4.0,
+                               p_max=p_max, p_min=p_min)
+
+        runtime = RuntimeScheduler(factory,
+                                   SchedulerOptions(max_power_restarts=1))
+        first = runtime.schedule_for(10.0, 4.0)
+        assert runtime.misses == 1
+        second = runtime.schedule_for(12.0, 4.0)  # reusable: peak <= 12
+        assert runtime.hits == 1
+        assert second is first
+
+    def test_recomputes_when_budget_shrinks(self):
+        def factory(p_max, p_min):
+            return independent(2, duration=5, power=4.0,
+                               p_max=p_max, p_min=p_min)
+
+        runtime = RuntimeScheduler(factory,
+                                   SchedulerOptions(max_power_restarts=1))
+        wide = runtime.schedule_for(10.0, 4.0)
+        narrow = runtime.schedule_for(5.0, 4.0)
+        assert runtime.misses == 2
+        assert narrow.min_p_max <= 5.0
+        assert narrow is not wide

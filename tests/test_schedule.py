@@ -1,0 +1,114 @@
+"""Unit tests for the Schedule class."""
+
+import pytest
+
+from repro import ConstraintGraph, Schedule, ValidationError
+
+
+@pytest.fixture
+def graph() -> ConstraintGraph:
+    g = ConstraintGraph("g")
+    g.new_task("a", duration=5, power=2.0, resource="A")
+    g.new_task("b", duration=3, power=4.0, resource="A")
+    g.new_task("c", duration=4, power=1.0, resource="B")
+    return g
+
+
+@pytest.fixture
+def schedule(graph) -> Schedule:
+    return Schedule(graph, {"a": 0, "b": 5, "c": 2})
+
+
+class TestConstruction:
+    def test_missing_task_rejected(self, graph):
+        with pytest.raises(ValidationError):
+            Schedule(graph, {"a": 0, "b": 5})
+
+    def test_negative_start_rejected(self, graph):
+        with pytest.raises(ValidationError):
+            Schedule(graph, {"a": -1, "b": 5, "c": 2})
+
+    def test_non_integer_start_rejected(self, graph):
+        with pytest.raises(ValidationError):
+            Schedule(graph, {"a": 0.5, "b": 5, "c": 2})
+
+    def test_from_pairs(self, graph):
+        s = Schedule.from_pairs(graph, [("a", 0), ("b", 5), ("c", 2)])
+        assert s.start("b") == 5
+
+
+class TestQueries:
+    def test_start_and_finish(self, schedule):
+        assert schedule.start("a") == 0
+        assert schedule.finish("a") == 5
+        assert schedule.finish("c") == 6
+
+    def test_makespan(self, schedule):
+        assert schedule.makespan == 8  # b finishes at 5 + 3
+
+    def test_finish_time_alias(self, schedule):
+        assert schedule.finish_time == schedule.makespan
+
+    def test_is_active_half_open(self, schedule):
+        assert schedule.is_active("a", 0)
+        assert schedule.is_active("a", 4)
+        assert not schedule.is_active("a", 5)
+
+    def test_zero_duration_never_active(self, graph):
+        graph.new_task("m", duration=0)
+        s = Schedule(graph, {"a": 0, "b": 5, "c": 2, "m": 3})
+        assert not s.is_active("m", 3)
+
+    def test_active_tasks(self, schedule):
+        names = {t.name for t in schedule.active_tasks(3)}
+        assert names == {"a", "c"}
+
+    def test_power_at(self, schedule):
+        assert schedule.power_at(3) == pytest.approx(3.0)  # a + c
+        assert schedule.power_at(5) == pytest.approx(5.0)  # b + c
+
+    def test_resource_timeline_sorted(self, schedule):
+        timeline = schedule.resource_timeline("A")
+        assert [(s, t.name) for s, t in timeline] == [(0, "a"), (5, "b")]
+
+    def test_overlap_detection(self, graph):
+        s = Schedule(graph, {"a": 0, "b": 3, "c": 0})  # a,b overlap on A
+        clashes = s.overlapping_on_resource("A")
+        assert [(u.name, v.name) for u, v in clashes] == [("a", "b")]
+
+    def test_no_overlap_when_touching(self, schedule):
+        assert schedule.overlapping_on_resource("A") == []
+
+
+class TestUpdates:
+    def test_with_start_is_functional(self, schedule):
+        moved = schedule.with_start("c", 4)
+        assert moved.start("c") == 4
+        assert schedule.start("c") == 2
+
+    def test_delayed(self, schedule):
+        assert schedule.delayed("c", 3).start("c") == 5
+
+    def test_negative_delay_rejected(self, schedule):
+        with pytest.raises(ValidationError):
+            schedule.delayed("c", -1)
+
+    def test_shifted_moves_all(self, schedule):
+        shifted = schedule.shifted(10)
+        assert shifted.start("a") == 10
+        assert shifted.makespan == schedule.makespan + 10
+
+    def test_unknown_task_move_rejected(self, schedule):
+        with pytest.raises(ValidationError):
+            schedule.with_start("zz", 0)
+
+
+class TestComparison:
+    def test_equality_and_hash(self, graph, schedule):
+        same = Schedule(graph, {"a": 0, "b": 5, "c": 2})
+        assert schedule == same
+        assert hash(schedule) == hash(same)
+
+    def test_differences(self, schedule):
+        other = schedule.with_start("c", 4)
+        assert schedule.differences(other) == [("c", 2, 4)]

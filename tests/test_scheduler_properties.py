@@ -1,0 +1,82 @@
+"""Property-based tests for scheduler-level invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (SchedulerOptions, SchedulingFailure,
+                   check_power_valid, serial_schedule)
+from repro.scheduling import MaxPowerScheduler
+from tests.test_properties import precedence_problems
+
+NO_EXTRAS = SchedulerOptions(max_power_restarts=1, compaction=False,
+                             serial_fallback=False,
+                             max_spike_attempts=300, seed=1)
+WITH_COMPACTION = SchedulerOptions(max_power_restarts=1,
+                                   compaction=True,
+                                   serial_fallback=False,
+                                   max_spike_attempts=300, seed=1)
+
+
+class TestCompactionProperties:
+    @given(precedence_problems())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_compaction_never_lengthens_and_stays_valid(self, problem):
+        try:
+            raw = MaxPowerScheduler(NO_EXTRAS).solve(problem)
+            packed = MaxPowerScheduler(WITH_COMPACTION).solve(problem)
+        except SchedulingFailure:
+            return
+        assert packed.finish_time <= raw.finish_time
+        assert check_power_valid(packed.schedule, problem.p_max,
+                                 baseline=problem.baseline).ok
+
+    @given(precedence_problems())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_compaction_is_idempotent(self, problem):
+        """Compacting an already-compacted graph moves nothing."""
+        try:
+            result = MaxPowerScheduler(WITH_COMPACTION).solve(problem)
+        except SchedulingFailure:
+            return
+        scheduler = MaxPowerScheduler(WITH_COMPACTION)
+        graph = result.extra["graph"]
+        again = scheduler.compact(graph, problem.p_max,
+                                  problem.total_baseline)
+        assert again == result.schedule
+
+
+class TestSerialProperties:
+    @given(precedence_problems())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_serial_is_packed_and_single_file(self, problem):
+        """Without max windows or releases the serial schedule packs
+        back to back: makespan == sum of durations, and at most one
+        task is ever active."""
+        try:
+            result = serial_schedule(problem, SchedulerOptions(
+                max_backtracks=2_000))
+        except SchedulingFailure:
+            return
+        total = sum(t.duration for t in problem.graph.tasks())
+        assert result.finish_time == total
+        for t in range(result.finish_time):
+            assert len(result.schedule.active_tasks(t)) <= 1
+
+    @given(precedence_problems())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_serial_peak_is_single_task_peak(self, problem):
+        try:
+            result = serial_schedule(problem, SchedulerOptions(
+                max_backtracks=2_000))
+        except SchedulingFailure:
+            return
+        max_power = max((t.power for t in problem.graph.tasks()
+                         if t.duration > 0), default=0.0)
+        assert result.metrics.peak_power \
+            <= max_power + problem.total_baseline + 1e-9

@@ -1,0 +1,69 @@
+"""Unit tests for the fully-serial (JPL-style) baseline scheduler."""
+
+import pytest
+
+from repro import (ConstraintGraph, SchedulingFailure, SchedulingProblem,
+                   check_time_valid, serial_schedule)
+from repro.workloads import independent
+
+
+class TestSerialization:
+    def test_everything_serialized(self):
+        problem = independent(4, duration=5, power=4.0, p_max=100.0)
+        result = serial_schedule(problem)
+        # one task at a time -> makespan is the duration sum
+        assert result.finish_time == 20
+        assert result.metrics.peak_power == pytest.approx(4.0)
+
+    def test_packed_back_to_back(self):
+        problem = independent(3, duration=4, power=1.0, p_max=100.0)
+        result = serial_schedule(problem)
+        starts = sorted(result.schedule.as_dict().values())
+        assert starts == [0, 4, 8]
+
+    def test_respects_precedences(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5, power=1.0, resource="A")
+        g.new_task("b", duration=5, power=1.0, resource="B")
+        g.add_precedence("b", "a")
+        result = serial_schedule(SchedulingProblem(g, p_max=10.0))
+        assert result.schedule.start("b") == 0
+        assert result.schedule.start("a") == 5
+
+    def test_chain_recorded_in_extra(self):
+        problem = independent(3, duration=2, power=1.0, p_max=10.0)
+        result = serial_schedule(problem)
+        chain = result.extra["chain"]
+        assert len(chain) == 3
+        # chain order matches start-time order
+        starts = [result.schedule.start(n) for n in chain]
+        assert starts == sorted(starts)
+
+    def test_time_valid(self, small_problem):
+        result = serial_schedule(small_problem)
+        assert check_time_valid(result.schedule).ok
+
+    def test_backtracks_over_windows(self):
+        """A max window can force a specific serial order."""
+        g = ConstraintGraph()
+        g.new_task("a", duration=5, power=1.0, resource="A")
+        g.new_task("z", duration=5, power=1.0, resource="B")
+        g.add_separation_window("z", "a", 0, 5)  # a within 5 s of z
+        result = serial_schedule(SchedulingProblem(g, p_max=10.0))
+        assert result.schedule.start("z") == 0
+        assert result.schedule.start("a") == 5
+
+    def test_infeasible_serialization_detected(self):
+        """Two tasks that must overlap cannot be serialized."""
+        g = ConstraintGraph()
+        g.new_task("u", duration=10, power=1.0, resource="A")
+        g.new_task("v", duration=10, power=1.0, resource="B")
+        g.add_separation_window("u", "v", 0, 5)  # must overlap
+        with pytest.raises(SchedulingFailure):
+            serial_schedule(SchedulingProblem(g, p_max=10.0))
+
+    def test_rover_serial_is_75s(self):
+        from repro.mission import MarsRover, SolarCase
+        rover = MarsRover.standard()
+        result = serial_schedule(rover.problem(SolarCase.WORST))
+        assert result.finish_time == 75

@@ -1,0 +1,65 @@
+"""Tests for the series-parallel (TGFF-style) generator."""
+
+import pytest
+
+from repro import check_power_valid, schedule
+from repro.analysis import lower_bound
+from repro.errors import ReproError
+from repro.scheduling import SchedulerOptions
+from repro.workloads import SeriesParallelConfig, series_parallel_problem
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=1, seed=3)
+
+
+class TestGenerator:
+    def test_reproducible(self):
+        a = series_parallel_problem(5)
+        b = series_parallel_problem(5)
+        assert a.graph.task_names() == b.graph.task_names()
+        assert sorted((e.src, e.dst, e.weight) for e in a.graph.edges()) \
+            == sorted((e.src, e.dst, e.weight) for e in b.graph.edges())
+
+    def test_meta_carries_oracles(self):
+        problem = series_parallel_problem(7)
+        assert problem.meta["critical_path"] > 0
+        assert problem.meta["total_work"] \
+            == sum(t.duration for t in problem.graph.tasks())
+
+    def test_depth_zero_is_single_task(self):
+        problem = series_parallel_problem(
+            1, SeriesParallelConfig(depth=0))
+        assert len(problem.graph) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            SeriesParallelConfig(depth=-1)
+        with pytest.raises(ReproError):
+            SeriesParallelConfig(max_branches=1)
+
+    def test_tasks_have_sp_breadcrumbs(self):
+        problem = series_parallel_problem(9)
+        assert all("sp_path" in t.meta for t in problem.graph.tasks())
+
+
+class TestOracleConsistency:
+    @pytest.mark.parametrize("seed", [11, 12, 13, 14])
+    def test_critical_path_meta_matches_graph(self, seed):
+        """The recursively-computed critical path must equal the
+        longest-path critical path of the emitted graph (power and
+        resources ignored)."""
+        from repro import longest_paths
+
+        problem = series_parallel_problem(seed)
+        dist = longest_paths(problem.graph).distance
+        graph_cp = max(dist[t.name] + t.duration
+                       for t in problem.graph.tasks())
+        assert graph_cp == problem.meta["critical_path"]
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_scheduler_solves_and_respects_bound(self, seed):
+        problem = series_parallel_problem(seed)
+        result = schedule(problem, FAST)
+        assert check_power_valid(result.schedule, problem.p_max,
+                                 baseline=problem.baseline).ok
+        assert result.finish_time >= problem.meta["critical_path"]
+        assert result.finish_time >= lower_bound(problem)

@@ -1,0 +1,95 @@
+"""Unit tests for idle-shutdown power management."""
+
+import pytest
+
+from repro import ConstraintGraph, Schedule
+from repro.errors import ReproError
+from repro.power import (AlwaysOn, IdleInterval, OracleShutdown,
+                         TimeoutShutdown, idle_energy_report,
+                         idle_intervals)
+
+
+@pytest.fixture
+def schedule() -> Schedule:
+    """Resource R busy [5,10) and [30,35); idle [0,5), [10,30), [35,40)."""
+    g = ConstraintGraph("s")
+    g.new_task("a", duration=5, power=2.0, resource="R")
+    g.new_task("b", duration=5, power=2.0, resource="R")
+    g.new_task("pad", duration=40, power=1.0, resource="other")
+    return Schedule(g, {"a": 5, "b": 30, "pad": 0})
+
+
+class TestIdleIntervals:
+    def test_gaps_found(self, schedule):
+        gaps = idle_intervals(schedule, "R")
+        assert [(g.start, g.end) for g in gaps] \
+            == [(0, 5), (10, 30), (35, 40)]
+
+    def test_busy_resource_has_no_gaps(self, schedule):
+        assert idle_intervals(schedule, "other") == []
+
+    def test_custom_horizon(self, schedule):
+        gaps = idle_intervals(schedule, "R", horizon=50)
+        assert gaps[-1].end == 50
+
+    def test_interval_length(self):
+        assert IdleInterval("R", 10, 30).length == 20
+
+
+class TestPolicies:
+    def test_always_on(self):
+        gap = IdleInterval("R", 10, 30)
+        assert AlwaysOn().idle_energy(gap, 2.0) == pytest.approx(40.0)
+
+    def test_timeout_short_gap_stays_on(self):
+        policy = TimeoutShutdown(timeout=10, wake_energy=5.0)
+        assert policy.idle_energy(IdleInterval("R", 0, 8), 2.0) \
+            == pytest.approx(16.0)
+
+    def test_timeout_long_gap_shuts_down(self):
+        policy = TimeoutShutdown(timeout=10, wake_energy=5.0)
+        # 10 ticks at 2 W + one wake
+        assert policy.idle_energy(IdleInterval("R", 10, 30), 2.0) \
+            == pytest.approx(25.0)
+
+    def test_oracle_picks_cheaper_side(self):
+        policy = OracleShutdown(wake_energy=5.0)
+        assert policy.idle_energy(IdleInterval("R", 0, 2), 2.0) \
+            == pytest.approx(4.0)   # staying on is cheaper
+        assert policy.idle_energy(IdleInterval("R", 0, 20), 2.0) \
+            == pytest.approx(5.0)   # shutting down is cheaper
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TimeoutShutdown(timeout=-1, wake_energy=0.0)
+        with pytest.raises(ReproError):
+            OracleShutdown(wake_energy=-1.0)
+
+
+class TestReport:
+    def test_policy_ordering(self, schedule):
+        """oracle <= timeout <= always-on, for the same inputs."""
+        powers = {"R": 2.0}
+        on = idle_energy_report(schedule, AlwaysOn(), powers)
+        timeout = idle_energy_report(
+            schedule, TimeoutShutdown(timeout=5, wake_energy=4.0),
+            powers)
+        oracle = idle_energy_report(
+            schedule, OracleShutdown(wake_energy=4.0), powers)
+        assert oracle["total"] <= timeout["total"] <= on["total"]
+
+    def test_always_on_total(self, schedule):
+        report = idle_energy_report(schedule, AlwaysOn(), {"R": 2.0})
+        assert report["R"] == pytest.approx(2.0 * (5 + 20 + 5))
+        assert report["total"] == report["R"]
+
+    def test_zero_idle_power_resources_skipped(self, schedule):
+        report = idle_energy_report(schedule, AlwaysOn(), {})
+        assert report["total"] == 0.0
+
+    def test_trailing_gap_pays_no_wake(self, schedule):
+        policy = TimeoutShutdown(timeout=2, wake_energy=100.0)
+        report = idle_energy_report(schedule, policy, {"R": 2.0})
+        # gaps: lead (0,5): 2*2+100; middle (10,30): 2*2+100;
+        # trailing (35,40): timeout ticks only, no wake
+        assert report["R"] == pytest.approx((4 + 100) * 2 + 4)

@@ -1,0 +1,94 @@
+"""Unit tests for slack analysis (Delta_sigma)."""
+
+import pytest
+
+from repro import (ConstraintGraph, Schedule, ValidationError,
+                   UNBOUNDED_SLACK, movable_window, slack, slack_table)
+
+
+def chain_graph() -> ConstraintGraph:
+    g = ConstraintGraph("g")
+    g.new_task("a", duration=5)
+    g.new_task("b", duration=5)
+    g.add_precedence("a", "b")  # sigma(b) >= sigma(a) + 5
+    return g
+
+
+class TestSlack:
+    def test_zero_slack_when_successor_is_tight(self):
+        g = chain_graph()
+        s = Schedule(g, {"a": 0, "b": 5})
+        assert slack(s, "a") == 0
+
+    def test_positive_slack_when_successor_is_loose(self):
+        g = chain_graph()
+        s = Schedule(g, {"a": 0, "b": 9})
+        assert slack(s, "a") == 4
+
+    def test_unbounded_without_outgoing_edges(self):
+        g = chain_graph()
+        s = Schedule(g, {"a": 0, "b": 5})
+        assert slack(s, "b") == UNBOUNDED_SLACK
+
+    def test_deadline_limits_slack(self):
+        g = chain_graph()
+        g.add_start_deadline("b", 12)
+        s = Schedule(g, {"a": 0, "b": 5})
+        assert slack(s, "b") == 7
+
+    def test_max_separation_counts_as_outgoing_of_later_task(self):
+        # u at most 10 after... v within [0, 10] after u: the backward
+        # edge (v -> u, -10) is an outgoing edge of v.
+        g = ConstraintGraph()
+        g.new_task("u", duration=2)
+        g.new_task("v", duration=2)
+        g.add_max_separation("u", "v", 10)
+        s = Schedule(g, {"u": 0, "v": 4})
+        assert slack(s, "v") == 6  # can move to at most u + 10
+
+    def test_invalid_schedule_raises(self):
+        g = chain_graph()
+        s = Schedule(g, {"a": 3, "b": 5})  # violates min separation
+        with pytest.raises(ValidationError):
+            slack(s, "a")
+
+    def test_slack_table_covers_all_tasks(self):
+        g = chain_graph()
+        s = Schedule(g, {"a": 0, "b": 7})
+        table = slack_table(s)
+        assert set(table) == {"a", "b"}
+        assert table["a"] == 2
+
+
+class TestMovableWindow:
+    def test_window_of_middle_task(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5)
+        g.new_task("b", duration=5)
+        g.new_task("c", duration=5)
+        g.add_precedence("a", "b")
+        g.add_precedence("b", "c")
+        s = Schedule(g, {"a": 0, "b": 6, "c": 15})
+        lo, hi = movable_window(s, "b")
+        assert lo == 5   # after a
+        assert hi == 10  # c at 15 needs b + 5 <= 15
+
+    def test_window_with_release(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5)
+        g.add_release("a", 3)
+        s = Schedule(g, {"a": 7})
+        lo, hi = movable_window(s, "a")
+        assert lo == 3
+        assert hi == 7 + UNBOUNDED_SLACK
+
+    def test_slack_delayed_schedule_remains_consistent(self):
+        """Delaying within slack keeps every constraint satisfied."""
+        from repro import check_time_valid
+        g = chain_graph()
+        g.add_start_deadline("b", 20)
+        s = Schedule(g, {"a": 0, "b": 10})
+        room = slack(s, "a")
+        assert room == 5
+        moved = s.delayed("a", room)
+        assert check_time_valid(moved).ok

@@ -1,0 +1,78 @@
+"""Unit tests for the task model."""
+
+import pytest
+
+from repro import GraphError, Task
+from repro.core.task import ANCHOR_NAME
+
+
+class TestTaskConstruction:
+    def test_basic_attributes(self):
+        t = Task(name="drive", duration=10, power=13.8,
+                 resource="wheels")
+        assert t.name == "drive"
+        assert t.duration == 10
+        assert t.power == 13.8
+        assert t.resource == "wheels"
+
+    def test_energy_is_duration_times_power(self):
+        assert Task(name="t", duration=10, power=13.8).energy \
+            == pytest.approx(138.0)
+
+    def test_zero_duration_allowed(self):
+        assert Task(name="milestone", duration=0).energy == 0.0
+
+    def test_default_power_is_zero(self):
+        assert Task(name="t", duration=1).power == 0.0
+
+    def test_default_resource_is_none(self):
+        assert Task(name="t", duration=1).resource is None
+
+    def test_meta_preserved(self):
+        t = Task(name="t", duration=1, meta={"kind": "heat"})
+        assert t.meta["kind"] == "heat"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            Task(name="", duration=1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(GraphError):
+            Task(name="t", duration=-1)
+
+    def test_non_integer_duration_rejected(self):
+        with pytest.raises(GraphError):
+            Task(name="t", duration=2.5)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(GraphError):
+            Task(name="t", duration=1, power=-0.1)
+
+
+class TestTaskHelpers:
+    def test_renamed_copies_everything_else(self):
+        t = Task(name="t", duration=3, power=2.0, resource="R")
+        r = t.renamed("u")
+        assert r.name == "u"
+        assert (r.duration, r.power, r.resource) == (3, 2.0, "R")
+        assert t.name == "t"  # original untouched (frozen)
+
+    def test_with_power(self):
+        t = Task(name="t", duration=3, power=2.0)
+        assert t.with_power(9.5).power == 9.5
+        assert t.power == 2.0
+
+    def test_anchor_properties(self):
+        anchor = Task.anchor()
+        assert anchor.is_anchor
+        assert anchor.name == ANCHOR_NAME
+        assert anchor.duration == 0
+        assert anchor.power == 0.0
+
+    def test_regular_task_is_not_anchor(self):
+        assert not Task(name="t", duration=1).is_anchor
+
+    def test_tasks_are_hashable_and_frozen(self):
+        t = Task(name="t", duration=1)
+        with pytest.raises(AttributeError):
+            t.duration = 2

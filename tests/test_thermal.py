@@ -1,0 +1,100 @@
+"""Tests for the thermal model — deriving Table 1's heating windows."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mission import MarsRover, SolarCase
+from repro.mission.thermal import (ThermalParams, check_thermal,
+                                   feasible_lead_window,
+                                   motor_temperature)
+
+
+@pytest.fixture(scope="module")
+def params() -> ThermalParams:
+    return ThermalParams()
+
+
+class TestModel:
+    def test_cold_soak_equilibrium(self, params):
+        assert motor_temperature(params, [], 1000.0) \
+            == pytest.approx(params.ambient)
+
+    def test_heating_raises_temperature(self, params):
+        cold = motor_temperature(params, [], 10.0)
+        warm = motor_temperature(params, [(0, 5)], 5.0)
+        assert warm > cold
+        assert warm > params.operating_threshold
+
+    def test_cooling_after_heating(self, params):
+        just_after = motor_temperature(params, [(0, 5)], 5.0)
+        later = motor_temperature(params, [(0, 5)], 30.0)
+        much_later = motor_temperature(params, [(0, 5)], 300.0)
+        assert just_after > later > much_later
+        assert much_later == pytest.approx(params.ambient, abs=1.0)
+
+    def test_multiple_firings_accumulate(self, params):
+        single = motor_temperature(params, [(0, 5)], 40.0)
+        double = motor_temperature(params, [(0, 5), (30, 35)], 40.0)
+        assert double > single
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            ThermalParams(heat_tau=0)
+        with pytest.raises(ReproError):
+            ThermalParams(operating_threshold=-90.0)
+
+
+class TestWindowDerivation:
+    def test_drive_window_is_table1(self, params):
+        """The physics projects to exactly the paper's [5, 50] s window
+        for the 10 s driving operation."""
+        assert feasible_lead_window(params, heat_duration=5,
+                                    op_duration=10) == (5, 50)
+
+    def test_steer_window_close_to_table1(self, params):
+        """The shorter steering operation projects to [5, 55] — the
+        paper rounds both operations to a common 50 s bound."""
+        lo, hi = feasible_lead_window(params, heat_duration=5,
+                                      op_duration=5)
+        assert lo == 5
+        assert abs(hi - 50) <= 5
+
+    def test_lower_edge_is_the_firing_itself(self, params):
+        lo, _ = feasible_lead_window(params, heat_duration=5,
+                                     op_duration=10)
+        assert lo == 5  # cannot drive while heating
+
+    def test_without_blocking_the_lower_edge_drops(self, params):
+        lo, _ = feasible_lead_window(params, heat_duration=5,
+                                     op_duration=10,
+                                     op_blocks_heating=False)
+        assert lo < 5
+
+    def test_weak_heater_rejected(self):
+        weak = ThermalParams(heated_temperature=-40.0,
+                             operating_threshold=-44.0)
+        with pytest.raises(ReproError):
+            feasible_lead_window(weak, heat_duration=1, op_duration=10)
+
+
+class TestScheduleValidation:
+    @pytest.mark.parametrize("case", list(SolarCase))
+    def test_all_rover_schedules_are_thermally_sound(self, case):
+        """Schedules satisfying the constraint-graph windows must also
+        satisfy the physics they project from."""
+        rover = MarsRover.standard()
+        for result in (rover.jpl_result(case),
+                       rover.power_aware_result(case)):
+            assert check_thermal(result.schedule) == []
+
+    def test_cold_operation_detected(self):
+        """Strip the heaters and the physics check must object."""
+        from repro import ConstraintGraph, Schedule
+        g = ConstraintGraph("cold")
+        g.new_task("drive_1", duration=10, power=10.0,
+                   resource="driving", meta={"kind": "drive"})
+        schedule = Schedule(g, {"drive_1": 0})
+        violations = check_thermal(schedule)
+        assert len(violations) == 1
+        assert violations[0].task == "drive_1"
+        assert "below threshold" in repr(violations[0])

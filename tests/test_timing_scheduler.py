@@ -1,0 +1,143 @@
+"""Unit tests for the timing scheduler (paper Fig. 3)."""
+
+import pytest
+
+from repro import (ConstraintGraph, SchedulerOptions, SchedulingFailure,
+                   SchedulingProblem, TimingScheduler, check_time_valid,
+                   timing_schedule)
+from repro.scheduling.timing import asap_schedule
+
+
+def solve(graph, **kwargs) -> "tuple":
+    problem = SchedulingProblem(graph, p_max=1000.0)
+    result = timing_schedule(problem, SchedulerOptions(**kwargs))
+    return result.schedule, result
+
+
+class TestBasics:
+    def test_single_task_at_zero(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5)
+        schedule, _ = solve(g)
+        assert schedule.start("a") == 0
+
+    def test_precedence_respected(self):
+        g = ConstraintGraph()
+        g.new_task("a", duration=5)
+        g.new_task("b", duration=5)
+        g.add_precedence("a", "b")
+        schedule, _ = solve(g)
+        assert schedule.start("b") >= 5
+
+    def test_result_is_time_valid(self, small_graph):
+        schedule, _ = solve(small_graph)
+        assert check_time_valid(schedule).ok
+
+    def test_result_is_asap_of_decorated_graph(self, small_graph):
+        problem = SchedulingProblem(small_graph, p_max=1000.0)
+        result = timing_schedule(problem)
+        graph = result.extra["graph"]
+        assert asap_schedule(graph) == result.schedule
+
+    def test_stage_label(self, small_graph):
+        _, result = solve(small_graph)
+        assert result.stage == "timing"
+
+
+class TestSerialization:
+    def test_same_resource_tasks_serialized(self):
+        g = ConstraintGraph()
+        g.new_task("u", duration=5, resource="R")
+        g.new_task("v", duration=5, resource="R")
+        schedule, _ = solve(g)
+        assert {schedule.start("u"), schedule.start("v")} == {0, 5}
+
+    def test_three_way_serialization(self):
+        g = ConstraintGraph()
+        for name in ("u", "v", "w"):
+            g.new_task(name, duration=4, resource="R")
+        schedule, _ = solve(g)
+        starts = sorted(schedule.start(n) for n in ("u", "v", "w"))
+        assert starts == [0, 4, 8]
+
+    def test_different_resources_run_in_parallel(self):
+        g = ConstraintGraph()
+        g.new_task("u", duration=5, resource="R")
+        g.new_task("v", duration=5, resource="S")
+        schedule, _ = solve(g)
+        assert schedule.start("u") == 0
+        assert schedule.start("v") == 0
+
+
+class TestBacktracking:
+    def test_window_forces_serialization_order(self):
+        """u must run in [0, 2] after v starts — so u goes second only
+        if v starts late; the only valid order is u before... the
+        scheduler must find whichever order satisfies the window."""
+        g = ConstraintGraph()
+        g.new_task("u", duration=5, resource="R")
+        g.new_task("v", duration=5, resource="R")
+        # v at most 2 after u starts: serializing u after v would put
+        # u at v+5 > v+2 -> positive cycle -> must pick u first.
+        g.add_separation_window("u", "v", 0, 5)
+        schedule, result = solve(g)
+        assert schedule.start("u") == 0
+        assert schedule.start("v") == 5
+        assert check_time_valid(schedule).ok
+
+    def test_deadline_forces_nondefault_order(self):
+        """A start deadline on the alphabetically-later task forces the
+        scheduler to schedule it first, requiring backtracking past the
+        name-ordered default."""
+        g = ConstraintGraph()
+        g.new_task("a", duration=10, resource="R")
+        g.new_task("z", duration=10, resource="R")
+        g.add_start_deadline("z", 0)  # z must start at 0
+        schedule, _ = solve(g)
+        assert schedule.start("z") == 0
+        assert schedule.start("a") == 10
+
+    def test_infeasible_serialization_fails(self):
+        """Two same-resource tasks that must both start at 0."""
+        g = ConstraintGraph()
+        g.new_task("u", duration=5, resource="R")
+        g.new_task("v", duration=5, resource="R")
+        g.add_start_deadline("u", 0)
+        g.add_start_deadline("v", 0)
+        with pytest.raises(SchedulingFailure):
+            solve(g)
+
+    def test_backtrack_budget_exhaustion_reports_failure(self):
+        g = ConstraintGraph()
+        for i in range(6):
+            g.new_task(f"t{i}", duration=5, resource="R")
+            g.add_start_deadline(f"t{i}", 0)  # impossible
+        with pytest.raises(SchedulingFailure):
+            solve(g, max_backtracks=3)
+
+    def test_stats_count_work(self, small_graph):
+        problem = SchedulingProblem(small_graph, p_max=1000.0)
+        scheduler = TimingScheduler()
+        result = scheduler.solve(problem)
+        assert result.stats.longest_path_runs > 0
+        assert result.stats.serializations >= 1
+
+
+class TestCompleteness:
+    def test_finds_schedule_when_one_exists_windowed_chain(self):
+        """Tight windows over a shared resource: only one order works."""
+        g = ConstraintGraph()
+        g.new_task("a", duration=3, resource="R")
+        g.new_task("b", duration=3, resource="R")
+        g.new_task("c", duration=3, resource="R")
+        g.add_separation_window("a", "b", 3, 4)
+        g.add_separation_window("b", "c", 3, 4)
+        schedule, _ = solve(g)
+        assert check_time_valid(schedule).ok
+        assert schedule.start("a") < schedule.start("b") \
+            < schedule.start("c")
+
+    def test_problem_graph_not_mutated(self, small_graph):
+        before = small_graph.edge_count()
+        solve(small_graph)
+        assert small_graph.edge_count() == before

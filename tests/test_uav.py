@@ -1,0 +1,98 @@
+"""Unit tests for the solar UAV case study."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mission import SolarUav, UavConfig
+from repro.mission.uav import AIM_MAX_LEAD, DOWNLINK_MAX_WAIT
+from repro.power import DiurnalSolar, IdealBattery
+from repro.scheduling import SchedulerOptions
+
+FAST = SchedulerOptions(max_power_restarts=1, min_power_scans=1, seed=9)
+
+
+@pytest.fixture
+def uav() -> SolarUav:
+    return SolarUav(options=FAST)
+
+
+class TestLegModel:
+    def test_leg_graph_structure(self, uav):
+        g = uav.leg_graph(deice=False)
+        assert sorted(g.task_names()) == ["aim", "downlink", "scan"]
+        assert g.separation("aim", "scan") is not None
+        assert g.separation("scan", "aim") == -AIM_MAX_LEAD
+        assert g.separation("downlink", "scan") \
+            == -(uav.config.scan_duration + DOWNLINK_MAX_WAIT)
+
+    def test_deice_leg_adds_task_on_radio_bay(self, uav):
+        g = uav.leg_graph(deice=True)
+        assert "deice" in g
+        assert g.task("deice").resource == "radio_bay"
+        assert g.separation("deice", "scan") \
+            == uav.config.deice_duration
+
+    def test_leg_problem_tracks_sun(self, uav):
+        noon = uav.leg_problem(18_000.0, deice=False)
+        dawnish = uav.leg_problem(2_000.0, deice=True)
+        assert noon.p_max > dawnish.p_max
+        assert noon.p_min == pytest.approx(uav.solar.power(18_000.0))
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            UavConfig(cruise_power=-1.0)
+
+
+class TestMission:
+    def test_mission_flies_requested_legs(self, uav):
+        report = uav.fly(legs=3, start_time=6_000.0)
+        assert len(report.legs) == 3
+        assert report.total_time > 0
+        assert not report.battery_depleted
+
+    def test_loiters_until_power_feasible(self, uav):
+        """Starting in the dark, the planner waits for the sun."""
+        report = uav.fly(legs=1, start_time=0.0)
+        assert report.legs[0].start_time > 0.0
+
+    def test_cold_legs_use_deicer_and_fly_longer(self):
+        uav = SolarUav(options=FAST)
+        cold = uav.fly(legs=1, start_time=2_400.0, deice_below=30.0)
+        warm = SolarUav(options=FAST).fly(legs=1, start_time=18_000.0,
+                                          deice_below=30.0)
+        assert cold.legs[0].deiced
+        assert not warm.legs[0].deiced
+        assert cold.legs[0].duration >= warm.legs[0].duration
+
+    def test_battery_cost_falls_toward_noon(self):
+        uav = SolarUav(options=FAST)
+        report = uav.fly(legs=2, start_time=4_000.0)
+        # second leg flies under a higher sun: cheaper
+        assert report.legs[1].energy_cost < report.legs[0].energy_cost
+
+    def test_battery_depletion_aborts(self):
+        uav = SolarUav(options=FAST,
+                       battery=IdealBattery(capacity=500.0,
+                                            max_power=40.0))
+        report = uav.fly(legs=5, start_time=3_000.0)
+        assert report.battery_depleted
+        assert len(report.legs) < 5
+
+    def test_eternal_night_raises(self):
+        from repro.errors import SchedulingFailure
+        dark = SolarUav(options=FAST,
+                        solar=DiurnalSolar(peak=1.0, dawn=0,
+                                           dusk=100.0))
+        with pytest.raises(SchedulingFailure):
+            dark.fly(legs=1, start_time=200.0)
+
+    def test_invalid_leg_count(self, uav):
+        with pytest.raises(ReproError):
+            uav.fly(legs=0)
+
+    def test_report_rows_shape(self, uav):
+        report = uav.fly(legs=2, start_time=10_000.0)
+        rows = report.rows()
+        assert len(rows) == 2
+        assert {"leg", "solar_W", "P_max_W", "dur_s", "Ec_J",
+                "rho_pct", "deice"} <= set(rows[0])

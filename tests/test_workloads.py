@@ -1,0 +1,99 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro import check_time_valid
+from repro.errors import ReproError
+from repro.scheduling.timing import TimingScheduler, asap_schedule
+from repro.workloads import (RandomWorkloadConfig, chain, fork_join,
+                             independent, pipeline, random_problem,
+                             random_problems)
+
+
+class TestPatterns:
+    def test_chain_structure(self):
+        problem = chain(4, duration=3)
+        g = problem.graph
+        assert len(g) == 4
+        assert g.separation("t0", "t1") == 3
+        assert g.separation("t2", "t3") == 3
+
+    def test_chain_min_length(self):
+        with pytest.raises(ReproError):
+            chain(0)
+
+    def test_independent_resources_distinct(self):
+        problem = independent(5)
+        resources = {t.resource for t in problem.graph.tasks()}
+        assert len(resources) == 5
+
+    def test_fork_join_structure(self):
+        problem = fork_join(width=3, duration=5)
+        g = problem.graph
+        assert len(g) == 5
+        for i in range(3):
+            assert g.separation("source", f"w{i}") == 5
+            assert g.separation(f"w{i}", "sink") == 5
+
+    def test_pipeline_grid(self):
+        problem = pipeline(stages=3, width=2, duration=4)
+        g = problem.graph
+        assert len(g) == 6
+        assert g.separation("s0_c1", "s1_c1") == 4
+        assert g.separation("s1_c0", "s2_c0") == 4
+        # stage tasks share a resource
+        assert len(g.tasks_on("stage0")) == 2
+
+    def test_pipeline_validation(self):
+        with pytest.raises(ReproError):
+            pipeline(stages=0, width=2)
+
+
+class TestRandomGenerator:
+    def test_reproducible_for_seed(self):
+        a = random_problem(99)
+        b = random_problem(99)
+        assert a.graph.task_names() == b.graph.task_names()
+        assert sorted((e.src, e.dst, e.weight) for e in a.graph.edges()) \
+            == sorted((e.src, e.dst, e.weight) for e in b.graph.edges())
+        assert a.p_max == b.p_max
+
+    def test_different_seeds_differ(self):
+        a = random_problem(1)
+        b = random_problem(2)
+        assert sorted((e.src, e.dst, e.weight) for e in a.graph.edges()) \
+            != sorted((e.src, e.dst, e.weight) for e in b.graph.edges())
+
+    def test_config_respected(self):
+        config = RandomWorkloadConfig(tasks=12, resources=2, layers=3)
+        problem = random_problem(5, config)
+        assert len(problem.graph) == 12
+        resources = {t.resource for t in problem.graph.tasks()}
+        assert resources <= {"R0", "R1"}
+
+    def test_instances_are_time_feasible(self):
+        """Generated constraints never contradict: the timing
+        scheduler must always succeed."""
+        for seed in range(30, 40):
+            problem = random_problem(seed)
+            graph = problem.fresh_graph()
+            TimingScheduler().schedule_graph(graph)
+            assert check_time_valid(asap_schedule(graph)).ok
+
+    def test_power_budget_leaves_headroom(self):
+        for seed in range(50, 60):
+            problem = random_problem(seed)
+            assert problem.feasible_power_check() == []
+
+    def test_batch_generation(self):
+        batch = random_problems(5, base_seed=200)
+        assert len(batch) == 5
+        assert len({p.name for p in batch}) == 5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ReproError):
+            RandomWorkloadConfig(tasks=0)
+        with pytest.raises(ReproError):
+            RandomWorkloadConfig(tightness=0)
+        with pytest.raises(ReproError):
+            RandomWorkloadConfig(p_min_fraction=2.0)
