@@ -1,0 +1,118 @@
+"""Batch engine — parallel grid exploration vs the serial sweep loop.
+
+The paper's purpose is "to enable the exploration of many more points
+in the design space"; this bench quantifies how far the batch engine
+(:mod:`repro.engine`) pushes that: a ``sweep_p_max`` × ``sweep_p_min``
+grid solved through a 4-worker :class:`BatchRunner` with the canonical
+problem-hash cache must beat the plain serial loop by at least 2x while
+returning bit-identical sweep points, and its JSON run trace must carry
+the per-stage solver timings and cache hit/miss counters the
+observability layer promises.
+
+The grid is deliberately redundancy-rich: every ``P_min`` level sits at
+or above most budgets, so the clamp ``p_min = min(level, budget)``
+collapses whole grid rows onto single design points — exactly the
+duplicate work the solve-result cache exists to eliminate.
+"""
+
+import json
+import os
+import time
+
+from _bench_utils import write_artifact
+from repro.analysis import format_table, sweep_grid
+from repro.engine import BatchRunner, RunnerConfig
+from repro.workloads import RandomWorkloadConfig, random_problem
+
+GRID_TASKS = 28
+BUDGET_FACTORS = (0.7, 0.8, 0.9, 1.0, 1.1)
+LEVEL_FACTORS = (1.1, 1.2, 1.3, 1.4)
+WORKERS = 4
+
+
+def _grid_problem():
+    return random_problem(11, RandomWorkloadConfig(
+        tasks=GRID_TASKS, resources=4, layers=5))
+
+
+def _grid(problem):
+    base = problem.p_max
+    budgets = [round(base * f, 2) for f in BUDGET_FACTORS]
+    levels = [round(base * f, 2) for f in LEVEL_FACTORS]
+    return budgets, levels
+
+
+def test_parallel_grid_speedup_and_identity(artifact_dir):
+    """4-worker cached grid >= 2x faster than serial, same results."""
+    problem = _grid_problem()
+    budgets, levels = _grid(problem)
+    assert len(budgets) * len(levels) >= 16
+
+    t0 = time.perf_counter()
+    serial = sweep_grid(problem, budgets, levels)
+    serial_s = time.perf_counter() - t0
+
+    trace_path = os.path.join(artifact_dir, "engine_grid_trace.json")
+    runner = BatchRunner(RunnerConfig(workers=WORKERS,
+                                      trace_path=trace_path))
+    t0 = time.perf_counter()
+    parallel = sweep_grid(problem, budgets, levels, runner=runner)
+    parallel_s = time.perf_counter() - t0
+
+    assert parallel == serial, \
+        "parallel grid must be bit-identical to the serial loop"
+    speedup = serial_s / parallel_s
+    assert speedup >= 2.0, (
+        f"expected >= 2x over serial, got {speedup:.2f}x "
+        f"({serial_s:.2f}s vs {parallel_s:.2f}s)")
+
+    trace = runner.last_trace
+    run = trace.run
+    assert run["unique_solved"] < len(serial), \
+        "clamped grid must dedup onto fewer unique solves"
+    rows = [{"path": "serial loop", "points": len(serial),
+             "unique_solves": len(serial), "wall_s": round(serial_s, 2)},
+            {"path": f"BatchRunner x{WORKERS} + cache",
+             "points": len(parallel),
+             "unique_solves": run["unique_solved"],
+             "wall_s": round(parallel_s, 2)}]
+    write_artifact(artifact_dir, "engine_parallel_grid.txt",
+                   format_table(rows,
+                                title=f"== {len(serial)}-point grid: "
+                                      f"speedup {speedup:.2f}x =="))
+
+
+def test_trace_carries_timings_and_cache_counters(artifact_dir):
+    """The emitted JSON trace is the observability contract."""
+    problem = _grid_problem()
+    budgets, levels = _grid(problem)
+    trace_path = os.path.join(artifact_dir, "engine_grid_trace.json")
+    runner = BatchRunner(RunnerConfig(workers=0, trace_path=trace_path))
+    sweep_grid(problem, budgets, levels, runner=runner)
+
+    with open(trace_path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    assert doc["format"] == "repro-trace"
+    assert {"timing", "max_power", "min_power"} <= \
+        set(doc["stage_seconds"])
+    assert all(seconds >= 0 for seconds in doc["stage_seconds"].values())
+    assert doc["cache"]["hits"] > 0 and doc["cache"]["misses"] > 0
+    counters = doc["counters"]
+    assert counters["longest_path_runs"] > 0
+    assert counters["lp_full_runs"] > 0
+    assert len(doc["jobs"]) == len(budgets) * len(levels)
+    solved = [job for job in doc["jobs"] if not job["cached"]]
+    assert all(job["stage_seconds"] for job in solved)
+
+
+def test_bench_parallel_grid(benchmark):
+    """Median wall time of the cached 4-worker grid (for trending)."""
+    problem = _grid_problem()
+    budgets, levels = _grid(problem)
+
+    def run():
+        runner = BatchRunner(RunnerConfig(workers=WORKERS))
+        return sweep_grid(problem, budgets, levels, runner=runner)
+
+    points = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(point.feasible for point in points)

@@ -6,14 +6,17 @@ from .diff import ScheduleDiff, TaskMove, diff_results, diff_schedules
 from .pareto import (DesignPoint, explore, pareto_front,
                      render_pareto_svg, write_pareto_svg)
 from .report import format_cell, format_markdown_table, format_table
-from .robustness import (PowerTriple, RobustResult, attach_triples,
-                         corner_problems, robust_schedule)
-from .sweep import SweepPoint, knee_point, sweep_p_max, sweep_p_min
+from .robustness import (MonteCarloReport, PowerTriple, RobustResult,
+                         attach_triples, corner_problems,
+                         monte_carlo_robustness, robust_schedule)
+from .sweep import (SweepPoint, knee_point, sweep_grid, sweep_p_max,
+                    sweep_p_min)
 
 __all__ = [
     "CompareOutcome",
     "DesignPoint",
     "MakespanBounds",
+    "MonteCarloReport",
     "PowerTriple",
     "RobustResult",
     "ScheduleDiff",
@@ -34,8 +37,10 @@ __all__ = [
     "knee_point",
     "lower_bound",
     "makespan_bounds",
+    "monte_carlo_robustness",
     "robust_schedule",
     "summarize_outcomes",
+    "sweep_grid",
     "sweep_p_max",
     "sweep_p_min",
 ]

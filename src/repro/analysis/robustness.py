@@ -24,6 +24,7 @@ the corners are ordinary problems solvable by any scheduler.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from ..core.graph import ConstraintGraph
@@ -35,7 +36,8 @@ from ..scheduling.base import SchedulerOptions
 from ..scheduling.power_aware import PowerAwareScheduler
 
 __all__ = ["PowerTriple", "attach_triples", "corner_problems",
-           "RobustResult", "robust_schedule"]
+           "RobustResult", "robust_schedule",
+           "MonteCarloReport", "monte_carlo_robustness"]
 
 _CORNERS = ("min", "typical", "max")
 
@@ -193,3 +195,106 @@ def robust_schedule(problem: SchedulingProblem,
         utilization_range=(min(utils), max(utils)),
         peak_range=(min(peaks), max(peaks)),
     )
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo power-uncertainty trials
+# ----------------------------------------------------------------------
+
+@dataclass
+class MonteCarloReport:
+    """Distributional view of a problem under sampled task powers."""
+
+    trials: int
+    feasible: int
+    finish_times: "list[int]"
+    energy_costs: "list[float]"
+    utilizations: "list[float]"
+
+    @property
+    def feasible_fraction(self) -> float:
+        return self.feasible / self.trials if self.trials else 0.0
+
+    def finish_range(self) -> "tuple[int, int] | None":
+        if not self.finish_times:
+            return None
+        return min(self.finish_times), max(self.finish_times)
+
+    def energy_range(self) -> "tuple[float, float] | None":
+        if not self.energy_costs:
+            return None
+        return min(self.energy_costs), max(self.energy_costs)
+
+    def summary(self) -> str:
+        taus = self.finish_range()
+        return (f"{self.feasible}/{self.trials} trials feasible"
+                + (f", tau in [{taus[0]}, {taus[1]}] s"
+                   if taus else ""))
+
+
+def _perturbed_problem(problem: SchedulingProblem, rng: random.Random,
+                       rel_sigma: float,
+                       trial: int) -> SchedulingProblem:
+    """One trial instantiation with sampled task powers.
+
+    Tasks carrying a ``power_triple`` draw uniformly inside their
+    (min, max) band; others scale their nominal power by a uniform
+    ``1 ± rel_sigma`` factor.
+    """
+    from ..core.task import Task
+    graph = ConstraintGraph(f"{problem.graph.name}-mc{trial}")
+    for task in problem.graph.tasks():
+        triple = task.meta.get("power_triple")
+        if isinstance(triple, PowerTriple):
+            power = rng.uniform(triple.minimum, triple.maximum)
+        else:
+            power = task.power * rng.uniform(1.0 - rel_sigma,
+                                             1.0 + rel_sigma)
+        graph.add_task(Task(name=task.name, duration=task.duration,
+                            power=max(0.0, power),
+                            resource=task.resource,
+                            meta=dict(task.meta)))
+    for edge in problem.graph.edges():
+        graph.add_edge(edge.src, edge.dst, edge.weight, tag=edge.tag)
+    return SchedulingProblem(
+        graph=graph, p_max=problem.p_max, p_min=problem.p_min,
+        baseline=problem.baseline, name=f"{problem.name}-mc{trial}",
+        meta=dict(problem.meta))
+
+
+def monte_carlo_robustness(problem: SchedulingProblem,
+                           trials: int = 32,
+                           rel_sigma: float = 0.1,
+                           options: "SchedulerOptions | None" = None,
+                           runner=None,
+                           base_seed: int = 2001) -> MonteCarloReport:
+    """Solve ``trials`` power-sampled instantiations of a problem.
+
+    Every trial is an independent solve job: with a
+    :class:`~repro.engine.runner.BatchRunner` the trials fan out across
+    worker processes; without one they run serially through the same
+    job machinery, so the report is identical either way.  Trial
+    randomness is seeded per trial index from ``base_seed`` — rerunning
+    the experiment reproduces the exact sample set.
+    """
+    if trials < 1:
+        raise ReproError(f"trials must be >= 1, got {trials}")
+    from ..engine.jobs import SolveJob, derive_seed
+    from ..engine.runner import BatchRunner
+    jobs = []
+    for trial in range(trials):
+        rng = random.Random(derive_seed(base_seed, trial))
+        jobs.append(SolveJob(
+            problem=_perturbed_problem(problem, rng, rel_sigma, trial),
+            kind="sweep_point", options=options))
+    runner = runner or BatchRunner()
+    points = runner.run_values(jobs)
+
+    feasible = [p for p in points
+                if p is not None and p.feasible]
+    return MonteCarloReport(
+        trials=trials,
+        feasible=len(feasible),
+        finish_times=[p.finish_time for p in feasible],
+        energy_costs=[p.energy_cost for p in feasible],
+        utilizations=[p.utilization for p in feasible])

@@ -7,6 +7,15 @@ workload across a grid of ``(P_max, P_min)`` values and report how
 finish time, energy cost, and utilization trade off — including finding
 the *power-performance knee* (smallest budget achieving the best finish
 time) and the validity ranges for the runtime scheduler.
+
+Every sweep accepts an optional ``runner`` — a
+:class:`~repro.engine.runner.BatchRunner` — which executes the points
+through the batch engine instead of the in-line serial loop: worker
+processes solve points concurrently, duplicate points (the clamped
+``p_min`` corners a grid produces) are solved once via the canonical
+problem-hash cache, and the run emits a structured JSON trace.  Results
+are identical either way; the runner only changes how fast (and how
+observably) they arrive.
 """
 
 from __future__ import annotations
@@ -19,7 +28,8 @@ from ..errors import SchedulingFailure
 from ..scheduling.base import ScheduleResult, SchedulerOptions
 from ..scheduling.power_aware import PowerAwareScheduler
 
-__all__ = ["SweepPoint", "sweep_p_max", "sweep_p_min", "knee_point"]
+__all__ = ["SweepPoint", "sweep_p_max", "sweep_p_min", "sweep_grid",
+           "knee_point"]
 
 
 @dataclass(frozen=True)
@@ -63,36 +73,80 @@ def _solve_point(problem: SchedulingProblem, p_max: float, p_min: float,
         peak_power=result.metrics.peak_power)
 
 
+def _solve_pairs(problem: SchedulingProblem,
+                 pairs: "list[tuple[float, float]]",
+                 options: "SchedulerOptions | None",
+                 runner) -> "list[SweepPoint]":
+    """Solve ``(p_max, p_min)`` pairs — serially, or via a runner.
+
+    The serial loop is the reference path; a
+    :class:`~repro.engine.runner.BatchRunner` produces identical points
+    while deduplicating repeated pairs and optionally fanning the
+    solves across worker processes.
+    """
+    if runner is None:
+        return [_solve_point(problem, p_max, p_min, options)
+                for p_max, p_min in pairs]
+    from ..engine.jobs import SolveJob
+    jobs = [SolveJob(problem=problem.with_power_constraints(p_max, p_min),
+                     kind="sweep_point", options=options)
+            for p_max, p_min in pairs]
+    points = []
+    for (p_max, p_min), value in zip(pairs, runner.run_values(jobs)):
+        # A job that failed outright (worker death, timeout) degrades
+        # to an infeasible point rather than poisoning the sweep.
+        points.append(value if value is not None else
+                      SweepPoint(p_max=p_max, p_min=p_min,
+                                 feasible=False))
+    return points
+
+
 def sweep_p_max(problem: SchedulingProblem,
                 budgets: "Iterable[float]",
                 p_min: "float | None" = None,
-                options: "SchedulerOptions | None" = None) \
-        -> "list[SweepPoint]":
+                options: "SchedulerOptions | None" = None,
+                runner=None) -> "list[SweepPoint]":
     """Solve the workload under each max-power budget.
 
     ``p_min`` defaults to the problem's own; it is clamped to each
-    budget so the constraint window never inverts.
+    budget so the constraint window never inverts.  ``runner`` routes
+    the points through the batch engine (see module docstring).
     """
     base_min = problem.p_min if p_min is None else p_min
-    points = []
-    for budget in budgets:
-        points.append(_solve_point(problem, budget,
-                                   min(base_min, budget), options))
-    return points
+    pairs = [(budget, min(base_min, budget)) for budget in budgets]
+    return _solve_pairs(problem, pairs, options, runner)
 
 
 def sweep_p_min(problem: SchedulingProblem,
                 levels: "Iterable[float]",
                 p_max: "float | None" = None,
-                options: "SchedulerOptions | None" = None) \
-        -> "list[SweepPoint]":
+                options: "SchedulerOptions | None" = None,
+                runner=None) -> "list[SweepPoint]":
     """Solve the workload for each free-power level."""
     budget = problem.p_max if p_max is None else p_max
-    points = []
-    for level in levels:
-        points.append(_solve_point(problem, budget,
-                                   min(level, budget), options))
-    return points
+    pairs = [(budget, min(level, budget)) for level in levels]
+    return _solve_pairs(problem, pairs, options, runner)
+
+
+def sweep_grid(problem: SchedulingProblem,
+               budgets: "Iterable[float]",
+               levels: "Iterable[float]",
+               options: "SchedulerOptions | None" = None,
+               runner=None) -> "list[SweepPoint]":
+    """The full ``sweep_p_max`` × ``sweep_p_min`` cross product.
+
+    Each grid point solves the workload under ``(budget,
+    min(level, budget))`` — the clamp keeps the constraint window from
+    inverting, and is exactly what makes grids redundancy-rich: every
+    level at or above a budget collapses onto the same clamped point,
+    which a :class:`~repro.engine.runner.BatchRunner`'s cache then
+    solves only once.  Points come back in row-major (budget-outer)
+    order.
+    """
+    levels = list(levels)
+    pairs = [(budget, min(level, budget))
+             for budget in budgets for level in levels]
+    return _solve_pairs(problem, pairs, options, runner)
 
 
 def knee_point(points: "list[SweepPoint]") -> "SweepPoint | None":

@@ -80,6 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--budgets", default="",
                        help="comma-separated P_max values "
                             "(default: 8 points around the problem's)")
+    sweep.add_argument("--levels", default="",
+                       help="comma-separated P_min values; with "
+                            "--budgets this sweeps the full grid "
+                            "(levels are clamped to each budget)")
+    sweep.add_argument("--parallel", type=int, default=0, metavar="N",
+                       help="solve sweep points across N worker "
+                            "processes (0 = in-process serial)")
+    sweep.add_argument("--trace", metavar="PATH",
+                       help="write a JSON run trace (per-stage solver "
+                            "timings, cache hit/miss counters)")
     return parser
 
 
@@ -124,7 +134,8 @@ def _cmd_diagnose(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from .analysis import knee_point, sweep_p_max
+    from .analysis import knee_point, sweep_grid, sweep_p_max
+    from .engine import BatchRunner, RunnerConfig
     problem = _load(args.file)
     if args.budgets:
         budgets = [float(token) for token in args.budgets.split(",")]
@@ -133,13 +144,29 @@ def _cmd_sweep(args) -> int:
         budgets = [round(base * factor, 2)
                    for factor in (0.6, 0.75, 0.9, 1.0, 1.2, 1.5, 2.0,
                                   3.0)]
-    points = sweep_p_max(problem, budgets)
-    print(format_table([p.row() for p in points],
-                       title=f"== {problem.name}: P_max sweep =="))
+    runner = BatchRunner(RunnerConfig(workers=max(0, args.parallel),
+                                      trace_path=args.trace))
+    if args.levels:
+        levels = [float(token) for token in args.levels.split(",")]
+        points = sweep_grid(problem, budgets, levels, runner=runner)
+        title = f"== {problem.name}: (P_max, P_min) grid sweep =="
+    else:
+        points = sweep_p_max(problem, budgets, runner=runner)
+        title = f"== {problem.name}: P_max sweep =="
+    print(format_table([p.row() for p in points], title=title))
     knee = knee_point(points)
     if knee is not None:
         print(f"knee: P_max = {knee.p_max:g} W reaches "
               f"tau = {knee.finish_time} s")
+    trace = runner.last_trace
+    if trace is not None:
+        run, cache = trace.run, trace.cache
+        print(f"engine: {run['jobs']} points, "
+              f"{run['unique_solved']} solved "
+              f"({cache.get('hits', 0)} cache hits), "
+              f"mode={run['mode']}, {run['elapsed_s']:.2f}s")
+    if args.trace:
+        print(f"wrote {args.trace}")
     return 0
 
 

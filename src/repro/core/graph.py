@@ -212,9 +212,14 @@ class ConstraintGraph:
         self._version += 1
         self._add_log.append((self._version, src, dst, weight))
         if len(self._add_log) > 4 * (len(self._tasks) + 8):
-            # the solver only ever needs additions newer than its
-            # cache; a bounded log keeps memory flat and simply forces
-            # a full recompute when the window is exceeded
+            # Bounded log: drop the older half.  The longest-path solver
+            # only takes its incremental fast path when the log covers
+            # *every* version since its cache (it checks
+            # ``len(adds) == _version - cache_version``); trimming makes
+            # that check fail for caches older than the retained window,
+            # forcing a full recompute.  This keeps memory flat and can
+            # only cost speed, never correctness — see
+            # repro.core.longest_path.longest_paths for the invariants.
             del self._add_log[:len(self._add_log) // 2]
         return True
 

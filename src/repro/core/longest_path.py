@@ -26,7 +26,29 @@ from .graph import ConstraintGraph
 from .task import ANCHOR_NAME
 
 __all__ = ["LongestPathResult", "longest_paths", "earliest_starts",
-           "latest_starts"]
+           "latest_starts", "lp_counter_snapshot", "lp_counters_delta"]
+
+# ----------------------------------------------------------------------
+# observability: per-process counters of how each longest-path query was
+# answered.  The power-aware pipeline snapshots these around each stage
+# and folds the deltas into SchedulerStats; the batch engine then
+# surfaces them in its JSON traces.  Per-process globals are safe here:
+# worker processes each get their own copy, and within a process the
+# solver runs under the GIL.
+# ----------------------------------------------------------------------
+
+_COUNTERS = {"cache_hits": 0, "incremental_runs": 0, "full_runs": 0}
+
+
+def lp_counter_snapshot() -> "dict[str, int]":
+    """A copy of the process-wide longest-path counters."""
+    return dict(_COUNTERS)
+
+
+def lp_counters_delta(snapshot: "dict[str, int]") -> "dict[str, int]":
+    """Counter increments since ``snapshot`` was taken."""
+    return {key: _COUNTERS[key] - snapshot.get(key, 0)
+            for key in _COUNTERS}
 
 
 @dataclass(frozen=True)
@@ -80,17 +102,35 @@ def longest_paths(graph: ConstraintGraph) -> LongestPathResult:
     if cache is not None:
         version, dist, pred = cache
         if version == graph._version and len(dist) == len(names):
+            _COUNTERS["cache_hits"] += 1
             return LongestPathResult(distance=dict(dist),
                                      predecessor=dict(pred))
+        # The incremental fast path is sound only under three invariants:
+        #
+        # 1. every mutation since the cached version was an edge
+        #    *addition* (``version >= _last_non_add_version``) — removals
+        #    and rollbacks can shrink distances, which a grow-only
+        #    worklist cannot express;
+        # 2. the vertex set is unchanged (``len(dist) == len(names)``) —
+        #    ``add_task`` does not bump the edge version, so a new
+        #    vertex is only visible through this length check;
+        # 3. the add log still covers *every* version since the cache
+        #    (``len(adds) == _version - version``; each addition bumps
+        #    the version by exactly one, so the count equality holds iff
+        #    no addition is missing).  ``ConstraintGraph.add_edge`` trims
+        #    the front half of ``_add_log`` once it outgrows a bound
+        #    (graph.py), so a sufficiently stale cache falls out of the
+        #    log window, fails this check, and takes the full recompute
+        #    below — trimming can cost speed, never correctness.
         if version >= graph._last_non_add_version \
                 and len(dist) == len(names):
             adds = [entry for entry in graph._add_log
                     if entry[0] > version]
-            if adds and adds[0][0] > version + 0 and \
-                    len(adds) == graph._version - version:
+            if len(adds) == graph._version - version:
                 result = _propagate_adds(graph, dict(dist), dict(pred),
                                          adds, names)
                 if result is not None:
+                    _COUNTERS["incremental_runs"] += 1
                     graph._lp_cache = (graph._version,
                                        result.distance,
                                        result.predecessor)
@@ -98,6 +138,7 @@ def longest_paths(graph: ConstraintGraph) -> LongestPathResult:
                         distance=dict(result.distance),
                         predecessor=dict(result.predecessor))
     try:
+        _COUNTERS["full_runs"] += 1
         return _full_longest_paths(graph, names)
     except PositiveCycleError:
         graph._lp_cache = None

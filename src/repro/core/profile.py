@@ -277,17 +277,36 @@ class PowerProfile:
         return PowerProfile(segs, baseline=self.baseline)
 
     @staticmethod
-    def concatenate(profiles: "list[PowerProfile]") -> "PowerProfile":
-        """Join profiles back to back (mission-level power curve)."""
+    def concatenate(profiles: "list[PowerProfile]",
+                    baseline: "float | None" = None) -> "PowerProfile":
+        """Join profiles back to back (mission-level power curve).
+
+        The joined profile's reported ``baseline`` is the first
+        profile's (all parts of one mission share the same always-on
+        load); concatenating profiles with *different* baselines is
+        ambiguous — no single constant describes the result — so it is
+        rejected unless an explicit ``baseline`` override says which
+        value the joined curve should report.  (The segment powers
+        themselves already include each part's baseline and are joined
+        verbatim either way.)
+        """
+        explicit = baseline is not None
         segs: "list[tuple[int, int, float]]" = []
         offset = 0
-        baseline = 0.0
         for prof in profiles:
+            if baseline is None:
+                baseline = prof.baseline
+            elif not explicit and prof.baseline != baseline:
+                raise ValidationError(
+                    f"cannot concatenate profiles with mixed baselines "
+                    f"({baseline:g} W vs {prof.baseline:g} W); pass an "
+                    f"explicit baseline= to pick the reported value")
             for t0, t1, p in prof.segments:
                 segs.append((t0 + offset, t1 + offset, p))
             offset += prof.horizon
-            baseline = prof.baseline
-        return PowerProfile(segs, baseline=baseline)
+        return PowerProfile(segs,
+                            baseline=baseline if baseline is not None
+                            else 0.0)
 
     def sampled(self, step: int = 1) -> "list[float]":
         """Sample ``P(t)`` every ``step`` units (for plotting/tests)."""

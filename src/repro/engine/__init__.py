@@ -1,0 +1,48 @@
+"""Parallel exploration engine for independent solve jobs.
+
+The paper's stated purpose is "to enable the exploration of many more
+points in the design space"; this package is the machinery that makes
+that exploration cheap and measurable at scale:
+
+* :class:`~repro.engine.runner.BatchRunner` — executes independent
+  solve jobs (sweep grids, workload batches, Monte Carlo robustness
+  trials) across a ``concurrent.futures.ProcessPoolExecutor`` with
+  deterministic per-job seeding, chunked dispatch, per-chunk timeout
+  with capped retry, and graceful degradation to a serial in-process
+  loop when worker processes are unavailable;
+* :class:`~repro.engine.cache.ResultCache` — a solve-result cache keyed
+  by a canonical problem hash, so duplicate design points (e.g. the
+  clamped ``p_min`` values a ``sweep_p_max`` grid produces) are solved
+  exactly once, in the serial path and the parallel path alike;
+* :class:`~repro.engine.trace.RunTrace` — a structured JSON trace per
+  run: per-job wall times, cache hit/miss counters, and the per-stage
+  scheduler timings threaded through
+  :class:`~repro.scheduling.base.SchedulerStats`.
+
+Determinism contract: for the same jobs and the same seeds, a parallel
+run returns results identical to a serial run — parallelism and caching
+only change *when* a point is solved, never *what* it resolves to.
+"""
+
+from .cache import ResultCache
+from .hashing import options_fingerprint, problem_key
+from .jobs import (JobResult, SolveJob, derive_seed, register_kind,
+                   run_job, solve_problems)
+from .runner import BatchRunner, RunnerConfig
+from .trace import JobTrace, RunTrace
+
+__all__ = [
+    "BatchRunner",
+    "JobResult",
+    "JobTrace",
+    "ResultCache",
+    "RunTrace",
+    "RunnerConfig",
+    "SolveJob",
+    "derive_seed",
+    "options_fingerprint",
+    "problem_key",
+    "register_kind",
+    "run_job",
+    "solve_problems",
+]

@@ -1,0 +1,77 @@
+"""Canonical hashing of solve jobs.
+
+Two jobs that would provably produce the same answer must hash equal,
+and any input the schedulers read must be part of the hash: the full
+problem (tasks, user edges, resources, power constraints, baseline) and
+the complete :class:`~repro.scheduling.base.SchedulerOptions` including
+the seed.  Dict iteration order is normalized away by sorting, so the
+key is stable across processes and across Python hash randomization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from ..core.problem import SchedulingProblem
+from ..scheduling.base import SchedulerOptions
+
+__all__ = ["canonical_problem_dict", "options_fingerprint",
+           "problem_key"]
+
+
+def canonical_problem_dict(problem: SchedulingProblem) \
+        -> "dict[str, Any]":
+    """A sorted, schedulers-eye view of a problem.
+
+    Only *user* constraints matter (schedulers work on a fresh copy of
+    the graph, so derived decorations never survive into a job), but a
+    caller may hand the engine an already-decorated graph; every stored
+    edge is therefore included.
+    """
+    graph = problem.graph
+    return {
+        "name": problem.name,
+        "p_max": problem.p_max,
+        "p_min": problem.p_min,
+        "baseline": problem.baseline,
+        "tasks": sorted(
+            (task.name, task.duration, task.power, task.resource,
+             sorted(task.meta.items()))
+            for task in graph.tasks()),
+        "resources": sorted(
+            (res.name, res.idle_power, res.kind)
+            for res in graph.resources),
+        "edges": sorted(
+            (edge.src, edge.dst, edge.weight, edge.tag)
+            for edge in graph.edges()),
+    }
+
+
+def options_fingerprint(options: "SchedulerOptions | None") -> str:
+    """A stable string identifying a full options configuration."""
+    opts = options or SchedulerOptions()
+    return json.dumps(dataclasses.asdict(opts), sort_keys=True,
+                      default=repr)
+
+
+def problem_key(problem: SchedulingProblem,
+                options: "SchedulerOptions | None" = None,
+                kind: str = "",
+                extra: "Any | None" = None) -> str:
+    """SHA-256 key identifying one solve job's complete input.
+
+    ``kind`` namespaces the worker function (two job kinds over the
+    same problem are distinct cache entries); ``extra`` folds in any
+    additional job parameters.
+    """
+    payload = {
+        "kind": kind,
+        "problem": canonical_problem_dict(problem),
+        "options": options_fingerprint(options),
+        "extra": extra,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,182 @@
+"""Solve jobs: the unit of work the batch runner dispatches.
+
+A :class:`SolveJob` is a picklable description of one independent solve
+— a problem, a full options configuration (seed included), and a *kind*
+naming the worker function that turns the problem into a small result
+payload.  Kinds are registered in a module-level registry so the
+callable itself never has to cross a process boundary; worker processes
+resolve the name locally (inherited via fork, re-imported via spawn).
+
+Built-in kinds
+--------------
+``"sweep_point"``
+    Run the full power-aware pipeline and return a
+    :class:`~repro.analysis.sweep.SweepPoint` (infeasible problems give
+    a ``feasible=False`` point rather than an error).
+
+Determinism: a job's randomness flows entirely from ``options.seed``.
+:func:`derive_seed` produces stable per-job seeds from a base seed and
+a job index — the same arithmetic on every platform and process, so
+serial and parallel executions of the same batch are identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Mapping
+
+from ..core.problem import SchedulingProblem
+from ..scheduling.base import SchedulerOptions
+from .hashing import problem_key
+
+__all__ = ["SolveJob", "JobResult", "derive_seed", "register_kind",
+           "run_job", "run_chunk", "solve_problems"]
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A stable, well-spread per-job seed (no Python ``hash()``)."""
+    mixed = (base_seed * 1_000_003 + index * 7919 + 12345) & 0x7FFFFFFF
+    return mixed
+
+
+@dataclass(frozen=True)
+class SolveJob:
+    """One independent solve: problem + options + worker kind."""
+
+    problem: SchedulingProblem
+    kind: str = "sweep_point"
+    options: "SchedulerOptions | None" = None
+    tags: "Mapping[str, Any]" = field(default_factory=dict)
+
+    def key(self) -> str:
+        """Canonical cache key for this job's complete input."""
+        return problem_key(self.problem, self.options, kind=self.kind)
+
+    def reseeded(self, base_seed: int, index: int) -> "SolveJob":
+        """A copy whose options carry :func:`derive_seed` of ``index``."""
+        opts = self.options or SchedulerOptions()
+        return SolveJob(problem=self.problem, kind=self.kind,
+                        options=replace(opts,
+                                        seed=derive_seed(base_seed,
+                                                         index)),
+                        tags=dict(self.tags))
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: payload plus execution bookkeeping."""
+
+    position: int
+    key: str
+    value: Any = None
+    ok: bool = True
+    error: "str | None" = None
+    attempts: int = 0
+    elapsed_s: float = 0.0
+    cached: bool = False
+    stats: "dict[str, Any]" = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# worker-kind registry
+# ----------------------------------------------------------------------
+
+_KINDS: "dict[str, Callable[[SolveJob], tuple[Any, dict]]]" = {}
+
+
+def register_kind(name: str,
+                  fn: "Callable[[SolveJob], tuple[Any, dict]]") -> None:
+    """Register a worker function ``job -> (value, stats_dict)``.
+
+    Must be called at import time of a real module so that spawned
+    worker processes see the registration too; with the default ``fork``
+    start method the parent's registry is inherited directly.
+    """
+    _KINDS[name] = fn
+
+
+def _solve_sweep_point(job: SolveJob) -> "tuple[Any, dict]":
+    from ..analysis.sweep import SweepPoint
+    from ..errors import SchedulingFailure
+    from ..scheduling.power_aware import PowerAwareScheduler
+
+    problem = job.problem
+    options = job.options or SchedulerOptions()
+    try:
+        result = PowerAwareScheduler(options).solve(problem)
+    except SchedulingFailure:
+        return (SweepPoint(p_max=problem.p_max, p_min=problem.p_min,
+                           feasible=False), {})
+    point = SweepPoint(
+        p_max=problem.p_max, p_min=problem.p_min, feasible=True,
+        finish_time=result.finish_time,
+        energy_cost=result.energy_cost,
+        utilization=result.utilization,
+        peak_power=result.metrics.peak_power)
+    return point, result.stats.as_dict()
+
+
+register_kind("sweep_point", _solve_sweep_point)
+
+
+# ----------------------------------------------------------------------
+# execution (runs in workers and in the serial fallback alike)
+# ----------------------------------------------------------------------
+
+def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
+            retries: int = 0) -> JobResult:
+    """Execute one job with capped in-place retry.
+
+    Scheduler-level infeasibility is a *result* (the kind functions
+    encode it in their payload); only unexpected exceptions trigger a
+    retry, and after ``retries + 1`` attempts the error is reported in
+    the :class:`JobResult` rather than raised, so one bad point never
+    sinks a batch.
+    """
+    fn = _KINDS.get(job.kind)
+    key = key if key is not None else job.key()
+    if fn is None:
+        return JobResult(position=position, key=key, ok=False,
+                         error=f"unknown job kind {job.kind!r}")
+    last_error = ""
+    t0 = time.perf_counter()
+    for attempt in range(1, max(1, retries + 1) + 1):
+        try:
+            value, stats = fn(job)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            last_error = f"{type(exc).__name__}: {exc}"
+            continue
+        return JobResult(position=position, key=key, value=value,
+                         ok=True, attempts=attempt,
+                         elapsed_s=time.perf_counter() - t0,
+                         stats=stats)
+    return JobResult(position=position, key=key, ok=False,
+                     error=last_error,
+                     attempts=max(1, retries + 1),
+                     elapsed_s=time.perf_counter() - t0)
+
+
+def run_chunk(jobs: "list[tuple[int, str, SolveJob]]",
+              retries: int = 0) -> "list[JobResult]":
+    """Worker entry point: execute a chunk of keyed jobs in order."""
+    return [run_job(job, position=position, key=key, retries=retries)
+            for position, key, job in jobs]
+
+
+def solve_problems(problems: "Iterable[SchedulingProblem]",
+                   options: "SchedulerOptions | None" = None,
+                   runner=None) -> "list[Any]":
+    """Batch-solve a workload set into sweep points.
+
+    Convenience front-end for workload batches (e.g.
+    :func:`repro.workloads.random_problems` output): one
+    ``"sweep_point"`` job per problem through ``runner`` (a
+    :class:`~repro.engine.runner.BatchRunner`; a serial one is created
+    when omitted).
+    """
+    from .runner import BatchRunner
+    jobs = [SolveJob(problem=problem, options=options)
+            for problem in problems]
+    runner = runner or BatchRunner()
+    return runner.run_values(jobs)

@@ -1,0 +1,303 @@
+"""The batch runner: parallel execution of independent solve jobs.
+
+Execution model
+---------------
+``BatchRunner.run`` takes an ordered list of :class:`SolveJob` and
+returns one :class:`JobResult` per job, in order.  Internally it
+
+1. **keys** every job with its canonical problem hash,
+2. **dedups**: jobs sharing a key are solved once (first occurrence is
+   the *primary*; the rest are served from the in-run memo), and a
+   persistent :class:`ResultCache` — when attached — short-circuits
+   points already solved by earlier runs,
+3. **dispatches** the unique jobs either serially in-process
+   (``workers <= 1``) or across a ``ProcessPoolExecutor`` in chunks of
+   ``chunksize`` jobs, with a per-job timeout budget and a capped
+   number of chunk retries, and
+4. **degrades gracefully**: if worker processes cannot be created (no
+   ``fork``/``spawn`` support, sandboxing, resource limits) the batch
+   silently falls back to the serial loop — same results, one process.
+
+Determinism: job seeds are fixed inputs (see
+:meth:`SolveJob.reseeded` / ``RunnerConfig.reseed_base``), dedup serves
+byte-identical payloads, and result order is the submission order — so
+a parallel run is indistinguishable from a serial run of the same jobs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from .cache import ResultCache
+from .jobs import JobResult, SolveJob, run_chunk, run_job
+from .trace import JobTrace, RunTrace
+
+__all__ = ["RunnerConfig", "BatchRunner"]
+
+
+@dataclass
+class RunnerConfig:
+    """Tunable knobs of a :class:`BatchRunner`.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes; ``0`` or ``1`` selects the in-process serial
+        loop (the default — parallelism is opt-in).
+    chunksize:
+        Jobs per dispatched chunk.  Larger chunks amortize IPC for
+        very cheap jobs; 1 (default) gives the finest timeout/retry
+        granularity.
+    timeout_s:
+        Per-job wall-clock budget; a chunk's budget is
+        ``timeout_s * len(chunk)``.  ``None`` (default) waits forever.
+    retries:
+        Capped retry budget, applied both in-worker (re-running a job
+        whose kind function raised) and at chunk level (re-submitting a
+        chunk that timed out or whose worker died).
+    cache_max_entries:
+        Size bound of the attached result cache (``None`` = unbounded).
+    use_cache:
+        Attach a persistent :class:`ResultCache` to the runner.  In-run
+        dedup of identical jobs happens regardless; the cache extends
+        that memo across successive ``run`` calls.
+    reseed_base:
+        When set, every job is reseeded with
+        ``derive_seed(reseed_base, position)`` before keying — one
+        deterministic seed per batch position (Monte Carlo batches).
+    trace_path:
+        When set, every run writes its JSON :class:`RunTrace` here.
+    """
+
+    workers: int = 0
+    chunksize: int = 1
+    timeout_s: "float | None" = None
+    retries: int = 1
+    cache_max_entries: "int | None" = 4096
+    use_cache: bool = True
+    reseed_base: "int | None" = None
+    trace_path: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.chunksize < 1:
+            raise ValueError(
+                f"chunksize must be >= 1, got {self.chunksize}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be positive or None, got {self.timeout_s}")
+
+
+class BatchRunner:
+    """Execute independent solve jobs, in parallel when asked to."""
+
+    def __init__(self, config: "RunnerConfig | None" = None,
+                 cache: "ResultCache | None" = None):
+        self.config = config or RunnerConfig()
+        if cache is not None:
+            self.cache: "ResultCache | None" = cache
+        elif self.config.use_cache:
+            self.cache = ResultCache(self.config.cache_max_entries)
+        else:
+            self.cache = None
+        #: Trace of the most recent :meth:`run` (also written to
+        #: ``config.trace_path`` when that is set).
+        self.last_trace: "RunTrace | None" = None
+        #: Execution mode of the most recent run:
+        #: ``"serial"`` | ``"process"`` | ``"serial-fallback"``.
+        self.last_mode: "str | None" = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: "Iterable[SolveJob]") -> "list[JobResult]":
+        """Execute ``jobs``; results come back in submission order."""
+        t_start = time.perf_counter()
+        ordered = list(jobs)
+        if self.config.reseed_base is not None:
+            ordered = [job.reseeded(self.config.reseed_base, position)
+                       for position, job in enumerate(ordered)]
+        keyed = [(position, job.key(), job)
+                 for position, job in enumerate(ordered)]
+
+        results: "dict[int, JobResult]" = {}
+        cache_hits = 0
+        dedup_hits = 0
+        # primaries: first job per distinct key that must be solved
+        primaries: "dict[str, tuple[int, SolveJob]]" = {}
+        duplicates: "list[tuple[int, str]]" = []
+        for position, key, job in keyed:
+            if self.cache is not None:
+                hit, value = self.cache.lookup(key)
+                if hit:
+                    cache_hits += 1
+                    results[position] = JobResult(
+                        position=position, key=key, value=value,
+                        cached=True)
+                    continue
+            if key in primaries:
+                duplicates.append((position, key))
+                dedup_hits += 1
+                continue
+            primaries[key] = (position, job)
+
+        entries = [(position, key, job)
+                   for key, (position, job) in primaries.items()]
+        mode = self._execute(entries, results)
+
+        for position, key in duplicates:
+            primary = results[primaries[key][0]]
+            results[position] = JobResult(
+                position=position, key=key, value=primary.value,
+                ok=primary.ok, error=primary.error, cached=True)
+        if self.cache is not None:
+            for key, (position, _job) in primaries.items():
+                primary = results[position]
+                if primary.ok:
+                    self.cache.put(key, primary.value)
+
+        final = [results[position] for position in range(len(ordered))]
+        self.last_mode = mode
+        self.last_trace = self._build_trace(
+            final, mode, unique_solved=len(entries),
+            cache_hits=cache_hits + dedup_hits,
+            elapsed_s=time.perf_counter() - t_start)
+        if self.config.trace_path:
+            self.last_trace.write(self.config.trace_path)
+        return final
+
+    def run_values(self, jobs: "Iterable[SolveJob]") -> "list[Any]":
+        """Like :meth:`run` but returns just the payloads (``None`` for
+        jobs that ultimately failed)."""
+        return [result.value for result in self.run(jobs)]
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, entries: "Sequence[tuple[int, str, SolveJob]]",
+                 results: "dict[int, JobResult]") -> str:
+        """Solve the unique jobs; fills ``results`` keyed by position."""
+        cfg = self.config
+        if not entries:
+            return "serial" if cfg.workers <= 1 else "process"
+        if cfg.workers <= 1:
+            self._run_serial(entries, results)
+            return "serial"
+        try:
+            self._run_pool(entries, results)
+            return "process"
+        except _PoolUnavailable:
+            self._run_serial(entries, results)
+            return "serial-fallback"
+
+    def _run_serial(self, entries, results) -> None:
+        for position, key, job in entries:
+            results[position] = run_job(job, position=position, key=key,
+                                        retries=self.config.retries)
+
+    def _run_pool(self, entries, results) -> None:
+        """Chunked dispatch over a process pool with timeout + retry.
+
+        Raises :class:`_PoolUnavailable` only when the pool cannot be
+        *created* — once dispatch has begun, failures are retried and
+        finally reported per-job, never raised.
+        """
+        cfg = self.config
+        try:
+            from concurrent.futures import (ProcessPoolExecutor,
+                                            TimeoutError as FutureTimeout)
+            from concurrent.futures.process import BrokenProcessPool
+            pool = ProcessPoolExecutor(max_workers=cfg.workers)
+        except Exception as exc:  # noqa: BLE001 - degrade to serial
+            raise _PoolUnavailable(str(exc)) from exc
+
+        chunks = [list(entries[i:i + cfg.chunksize])
+                  for i in range(0, len(entries), cfg.chunksize)]
+        pending = [(chunk, 0) for chunk in chunks]
+        clean = True
+        try:
+            while pending:
+                submitted = []
+                for chunk, attempt in pending:
+                    try:
+                        future = pool.submit(run_chunk, chunk,
+                                             cfg.retries)
+                    except Exception:  # noqa: BLE001 - pool is gone
+                        future = None
+                    submitted.append((future, chunk, attempt))
+                pending = []
+                for future, chunk, attempt in submitted:
+                    error = None
+                    if future is None:
+                        error = "worker pool rejected the chunk"
+                    else:
+                        budget = None if cfg.timeout_s is None \
+                            else cfg.timeout_s * len(chunk)
+                        try:
+                            for job_result in future.result(budget):
+                                results[job_result.position] = job_result
+                        except FutureTimeout:
+                            future.cancel()
+                            clean = False
+                            error = (f"timed out after {budget:g}s "
+                                     f"(chunk of {len(chunk)})")
+                        except BrokenProcessPool:
+                            clean = False
+                            error = "worker process died"
+                        except Exception as exc:  # noqa: BLE001
+                            error = f"{type(exc).__name__}: {exc}"
+                    if error is None:
+                        continue
+                    if attempt < cfg.retries:
+                        pending.append((chunk, attempt + 1))
+                    else:
+                        for position, key, _job in chunk:
+                            results[position] = JobResult(
+                                position=position, key=key, ok=False,
+                                error=error, attempts=attempt + 1)
+        finally:
+            # A timed-out worker may still be running its job; waiting
+            # for it would defeat the timeout, so release the pool
+            # without joining in that case.
+            pool.shutdown(wait=clean, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+
+    def _build_trace(self, final: "list[JobResult]", mode: str,
+                     unique_solved: int, cache_hits: int,
+                     elapsed_s: float) -> RunTrace:
+        cfg = self.config
+        trace = RunTrace(
+            run={
+                "jobs": len(final),
+                "unique_solved": unique_solved,
+                "workers": cfg.workers,
+                "mode": mode,
+                "chunksize": cfg.chunksize,
+                "timeout_s": cfg.timeout_s,
+                "retries": cfg.retries,
+                "elapsed_s": round(elapsed_s, 6),
+            },
+            cache={"hits": cache_hits, "misses": unique_solved,
+                   **({"entries": len(self.cache)}
+                      if self.cache is not None else {})})
+        for result in final:
+            stats = result.stats or {}
+            trace.add_job(JobTrace(
+                position=result.position,
+                key=result.key,
+                cached=result.cached,
+                ok=result.ok,
+                attempts=result.attempts,
+                elapsed_s=result.elapsed_s,
+                error=result.error,
+                stage_seconds=dict(stats.get("stage_seconds", {})),
+                counters=dict(stats.get("counters", {}))))
+        return trace
+
+
+class _PoolUnavailable(RuntimeError):
+    """Worker processes could not be created; fall back to serial."""

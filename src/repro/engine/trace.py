@@ -1,0 +1,114 @@
+"""Structured JSON traces of batch-engine runs.
+
+One :class:`RunTrace` per :meth:`BatchRunner.run`: how the batch was
+executed (mode, workers, chunking), what the cache did (hits, misses,
+dedup), how long each job took, and the per-stage scheduler timings and
+longest-path counters each job's :class:`SchedulerStats` reported.  The
+document is plain JSON so sweep dashboards and CI diff tooling can
+consume it without importing the package.
+
+Schema (``format: "repro-trace", version: 1``)::
+
+    {
+      "format": "repro-trace", "version": 1,
+      "run": {"jobs": 20, "unique_solved": 5, "workers": 4,
+              "mode": "process", "chunksize": 1, "timeout_s": null,
+              "retries": 1, "elapsed_s": 0.93},
+      "cache": {"hits": 15, "misses": 5, "entries": 5},
+      "stage_seconds": {"timing": ..., "max_power": ..., "min_power": ...},
+      "counters": {"longest_path_runs": ..., "lp_cache_hits": ..., ...},
+      "jobs": [{"position": 0, "key": "ab12...", "cached": false,
+                "ok": true, "attempts": 1, "elapsed_s": 0.11,
+                "error": null, "stage_seconds": {...},
+                "counters": {...}}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["JobTrace", "RunTrace"]
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+@dataclass
+class JobTrace:
+    """The trace record of one job."""
+
+    position: int
+    key: str
+    cached: bool
+    ok: bool
+    attempts: int
+    elapsed_s: float
+    error: "str | None" = None
+    stage_seconds: "dict[str, float]" = field(default_factory=dict)
+    counters: "dict[str, int]" = field(default_factory=dict)
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "position": self.position,
+            "key": self.key,
+            "cached": self.cached,
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "error": self.error,
+            "stage_seconds": {stage: round(seconds, 6)
+                              for stage, seconds
+                              in self.stage_seconds.items()},
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass
+class RunTrace:
+    """The trace of one complete batch run."""
+
+    run: "dict[str, Any]" = field(default_factory=dict)
+    cache: "dict[str, int]" = field(default_factory=dict)
+    jobs: "list[JobTrace]" = field(default_factory=list)
+
+    def add_job(self, trace: JobTrace) -> None:
+        self.jobs.append(trace)
+
+    def aggregate_stage_seconds(self) -> "dict[str, float]":
+        """Total scheduler seconds per pipeline stage across all jobs."""
+        totals: "dict[str, float]" = {}
+        for job in self.jobs:
+            for stage, seconds in job.stage_seconds.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+    def aggregate_counters(self) -> "dict[str, int]":
+        """Summed scheduler/cache counters across all jobs."""
+        totals: "dict[str, int]" = {}
+        for job in self.jobs:
+            for name, count in job.counters.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "run": dict(self.run),
+            "cache": dict(self.cache),
+            "stage_seconds": {stage: round(seconds, 6)
+                              for stage, seconds
+                              in self.aggregate_stage_seconds().items()},
+            "counters": self.aggregate_counters(),
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+    def write(self, path: str) -> str:
+        """Write the trace as pretty-printed JSON; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return path

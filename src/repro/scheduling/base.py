@@ -106,7 +106,15 @@ class SchedulerOptions:
 
 @dataclass
 class SchedulerStats:
-    """Counters describing the work one scheduler run performed."""
+    """Counters describing the work one scheduler run performed.
+
+    Besides the algorithmic counters, a run carries its observability
+    payload: per-stage wall-clock timings (``stage_seconds``, keyed by
+    pipeline stage name) and the longest-path solver's cache behaviour
+    (exact cache hits, incremental delta propagations, and full
+    Bellman–Ford recomputations).  The batch engine
+    (:mod:`repro.engine`) aggregates these into its JSON run traces.
+    """
 
     timing_backtracks: int = 0
     serializations: int = 0
@@ -117,11 +125,28 @@ class SchedulerStats:
     gap_fill_moves: int = 0
     gap_fill_rejected: int = 0
     scans: int = 0
+    lp_cache_hits: int = 0
+    lp_incremental_runs: int = 0
+    lp_full_runs: int = 0
+    stage_seconds: "dict[str, float]" = field(default_factory=dict)
 
     def merge(self, other: "SchedulerStats") -> None:
         """Accumulate counters from a nested scheduler run."""
         for name in self.__dataclass_fields__:
+            if name == "stage_seconds":
+                for stage, seconds in other.stage_seconds.items():
+                    self.stage_seconds[stage] = \
+                        self.stage_seconds.get(stage, 0.0) + seconds
+                continue
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> "dict[str, Any]":
+        """A plain-JSON view (counters + stage timings) for traces."""
+        counters = {name: getattr(self, name)
+                    for name in self.__dataclass_fields__
+                    if name != "stage_seconds"}
+        return {"counters": counters,
+                "stage_seconds": dict(self.stage_seconds)}
 
 
 @dataclass

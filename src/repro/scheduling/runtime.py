@@ -15,7 +15,11 @@ This module implements that runtime layer:
   for any ``P_min <=`` its profile floor;
 * :meth:`ScheduleTable.select` picks, for the current environment
   ``(P_max, P_min)``, the stored schedule that is valid and scores best
-  (highest utilization, then lowest energy cost, then earliest finish);
+  — **earliest finish first**, then lowest energy cost, then highest
+  utilization as the tie-breaker (performance leads because the point
+  of power-awareness is converting available power into speed; see
+  :meth:`ScheduleEntry.score`, whose ranking this mirrors and which
+  ``tests/test_runtime_scheduler.py`` pins);
 * :class:`RuntimeScheduler` wraps the table with a compute-on-miss
   policy, which is how the mission simulator tracks the decaying solar
   supply without rescheduling every iteration.

@@ -123,3 +123,35 @@ class TestSweep:
         assert main(["sweep", problem_dsl, "--budgets", "5,9,20"]) == 0
         out = capsys.readouterr().out
         assert "20" in out
+
+    def test_levels_run_the_full_grid(self, problem_dsl, capsys):
+        assert main(["sweep", problem_dsl, "--budgets", "8,10",
+                     "--levels", "4,6"]) == 0
+        out = capsys.readouterr().out
+        assert "(P_max, P_min) grid sweep" in out
+        assert "engine: 4 points" in out
+
+    def test_trace_written_with_schema(self, problem_dsl, tmp_path,
+                                       capsys):
+        trace = str(tmp_path / "trace.json")
+        assert main(["sweep", problem_dsl, "--budgets", "8,10",
+                     "--levels", "4,6", "--trace", trace]) == 0
+        assert trace in capsys.readouterr().out
+        doc = json.loads(open(trace).read())
+        assert doc["format"] == "repro-trace"
+        assert doc["run"]["jobs"] == 4
+        assert {"hits", "misses"} <= set(doc["cache"])
+        assert {"timing", "max_power", "min_power"} <= \
+            set(doc["stage_seconds"])
+
+    def test_parallel_flag_matches_serial_output(self, problem_dsl,
+                                                 capsys):
+        assert main(["sweep", problem_dsl, "--budgets", "8,10"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", problem_dsl, "--budgets", "8,10",
+                     "--parallel", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # identical sweep tables; only the engine summary line differs
+        strip = lambda s: [ln for ln in s.splitlines()
+                           if not ln.startswith("engine:")]
+        assert strip(parallel) == strip(serial)

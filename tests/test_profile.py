@@ -155,6 +155,31 @@ class TestTransforms:
         assert joined.segments == [(0, 5, 2.0), (5, 8, 4.0)]
         assert joined.horizon == 8
 
+    def test_concatenate_carries_first_baseline(self):
+        # regression: the joined profile used to report only the *last*
+        # part's baseline (1.0 then 0.5 yielded baseline=0.5)
+        a = PowerProfile([(0, 5, 2.0)], baseline=1.0)
+        b = PowerProfile([(0, 3, 4.0)], baseline=1.0)
+        assert PowerProfile.concatenate([a, b]).baseline == 1.0
+
+    def test_concatenate_mixed_baselines_raise(self):
+        a = PowerProfile([(0, 5, 2.0)], baseline=1.0)
+        b = PowerProfile([(0, 3, 4.0)], baseline=0.5)
+        with pytest.raises(ValidationError):
+            PowerProfile.concatenate([a, b])
+
+    def test_concatenate_explicit_baseline_override(self):
+        a = PowerProfile([(0, 5, 2.0)], baseline=1.0)
+        b = PowerProfile([(0, 3, 4.0)], baseline=0.5)
+        joined = PowerProfile.concatenate([a, b], baseline=0.75)
+        assert joined.baseline == 0.75
+        assert joined.segments == [(0, 5, 2.0), (5, 8, 4.0)]
+
+    def test_concatenate_empty_list(self):
+        joined = PowerProfile.concatenate([])
+        assert joined.horizon == 0
+        assert joined.baseline == 0.0
+
     def test_restrict_concat_roundtrip(self):
         p = PowerProfile([(0, 5, 2.0), (5, 10, 4.0), (10, 12, 1.0)])
         parts = [p.restricted(0, 5), p.restricted(5, 12)]

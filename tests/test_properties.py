@@ -213,6 +213,71 @@ class TestIncrementalLongestPath:
             if cached_ok:
                 assert cached_dist == fresh_dist
 
+    # interleaved add / tighten / checkpoint / rollback / remove — the
+    # fuzz that would catch any future incremental-cache bug, asserted
+    # directly against the reference Bellman-Ford implementation
+    fuzz_ops = st.lists(
+        st.tuples(st.sampled_from(["add", "tighten", "remove",
+                                   "checkpoint", "rollback"]),
+                  st.integers(0, 5), st.integers(0, 5),
+                  st.integers(-12, 12)),
+        min_size=1, max_size=40)
+
+    @given(fuzz_ops)
+    @settings(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_incremental_equals_reference_bellman_ford(self, ops):
+        """After every mutation, ``longest_paths`` (cached/incremental)
+        must agree with ``_full_longest_paths`` run on a pristine copy
+        — distances and cycle verdicts alike.  Long add runs exercise
+        the bounded add-log (trim forces full recomputes); tighten ops
+        exercise the grow-only worklist on existing edges."""
+        from repro import PositiveCycleError, longest_paths
+        from repro.core.longest_path import _full_longest_paths
+
+        g = ConstraintGraph("fuzz")
+        for i in range(6):
+            g.new_task(f"t{i}", duration=1 + i % 3)
+        tokens = []
+        for op, a, b, w in ops:
+            if a == b:
+                continue
+            src, dst = f"t{a}", f"t{b}"
+            if op == "add":
+                g.add_edge(src, dst, w)
+            elif op == "tighten":
+                existing = g.separation(src, dst)
+                if existing is None:
+                    continue
+                g.add_edge(src, dst, existing + abs(w) % 4 + 1)
+            elif op == "remove":
+                g.remove_edge(src, dst)
+            elif op == "checkpoint":
+                tokens.append(g.checkpoint())
+                continue  # no mutation: nothing new to verify
+            elif op == "rollback":
+                if not tokens:
+                    continue
+                g.rollback(tokens.pop())
+
+            fresh = g.copy()
+            names = fresh.task_names(include_anchor=True)
+            try:
+                cached = longest_paths(g).distance
+                cached_ok = True
+            except PositiveCycleError:
+                cached_ok = False
+            try:
+                reference = _full_longest_paths(fresh, names).distance
+                reference_ok = True
+            except PositiveCycleError:
+                reference_ok = False
+            assert cached_ok == reference_ok
+            if cached_ok:
+                assert cached == reference
+            else:
+                return  # graph is contradictory; later ops uninformative
+
 
 class TestRollbackProperties:
     @given(mutations, mutations)

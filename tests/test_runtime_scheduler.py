@@ -55,6 +55,43 @@ class TestScheduleTable:
         assert "P_max" in lines[0]
 
 
+class TestRankingOrder:
+    """Pin the documented ranking: earliest finish, then lowest energy
+    cost, then highest utilization (docstring and code must agree)."""
+
+    @staticmethod
+    def entry(label, segments):
+        from repro import ConstraintGraph, PowerProfile, Schedule
+        from repro.scheduling.runtime import ScheduleEntry
+        dummy = Schedule(ConstraintGraph(), {})
+        return ScheduleEntry(label=label, schedule=dummy,
+                             profile=PowerProfile(segments))
+
+    @staticmethod
+    def pick(entries, p_max, p_min):
+        table = ScheduleTable(entries=list(entries))
+        return table.select(p_max, p_min).label
+
+    def test_finish_time_beats_energy_cost(self):
+        fast = self.entry("fast", [(0, 10, 6.0)])      # ec = 20
+        frugal = self.entry("frugal", [(0, 12, 4.0)])  # ec = 0
+        assert self.pick([frugal, fast], p_max=10.0, p_min=4.0) == "fast"
+        assert fast.score(10.0, 4.0) < frugal.score(10.0, 4.0)
+
+    def test_energy_cost_breaks_finish_ties(self):
+        lean = self.entry("lean", [(0, 10, 5.0)])      # ec = 10
+        hungry = self.entry("hungry", [(0, 10, 6.0)])  # ec = 20
+        assert self.pick([hungry, lean], p_max=10.0, p_min=4.0) == "lean"
+
+    def test_utilization_breaks_remaining_ties(self):
+        # both finish at 10 with energy cost 20 above P_min = 4;
+        # "busy" soaks up the free supply in its tail, "idle" wastes it
+        idle = self.entry("idle", [(0, 5, 8.0), (5, 10, 0.0)])
+        busy = self.entry("busy", [(0, 5, 8.0), (5, 10, 4.0)])
+        assert self.pick([idle, busy], p_max=10.0, p_min=4.0) == "busy"
+        assert busy.score(10.0, 4.0) < idle.score(10.0, 4.0)
+
+
 class TestRuntimeScheduler:
     def test_hit_and_miss_accounting(self):
         def factory(p_max, p_min):
