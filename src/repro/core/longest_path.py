@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import InfeasibleError, PositiveCycleError
+from ..obs import OBS
 from .graph import ConstraintGraph
 from .task import ANCHOR_NAME
 
@@ -139,6 +140,14 @@ def longest_paths(graph: ConstraintGraph) -> LongestPathResult:
                         predecessor=dict(result.predecessor))
     try:
         _COUNTERS["full_runs"] += 1
+        if OBS.enabled:
+            # Spans only for the expensive path: full Bellman–Ford
+            # recomputes are the O(V*E) events worth seeing on a
+            # flamegraph; cache hits and incremental propagations stay
+            # counters (they fire thousands of times per solve).
+            with OBS.span("core.longest_path.full",
+                          vertices=len(names)):
+                return _full_longest_paths(graph, names)
         return _full_longest_paths(graph, names)
     except PositiveCycleError:
         graph._lp_cache = None

@@ -15,9 +15,12 @@ that exploration cheap and measurable at scale:
   clamped ``p_min`` values a ``sweep_p_max`` grid produces) are solved
   exactly once, in the serial path and the parallel path alike;
 * :class:`~repro.engine.trace.RunTrace` — a structured JSON trace per
-  run: per-job wall times, cache hit/miss counters, and the per-stage
-  scheduler timings threaded through
-  :class:`~repro.scheduling.base.SchedulerStats`.
+  run (schema v2): per-job wall times, cache hit/miss/eviction
+  counters, the per-stage scheduler timings threaded through
+  :class:`~repro.scheduling.base.SchedulerStats`, and — when the run
+  is instrumented (``RunnerConfig(instrument=True)``) — the
+  :mod:`repro.obs` span tree and metric snapshot, with worker-process
+  spans re-parented under their job spans.
 
 Determinism contract: for the same jobs and the same seeds, a parallel
 run returns results identical to a serial run — parallelism and caching
@@ -29,7 +32,7 @@ from .hashing import options_fingerprint, problem_key
 from .jobs import (JobResult, SolveJob, derive_seed, register_kind,
                    run_job, solve_problems)
 from .runner import BatchRunner, RunnerConfig
-from .trace import JobTrace, RunTrace
+from .trace import JobTrace, RunTrace, load_trace, read_trace
 
 __all__ = [
     "BatchRunner",
@@ -40,8 +43,10 @@ __all__ = [
     "RunnerConfig",
     "SolveJob",
     "derive_seed",
+    "load_trace",
     "options_fingerprint",
     "problem_key",
+    "read_trace",
     "register_kind",
     "run_job",
     "solve_problems",

@@ -28,6 +28,7 @@ class ResultCache:
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def lookup(self, key: str) -> "tuple[bool, Any]":
         """``(hit, value)`` — counts the access either way."""
@@ -50,6 +51,7 @@ class ResultCache:
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
@@ -60,8 +62,10 @@ class ResultCache:
     def stats(self) -> "dict[str, int]":
         """Counters for traces and reports."""
         return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries)}
 
     def __repr__(self) -> str:
         return (f"ResultCache(entries={len(self._entries)}, "
-                f"hits={self.hits}, misses={self.misses})")
+                f"hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions})")

@@ -125,7 +125,7 @@ register_kind("sweep_point", _solve_sweep_point)
 # ----------------------------------------------------------------------
 
 def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
-            retries: int = 0) -> JobResult:
+            retries: int = 0, instrument: bool = False) -> JobResult:
     """Execute one job with capped in-place retry.
 
     Scheduler-level infeasibility is a *result* (the kind functions
@@ -133,6 +133,14 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
     retry, and after ``retries + 1`` attempts the error is reported in
     the :class:`JobResult` rather than raised, so one bad point never
     sinks a batch.
+
+    With ``instrument=True`` the job runs inside an isolated
+    :func:`repro.obs.capture` session: every span the solve records
+    (pipeline stages, longest-path recomputes) plus any metrics land in
+    ``result.stats["obs"]`` — span times relative to the job start,
+    anchored by a ``wall0`` wall-clock timestamp — so the parent
+    process (serial caller and pool worker alike) can re-parent the
+    tree under its own job span and merge the metric increments.
     """
     fn = _KINDS.get(job.kind)
     key = key if key is not None else job.key()
@@ -140,27 +148,49 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
         return JobResult(position=position, key=key, ok=False,
                          error=f"unknown job kind {job.kind!r}")
     last_error = ""
+    capture_ctx = None
+    if instrument:
+        from ..obs import capture
+        capture_ctx = capture()
+        capture_ctx.__enter__()
     t0 = time.perf_counter()
-    for attempt in range(1, max(1, retries + 1) + 1):
-        try:
-            value, stats = fn(job)
-        except Exception as exc:  # noqa: BLE001 - reported, not raised
-            last_error = f"{type(exc).__name__}: {exc}"
-            continue
-        return JobResult(position=position, key=key, value=value,
-                         ok=True, attempts=attempt,
-                         elapsed_s=time.perf_counter() - t0,
-                         stats=stats)
-    return JobResult(position=position, key=key, ok=False,
-                     error=last_error,
-                     attempts=max(1, retries + 1),
-                     elapsed_s=time.perf_counter() - t0)
+    result: "JobResult | None" = None
+    try:
+        for attempt in range(1, max(1, retries + 1) + 1):
+            try:
+                value, stats = fn(job)
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            result = JobResult(position=position, key=key, value=value,
+                               ok=True, attempts=attempt,
+                               elapsed_s=time.perf_counter() - t0,
+                               stats=stats)
+            break
+        if result is None:
+            result = JobResult(position=position, key=key, ok=False,
+                               error=last_error,
+                               attempts=max(1, retries + 1),
+                               elapsed_s=time.perf_counter() - t0)
+    finally:
+        if capture_ctx is not None:
+            capture_ctx.__exit__(None, None, None)
+    if capture_ctx is not None:
+        result.stats = dict(result.stats)
+        result.stats["obs"] = {
+            "wall0": capture_ctx.wall0,
+            "spans": [span.to_dict() for span in capture_ctx.spans],
+            "metrics": capture_ctx.metrics_data,
+        }
+    return result
 
 
 def run_chunk(jobs: "list[tuple[int, str, SolveJob]]",
-              retries: int = 0) -> "list[JobResult]":
+              retries: int = 0,
+              instrument: bool = False) -> "list[JobResult]":
     """Worker entry point: execute a chunk of keyed jobs in order."""
-    return [run_job(job, position=position, key=key, retries=retries)
+    return [run_job(job, position=position, key=key, retries=retries,
+                    instrument=instrument)
             for position, key, job in jobs]
 
 

@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from ..obs import (OBS, MetricsRegistry, Span, absorb_cache_stats,
+                   absorb_scheduler_stats)
 from .cache import ResultCache
 from .jobs import JobResult, SolveJob, run_chunk, run_job
 from .trace import JobTrace, RunTrace
@@ -69,6 +71,16 @@ class RunnerConfig:
         deterministic seed per batch position (Monte Carlo batches).
     trace_path:
         When set, every run writes its JSON :class:`RunTrace` here.
+    instrument:
+        Record the run through :mod:`repro.obs`: hierarchical spans
+        (the run, each job, the pipeline stages and longest-path
+        recomputes inside each solve — worker-process spans shipped
+        back and re-parented under their job span) plus the metrics
+        registry snapshot, both embedded in the ``repro-trace`` v2
+        document.  Off by default; a run with the process-wide
+        :data:`repro.obs.OBS` recorder already enabled is instrumented
+        regardless, and its span tree is additionally attached to that
+        session.
     """
 
     workers: int = 0
@@ -79,6 +91,7 @@ class RunnerConfig:
     use_cache: bool = True
     reseed_base: "int | None" = None
     trace_path: "str | None" = None
+    instrument: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -117,6 +130,9 @@ class BatchRunner:
     def run(self, jobs: "Iterable[SolveJob]") -> "list[JobResult]":
         """Execute ``jobs``; results come back in submission order."""
         t_start = time.perf_counter()
+        instrument = self.config.instrument or OBS.enabled
+        cache_before = self.cache.stats() if self.cache is not None \
+            else None
         ordered = list(jobs)
         if self.config.reseed_base is not None:
             ordered = [job.reseeded(self.config.reseed_base, position)
@@ -147,7 +163,8 @@ class BatchRunner:
 
         entries = [(position, key, job)
                    for key, (position, job) in primaries.items()]
-        mode = self._execute(entries, results)
+        run_wall0 = time.time()
+        mode = self._execute(entries, results, instrument)
 
         for position, key in duplicates:
             primary = results[primaries[key][0]]
@@ -161,11 +178,19 @@ class BatchRunner:
                     self.cache.put(key, primary.value)
 
         final = [results[position] for position in range(len(ordered))]
+        elapsed_s = time.perf_counter() - t_start
+        spans: "list[dict]" = []
+        metrics: "dict[str, dict]" = {}
+        if instrument:
+            spans, metrics = self._assemble_obs(
+                final, entries, mode, run_wall0, elapsed_s,
+                cache_hits=cache_hits + dedup_hits,
+                cache_before=cache_before)
         self.last_mode = mode
         self.last_trace = self._build_trace(
             final, mode, unique_solved=len(entries),
             cache_hits=cache_hits + dedup_hits,
-            elapsed_s=time.perf_counter() - t_start)
+            elapsed_s=elapsed_s, spans=spans, metrics=metrics)
         if self.config.trace_path:
             self.last_trace.write(self.config.trace_path)
         return final
@@ -178,27 +203,29 @@ class BatchRunner:
     # ------------------------------------------------------------------
 
     def _execute(self, entries: "Sequence[tuple[int, str, SolveJob]]",
-                 results: "dict[int, JobResult]") -> str:
+                 results: "dict[int, JobResult]",
+                 instrument: bool = False) -> str:
         """Solve the unique jobs; fills ``results`` keyed by position."""
         cfg = self.config
         if not entries:
             return "serial" if cfg.workers <= 1 else "process"
         if cfg.workers <= 1:
-            self._run_serial(entries, results)
+            self._run_serial(entries, results, instrument)
             return "serial"
         try:
-            self._run_pool(entries, results)
+            self._run_pool(entries, results, instrument)
             return "process"
         except _PoolUnavailable:
-            self._run_serial(entries, results)
+            self._run_serial(entries, results, instrument)
             return "serial-fallback"
 
-    def _run_serial(self, entries, results) -> None:
+    def _run_serial(self, entries, results, instrument=False) -> None:
         for position, key, job in entries:
             results[position] = run_job(job, position=position, key=key,
-                                        retries=self.config.retries)
+                                        retries=self.config.retries,
+                                        instrument=instrument)
 
-    def _run_pool(self, entries, results) -> None:
+    def _run_pool(self, entries, results, instrument=False) -> None:
         """Chunked dispatch over a process pool with timeout + retry.
 
         Raises :class:`_PoolUnavailable` only when the pool cannot be
@@ -224,7 +251,7 @@ class BatchRunner:
                 for chunk, attempt in pending:
                     try:
                         future = pool.submit(run_chunk, chunk,
-                                             cfg.retries)
+                                             cfg.retries, instrument)
                     except Exception:  # noqa: BLE001 - pool is gone
                         future = None
                     submitted.append((future, chunk, attempt))
@@ -265,10 +292,83 @@ class BatchRunner:
             pool.shutdown(wait=clean, cancel_futures=True)
 
     # ------------------------------------------------------------------
+    # observability assembly
+    # ------------------------------------------------------------------
+
+    def _assemble_obs(self, final: "list[JobResult]", entries,
+                      mode: str, run_wall0: float, elapsed_s: float,
+                      cache_hits: int, cache_before) \
+            -> "tuple[list[dict], dict[str, dict]]":
+        """Build the run's span tree and metric snapshot.
+
+        Every solved job shipped its own span subtree (recorded inside
+        :func:`repro.engine.jobs.run_job`'s capture, times relative to
+        the job start) plus its metric increments.  Here each subtree
+        is re-based onto the run timeline via the shared wall clock and
+        re-parented under a per-job ``engine.job`` span beneath the
+        single ``engine.run`` root — so serial and parallel runs yield
+        the same tree shape and identical metric totals, parallel runs
+        merely overlap their job spans in time.
+        """
+        registry = MetricsRegistry()
+        run_span = Span("engine.run", 0.0, elapsed_s, attrs={
+            "jobs": len(final), "mode": mode,
+            "workers": self.config.workers})
+        solved_by_position = {position: True
+                              for position, _key, _job in entries}
+        for result in final:
+            absorb_scheduler_stats(registry, result.stats or {})
+            if result.position not in solved_by_position:
+                continue
+            obs_payload = (result.stats or {}).pop("obs", None)
+            start = 0.0
+            if obs_payload is not None:
+                start = max(0.0, obs_payload["wall0"] - run_wall0)
+            job_span = Span(
+                "engine.job", start, start + result.elapsed_s,
+                attrs={"position": result.position,
+                       "key": result.key[:12],
+                       "ok": result.ok,
+                       "attempts": result.attempts})
+            if not result.ok and result.error:
+                job_span.attrs["error"] = result.error
+            if obs_payload is not None:
+                for span_doc in obs_payload.get("spans", []):
+                    job_span.children.append(
+                        Span.from_dict(span_doc).shift(start))
+                registry.merge_data(obs_payload.get("metrics", {}))
+            run_span.children.append(job_span)
+            registry.histogram("engine.job.seconds") \
+                .observe(result.elapsed_s)
+            if not result.ok:
+                registry.counter("engine.jobs.failed").inc()
+        run_span.end = max(
+            [elapsed_s] + [child.end for child in run_span.children
+                           if child.end is not None])
+        registry.counter("engine.run.jobs").inc(len(final))
+        registry.counter("engine.run.unique_solved").inc(
+            len(run_span.children))
+        registry.counter("engine.run.cache_hits").inc(cache_hits)
+        if self.cache is not None and cache_before is not None:
+            absorb_cache_stats(registry, cache_before,
+                               self.cache.stats())
+        spans_doc = [run_span.to_dict()]
+        if OBS.enabled:
+            # A surrounding obs session (e.g. a mission simulation
+            # driving batch solves) sees this run in its own stream,
+            # shifted onto the session timeline.
+            OBS.attach(run_span.shift(
+                max(0.0, OBS.now() - (run_span.end or 0.0))))
+        return spans_doc, registry.snapshot()
+
+    # ------------------------------------------------------------------
 
     def _build_trace(self, final: "list[JobResult]", mode: str,
                      unique_solved: int, cache_hits: int,
-                     elapsed_s: float) -> RunTrace:
+                     elapsed_s: float,
+                     spans: "list[dict] | None" = None,
+                     metrics: "dict[str, dict] | None" = None) \
+            -> RunTrace:
         cfg = self.config
         trace = RunTrace(
             run={
@@ -279,11 +379,15 @@ class BatchRunner:
                 "chunksize": cfg.chunksize,
                 "timeout_s": cfg.timeout_s,
                 "retries": cfg.retries,
+                "instrumented": bool(spans),
                 "elapsed_s": round(elapsed_s, 6),
             },
             cache={"hits": cache_hits, "misses": unique_solved,
-                   **({"entries": len(self.cache)}
-                      if self.cache is not None else {})})
+                   **({"evictions": self.cache.evictions,
+                       "entries": len(self.cache)}
+                      if self.cache is not None else {})},
+            spans=list(spans or []),
+            metrics=dict(metrics or {}))
         for result in final:
             stats = result.stats or {}
             trace.add_job(JobTrace(

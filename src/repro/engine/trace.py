@@ -2,38 +2,55 @@
 
 One :class:`RunTrace` per :meth:`BatchRunner.run`: how the batch was
 executed (mode, workers, chunking), what the cache did (hits, misses,
-dedup), how long each job took, and the per-stage scheduler timings and
-longest-path counters each job's :class:`SchedulerStats` reported.  The
-document is plain JSON so sweep dashboards and CI diff tooling can
-consume it without importing the package.
+evictions, dedup), how long each job took, the per-stage scheduler
+timings and longest-path counters each job's :class:`SchedulerStats`
+reported — and, when the run was instrumented, the hierarchical span
+tree and the metric snapshot from :mod:`repro.obs`.  The document is
+plain JSON so sweep dashboards and CI diff tooling can consume it
+without importing the package.
 
-Schema (``format: "repro-trace", version: 1``)::
+Schema (``format: "repro-trace", version: 2``)::
 
     {
-      "format": "repro-trace", "version": 1,
+      "format": "repro-trace", "version": 2,
       "run": {"jobs": 20, "unique_solved": 5, "workers": 4,
               "mode": "process", "chunksize": 1, "timeout_s": null,
-              "retries": 1, "elapsed_s": 0.93},
-      "cache": {"hits": 15, "misses": 5, "entries": 5},
+              "retries": 1, "instrumented": true, "elapsed_s": 0.93},
+      "cache": {"hits": 15, "misses": 5, "evictions": 0, "entries": 5},
       "stage_seconds": {"timing": ..., "max_power": ..., "min_power": ...},
       "counters": {"longest_path_runs": ..., "lp_cache_hits": ..., ...},
       "jobs": [{"position": 0, "key": "ab12...", "cached": false,
                 "ok": true, "attempts": 1, "elapsed_s": 0.11,
                 "error": null, "stage_seconds": {...},
-                "counters": {...}}, ...]
+                "counters": {...}}, ...],
+      "spans": [{"name": "engine.run", "start": 0.0, "duration": 0.93,
+                 "attrs": {...}, "children": [...]}, ...],
+      "metrics": {"engine.cache.hits": {"type": "counter", "value": 15},
+                  "engine.job.seconds": {"type": "histogram",
+                                         "count": 5, "p50": ..., ...}}
     }
+
+Version 1 documents (no ``spans`` / ``metrics`` sections, no eviction
+accounting) are still accepted by :func:`read_trace` — they load with
+an empty span forest and metric snapshot.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
-__all__ = ["JobTrace", "RunTrace"]
+from ..errors import ReproError
+
+__all__ = ["JobTrace", "RunTrace", "read_trace", "load_trace"]
 
 TRACE_FORMAT = "repro-trace"
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Versions :func:`read_trace` accepts.
+READABLE_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -65,6 +82,17 @@ class JobTrace:
             "counters": dict(self.counters),
         }
 
+    @classmethod
+    def from_dict(cls, doc: "Mapping[str, Any]") -> "JobTrace":
+        return cls(position=doc["position"], key=doc["key"],
+                   cached=doc.get("cached", False),
+                   ok=doc.get("ok", True),
+                   attempts=doc.get("attempts", 0),
+                   elapsed_s=doc.get("elapsed_s", 0.0),
+                   error=doc.get("error"),
+                   stage_seconds=dict(doc.get("stage_seconds", {})),
+                   counters=dict(doc.get("counters", {})))
+
 
 @dataclass
 class RunTrace:
@@ -73,6 +101,11 @@ class RunTrace:
     run: "dict[str, Any]" = field(default_factory=dict)
     cache: "dict[str, int]" = field(default_factory=dict)
     jobs: "list[JobTrace]" = field(default_factory=list)
+    #: Span forest (serialized :class:`repro.obs.Span` dicts); empty
+    #: when the run was not instrumented.
+    spans: "list[dict[str, Any]]" = field(default_factory=list)
+    #: Metric snapshot (:meth:`MetricsRegistry.snapshot` form).
+    metrics: "dict[str, Any]" = field(default_factory=dict)
 
     def add_job(self, trace: JobTrace) -> None:
         self.jobs.append(trace)
@@ -104,11 +137,56 @@ class RunTrace:
                               in self.aggregate_stage_seconds().items()},
             "counters": self.aggregate_counters(),
             "jobs": [job.to_dict() for job in self.jobs],
+            "spans": list(self.spans),
+            "metrics": dict(self.metrics),
         }
 
+    @classmethod
+    def from_dict(cls, doc: "Mapping[str, Any]") -> "RunTrace":
+        """Rebuild a trace from its JSON document (v1 or v2)."""
+        if doc.get("format") != TRACE_FORMAT:
+            raise ReproError(
+                f"not a {TRACE_FORMAT} document "
+                f"(format={doc.get('format')!r})")
+        version = doc.get("version")
+        if version not in READABLE_VERSIONS:
+            raise ReproError(
+                f"unsupported {TRACE_FORMAT} version {version!r}; "
+                f"this reader accepts {READABLE_VERSIONS}")
+        return cls(run=dict(doc.get("run", {})),
+                   cache=dict(doc.get("cache", {})),
+                   jobs=[JobTrace.from_dict(job)
+                         for job in doc.get("jobs", [])],
+                   spans=list(doc.get("spans", [])),
+                   metrics=dict(doc.get("metrics", {})))
+
     def write(self, path: str) -> str:
-        """Write the trace as pretty-printed JSON; returns ``path``."""
+        """Write the trace as pretty-printed JSON; returns ``path``.
+
+        Missing parent directories are created.
+        """
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
             handle.write("\n")
         return path
+
+
+def load_trace(doc: "Mapping[str, Any]") -> RunTrace:
+    """Alias of :meth:`RunTrace.from_dict` for symmetry with readers."""
+    return RunTrace.from_dict(doc)
+
+
+def read_trace(path: str) -> RunTrace:
+    """Read a trace JSON file (schema v1 or v2)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read trace {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"trace {path!r} is not valid JSON: "
+                         f"{exc}") from exc
+    return RunTrace.from_dict(doc)

@@ -35,6 +35,7 @@ from ..core.profile import PowerProfile
 from ..core.schedule import Schedule
 from ..core.task import ANCHOR_NAME
 from ..errors import ReproError
+from ..obs import OBS
 from ..power.accounting import EnergySplit, split_energy_against_solar
 from ..power.battery import BatteryDepletedError
 from ..power.supply import PowerSystem
@@ -107,6 +108,15 @@ class ScheduleExecutor:
 
     def run(self, until: "int | None" = None) -> ExecutionResult:
         """Execute to completion (or to tick ``until`` for snapshots)."""
+        with OBS.span("exec.run", policy=self.policy,
+                      problem=self.problem.name) as run_span:
+            result = self._run(until)
+            run_span.set(finished_at=result.finished_at,
+                         aborted=result.aborted,
+                         violations=len(result.trace.violations()))
+        return result
+
+    def _run(self, until: "int | None" = None) -> ExecutionResult:
         graph = self.problem.graph
         trace = Trace()
         actual: "dict[str, int]" = {

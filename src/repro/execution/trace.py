@@ -4,11 +4,18 @@ The executor records a flat event stream — task dispatches and
 completions, constraint violations observed at run time, supply events
 — that tests and reports can query.  Events are plain frozen records;
 the trace is ordered by time with stable intra-tick ordering.
+
+When a :mod:`repro.obs` session is enabled, every recorded event is
+mirrored as an ``exec.<kind>`` instant event on the currently-open span
+and counted in the ``exec.events.<kind>`` metric, so mission
+simulations and batch solves share one observability stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..obs import OBS
 
 __all__ = ["TraceEvent", "Trace",
            "TASK_STARTED", "TASK_FINISHED", "SEPARATION_VIOLATION",
@@ -50,11 +57,16 @@ class Trace:
 
     events: "list[TraceEvent]" = field(default_factory=list)
 
-    def record(self, time: int, kind: str, task: str = "",
+    def record(self, tick: int, kind: str, task: str = "",
                detail: str = "") -> TraceEvent:
-        event = TraceEvent(time=time, kind=kind, task=task,
+        event = TraceEvent(time=tick, kind=kind, task=task,
                            detail=detail)
         self.events.append(event)
+        if OBS.enabled:
+            OBS.event(f"exec.{kind}", tick=tick,
+                      **({"task": task} if task else {}),
+                      **({"detail": detail} if detail else {}))
+            OBS.metrics.counter(f"exec.events.{kind}").inc()
         return event
 
     def of_kind(self, kind: str) -> "list[TraceEvent]":

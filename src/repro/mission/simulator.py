@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ReproError
+from ..obs import OBS
 from ..power.accounting import split_energy_against_solar
 from ..power.battery import BatteryDepletedError
 from .baselines import MissionPolicy
@@ -92,7 +93,7 @@ class MissionReport:
         rows: "list[PhaseRow]" = []
         current_solar = None
         steps = 0
-        time = 0.0
+        elapsed = 0.0
         cost = 0.0
         for it in self.iterations:
             from ..mission.rover import POWER_TABLE
@@ -101,14 +102,14 @@ class MissionReport:
                 current_solar = solar
             if solar != current_solar:
                 rows.append(PhaseRow(solar=current_solar, steps=steps,
-                                     time=time, energy_cost=cost))
-                current_solar, steps, time, cost = solar, 0, 0.0, 0.0
+                                     time=elapsed, energy_cost=cost))
+                current_solar, steps, elapsed, cost = solar, 0, 0.0, 0.0
             steps += it.steps
-            time += it.duration
+            elapsed += it.duration
             cost += it.energy_cost
         if current_solar is not None:
             rows.append(PhaseRow(solar=current_solar, steps=steps,
-                                 time=time, energy_cost=cost))
+                                 time=elapsed, energy_cost=cost))
         return rows
 
     def summary(self) -> str:
@@ -142,6 +143,15 @@ class MissionSimulator:
         self.policy.reset()
         report = MissionReport(policy=self.policy.name,
                                target_steps=self.target_steps)
+        with OBS.span("mission.run", policy=self.policy.name,
+                      target_steps=self.target_steps) as mission_span:
+            self._run_iterations(report)
+            mission_span.set(steps=report.total_steps,
+                             iterations=len(report.iterations),
+                             depleted=report.battery_depleted)
+        return report
+
+    def _run_iterations(self, report: MissionReport) -> None:
         t = 0.0
         steps = 0
         for index in range(_MAX_ITERATIONS):
@@ -162,6 +172,7 @@ class MissionSimulator:
                         plan.duration)
             except BatteryDepletedError:
                 report.battery_depleted = True
+                OBS.event("mission.battery_depleted", at_time=t)
                 break
             report.iterations.append(IterationRecord(
                 index=index, start_time=t, duration=plan.duration,
@@ -170,13 +181,18 @@ class MissionSimulator:
                 energy_cost=split.battery_drawn,
                 free_used=split.free_used,
                 free_wasted=split.free_wasted))
+            if OBS.enabled:
+                OBS.event("mission.iteration", index=index,
+                          case=case.value, steps=plan.steps,
+                          energy_cost=round(split.battery_drawn, 3))
+                OBS.metrics.counter("mission.iterations").inc()
+                OBS.metrics.counter("mission.steps").inc(plan.steps)
             t += plan.duration
             steps += plan.steps
         else:  # pragma: no cover - defensive
             raise ReproError(
                 f"mission did not terminate within {_MAX_ITERATIONS} "
                 "iterations")
-        return report
 
 
 def compare_reports(baseline: MissionReport, candidate: MissionReport) \

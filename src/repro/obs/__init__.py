@@ -1,0 +1,67 @@
+"""Unified instrumentation layer: spans, metrics, exporters.
+
+``repro.obs`` is the observability spine shared by the batch engine
+(:mod:`repro.engine`), the scheduling pipeline
+(:mod:`repro.scheduling`), the longest-path core, the tick executor
+(:mod:`repro.execution`), and the mission simulator — one span tree and
+one metric namespace instead of four ad-hoc telemetry schemas.
+
+Off by default, and cheap when off: every instrumentation point guards
+on a single attribute of the process-wide :data:`OBS` recorder.  Turn
+it on around a region of interest::
+
+    from repro import obs
+
+    obs.enable()
+    runner.run(jobs)                       # spans + metrics recorded
+    spans = [s.to_dict() for s in obs.collect()]
+    snapshot = obs.OBS.metrics.snapshot()
+    obs.disable()
+
+The batch runner automates this: ``RunnerConfig(instrument=True)``
+records the whole run (worker-process spans shipped back and
+re-parented under their job spans) and embeds the result in its
+``repro-trace`` v2 document, which ``repro-schedule trace summarize``
+and ``trace export --format chrome|prom|jsonl`` consume.
+"""
+
+from .export import (chrome_trace, jsonl_lines, metrics_from_doc,
+                     prometheus_text, spans_from_doc)
+from .metrics import (HISTOGRAM_LIMIT, STATS_METRIC_NAMES, Counter,
+                      Gauge, Histogram, MetricsRegistry,
+                      absorb_cache_stats, absorb_scheduler_stats,
+                      quantile)
+from .spans import (OBS, Capture, Instrumentation, Span, capture,
+                    collect, disable, enable, enabled, event, reset,
+                    span)
+from .summary import summarize_trace
+
+__all__ = [
+    "OBS",
+    "Capture",
+    "Counter",
+    "Gauge",
+    "HISTOGRAM_LIMIT",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "STATS_METRIC_NAMES",
+    "Span",
+    "absorb_cache_stats",
+    "absorb_scheduler_stats",
+    "capture",
+    "chrome_trace",
+    "collect",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "jsonl_lines",
+    "metrics_from_doc",
+    "prometheus_text",
+    "quantile",
+    "reset",
+    "span",
+    "spans_from_doc",
+    "summarize_trace",
+]

@@ -1,0 +1,171 @@
+"""Trace exporters: JSON Lines, Chrome trace-event, Prometheus text.
+
+All three operate on the serialized forms — span dicts as produced by
+:meth:`repro.obs.spans.Span.to_dict` (what a ``repro-trace`` v2
+document stores under ``"spans"``) and metric snapshots as produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` — so a trace file
+can be exported long after the run, by tooling that never imports the
+scheduler.
+
+* :func:`chrome_trace` emits the Chrome trace-event JSON object
+  (``{"traceEvents": [...]}``) that ``chrome://tracing`` and Perfetto
+  load directly: complete (``"ph": "X"``) events for spans, instant
+  (``"ph": "i"``) events for span events, one thread lane per job so a
+  parallel sweep reads as a flamegraph per worker lane.
+* :func:`jsonl_lines` flattens spans + metrics into one self-describing
+  JSON object per line — the streamable form for log shippers.
+* :func:`prometheus_text` renders the metric snapshot in the Prometheus
+  text exposition format (histograms as summaries with quantile
+  labels).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = ["chrome_trace", "jsonl_lines", "prometheus_text",
+           "spans_from_doc", "metrics_from_doc"]
+
+
+def spans_from_doc(doc: "Mapping[str, Any]") -> "list[dict]":
+    """The span forest of a ``repro-trace`` document (v1 -> empty)."""
+    return list(doc.get("spans", []))
+
+
+def metrics_from_doc(doc: "Mapping[str, Any]") -> "dict[str, Any]":
+    """The metric snapshot of a ``repro-trace`` document (v1 -> {})."""
+    return dict(doc.get("metrics", {}))
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+
+def _span_lane(span: "Mapping[str, Any]", inherited: int) -> int:
+    """Thread id for a span: jobs get their own lane, children
+    inherit."""
+    position = span.get("attrs", {}).get("position")
+    if isinstance(position, int):
+        return position + 1
+    return inherited
+
+
+def _chrome_events(span: "Mapping[str, Any]", lane: int,
+                   out: "list[dict]") -> None:
+    lane = _span_lane(span, lane)
+    start_us = span.get("start", 0.0) * 1e6
+    out.append({
+        "name": span["name"],
+        "ph": "X",
+        "ts": round(start_us, 3),
+        "dur": round(span.get("duration", 0.0) * 1e6, 3),
+        "pid": 1,
+        "tid": lane,
+        "args": dict(span.get("attrs", {})),
+    })
+    for evt in span.get("events", []):
+        out.append({
+            "name": evt["name"],
+            "ph": "i",
+            "ts": round(evt.get("at", 0.0) * 1e6, 3),
+            "pid": 1,
+            "tid": lane,
+            "s": "t",
+            "args": dict(evt.get("attrs", {})),
+        })
+    for child in span.get("children", []):
+        _chrome_events(child, lane, out)
+
+
+def chrome_trace(spans: "Sequence[Mapping[str, Any]]",
+                 metrics: "Mapping[str, Any] | None" = None) \
+        -> "dict[str, Any]":
+    """The ``chrome://tracing`` / Perfetto JSON object for a span
+    forest.  Counter metrics ride along as process metadata."""
+    events: "list[dict]" = []
+    for span in spans:
+        _chrome_events(span, 0, events)
+    doc: "dict[str, Any]" = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metrics:
+        doc["otherData"] = {
+            name: summary.get("value", summary.get("count"))
+            for name, summary in sorted(metrics.items())}
+    return doc
+
+
+# ----------------------------------------------------------------------
+# JSON Lines event stream
+# ----------------------------------------------------------------------
+
+def _jsonl_span(span: "Mapping[str, Any]", parent: "str | None",
+                depth: int) -> "Iterator[dict]":
+    record = {
+        "type": "span",
+        "name": span["name"],
+        "start": span.get("start", 0.0),
+        "duration": span.get("duration", 0.0),
+        "depth": depth,
+        "parent": parent,
+    }
+    if span.get("attrs"):
+        record["attrs"] = dict(span["attrs"])
+    yield record
+    for evt in span.get("events", []):
+        yield {
+            "type": "event",
+            "name": evt["name"],
+            "at": evt.get("at", 0.0),
+            "parent": span["name"],
+            **({"attrs": dict(evt["attrs"])}
+               if evt.get("attrs") else {}),
+        }
+    for child in span.get("children", []):
+        yield from _jsonl_span(child, span["name"], depth + 1)
+
+
+def jsonl_lines(spans: "Sequence[Mapping[str, Any]]",
+                metrics: "Mapping[str, Any] | None" = None) \
+        -> "Iterator[str]":
+    """One JSON object per line: spans depth-first, then metrics."""
+    for span in spans:
+        for record in _jsonl_span(span, None, 0):
+            yield json.dumps(record, sort_keys=True)
+    for name, summary in sorted((metrics or {}).items()):
+        yield json.dumps({"type": "metric", "name": name, **summary},
+                         sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """``engine.cache.hits`` -> ``repro_engine_cache_hits``."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                   for ch in name)
+    return f"repro_{safe}"
+
+
+def prometheus_text(metrics: "Mapping[str, Any]") -> str:
+    """Render a metric snapshot in the text exposition format."""
+    lines: "list[str]" = []
+    for name, summary in sorted(metrics.items()):
+        prom = _prom_name(name)
+        kind = summary.get("type", "gauge")
+        if kind == "histogram":
+            lines.append(f"# TYPE {prom} summary")
+            for q in ("p50", "p95", "p99"):
+                lines.append(
+                    f'{prom}{{quantile="0.{q[1:]}"}} '
+                    f"{summary.get(q, 0)}")
+            lines.append(f"{prom}_sum {summary.get('sum', 0)}")
+            lines.append(f"{prom}_count {summary.get('count', 0)}")
+        else:
+            prom_kind = "counter" if kind == "counter" else "gauge"
+            lines.append(f"# TYPE {prom} {prom_kind}")
+            lines.append(f"{prom} {summary.get('value', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,238 @@
+"""Metrics registry: counters, gauges, and quantile histograms.
+
+One flat, dot-separated namespace covers every layer::
+
+    engine.run.*      batch-runner bookkeeping (jobs, modes, seconds)
+    engine.cache.*    result-cache behaviour (hits/misses/evictions)
+    engine.job.*      per-job distributions (histograms)
+    sched.stage.*     pipeline stage wall-clock (timing/max_power/...)
+    sched.timing.*    Fig. 3 scheduler counters
+    sched.maxp.*      Fig. 4 scheduler counters
+    sched.minp.*      Fig. 6 scheduler counters
+    sched.lp.*        longest-path solver cache behaviour
+    exec.*            tick-executor events and violations
+    mission.*         mission-simulator iterations
+    obs.*             the instrumentation layer's own accounting
+
+The registry absorbs the pre-existing ad-hoc telemetry —
+:class:`~repro.scheduling.base.SchedulerStats` counters via
+:data:`STATS_METRIC_NAMES` / :func:`absorb_scheduler_stats`, and
+:class:`~repro.engine.cache.ResultCache` counters via
+:func:`absorb_cache_stats` — behind these stable names, so traces and
+exporters never depend on dataclass field spellings.
+
+Histograms keep their raw observations (bounded by
+:data:`HISTOGRAM_LIMIT` per metric), which makes cross-process merging
+exact: a worker ships ``registry.data()`` and the parent
+``merge_data``-s it, so serial and parallel runs of the same batch
+report identical totals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "STATS_METRIC_NAMES", "absorb_scheduler_stats",
+           "absorb_cache_stats", "quantile"]
+
+#: Raw observations kept per histogram; beyond this the histogram keeps
+#: exact count/sum/min/max and quantiles become estimates over the
+#: retained prefix.
+HISTOGRAM_LIMIT = 8192
+
+#: SchedulerStats field -> metric name (the stable naming scheme).
+STATS_METRIC_NAMES: "dict[str, str]" = {
+    "timing_backtracks": "sched.timing.backtracks",
+    "serializations": "sched.timing.serializations",
+    "longest_path_runs": "sched.lp.runs",
+    "spikes_removed": "sched.maxp.spikes_removed",
+    "delays_applied": "sched.maxp.delays_applied",
+    "spike_attempts": "sched.maxp.spike_attempts",
+    "gap_fill_moves": "sched.minp.gap_fill_moves",
+    "gap_fill_rejected": "sched.minp.gap_fill_rejected",
+    "scans": "sched.minp.scans",
+    "lp_cache_hits": "sched.lp.cache_hits",
+    "lp_incremental_runs": "sched.lp.incremental_runs",
+    "lp_full_runs": "sched.lp.full_runs",
+}
+
+
+def quantile(sorted_values: "list[float]", q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1,
+                       round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+class Counter:
+    """Monotonically-increasing integer count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def summary(self) -> "dict[str, Any]":
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (cache size, queue depth, ...)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def summary(self) -> "dict[str, Any]":
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Distribution with exact count/sum and p50/p95/p99 quantiles."""
+
+    __slots__ = ("values", "count", "total", "minimum", "maximum")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.values: "list[float]" = []
+        self.count = 0
+        self.total = 0.0
+        self.minimum: "float | None" = None
+        self.maximum: "float | None" = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None \
+            else min(self.minimum, value)
+        self.maximum = value if self.maximum is None \
+            else max(self.maximum, value)
+        if len(self.values) < HISTOGRAM_LIMIT:
+            self.values.append(value)
+
+    def summary(self) -> "dict[str, Any]":
+        ordered = sorted(self.values)
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": round(self.minimum or 0.0, 6),
+            "max": round(self.maximum or 0.0, 6),
+            "p50": round(quantile(ordered, 0.50), 6),
+            "p95": round(quantile(ordered, 0.95), 6),
+            "p99": round(quantile(ordered, 0.99), 6),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first touch."""
+
+    def __init__(self) -> None:
+        self._metrics: "dict[str, Counter | Gauge | Histogram]" = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls()
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a "
+                f"{cls.kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self) -> "dict[str, dict[str, Any]]":
+        """Export view: ``{name: {"type": ..., ...summary...}}``."""
+        return {name: metric.summary()
+                for name, metric in sorted(self._metrics.items())}
+
+    def data(self) -> "dict[str, Any]":
+        """Lossless view for cross-process shipping (raw histogram
+        observations included) — consumed by :meth:`merge_data`."""
+        doc: "dict[str, Any]" = {"counters": {}, "gauges": {},
+                                 "histograms": {}}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                doc["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                doc["gauges"][name] = metric.value
+            else:
+                doc["histograms"][name] = list(metric.values)
+        return doc
+
+    def merge_data(self, doc: "Mapping[str, Any]") -> None:
+        """Fold another registry's :meth:`data` into this one:
+        counters add, gauges overwrite, histograms re-observe."""
+        for name, value in doc.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in doc.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in doc.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
+
+
+# ----------------------------------------------------------------------
+# absorption of the pre-existing ad-hoc telemetry
+# ----------------------------------------------------------------------
+
+def absorb_scheduler_stats(registry: MetricsRegistry,
+                           stats: "Mapping[str, Any]") -> None:
+    """Fold one job's ``SchedulerStats.as_dict()`` payload in.
+
+    ``stats`` is ``{"counters": {...}, "stage_seconds": {...}}``;
+    counters land under the :data:`STATS_METRIC_NAMES` scheme and each
+    stage's wall clock is observed in ``sched.stage.<stage>.seconds``.
+    """
+    for field_name, count in stats.get("counters", {}).items():
+        metric_name = STATS_METRIC_NAMES.get(field_name)
+        if metric_name is not None and count:
+            registry.counter(metric_name).inc(count)
+    for stage, seconds in stats.get("stage_seconds", {}).items():
+        registry.histogram(f"sched.stage.{stage}.seconds") \
+            .observe(seconds)
+
+
+def absorb_cache_stats(registry: MetricsRegistry,
+                       before: "Mapping[str, int]",
+                       after: "Mapping[str, int]") -> None:
+    """Fold a :class:`~repro.engine.cache.ResultCache` stats delta in.
+
+    ``before``/``after`` are two ``cache.stats()`` snapshots; the
+    monotone counters contribute their increase, ``entries`` sets the
+    ``engine.cache.entries`` gauge.
+    """
+    for key in ("hits", "misses", "evictions"):
+        delta = after.get(key, 0) - before.get(key, 0)
+        if delta:
+            registry.counter(f"engine.cache.{key}").inc(delta)
+    registry.gauge("engine.cache.entries").set(after.get("entries", 0))

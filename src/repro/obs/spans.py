@@ -1,0 +1,318 @@
+"""Hierarchical spans: where the time goes inside one solve.
+
+A :class:`Span` is a named, nestable wall-clock interval with string
+attributes, instant events, and child spans — the unit every exporter
+(:mod:`repro.obs.export`) understands.  Spans are recorded against a
+process-wide :class:`Instrumentation` singleton (:data:`OBS`) that is
+**off by default**: when disabled, :func:`span` returns a shared no-op
+context manager and the only cost at an instrumentation point is one
+attribute check, so the hot paths (``longest_paths``, the executor's
+tick loop) stay unencumbered.
+
+Times are ``perf_counter`` seconds relative to the recorder's *epoch*
+(set when the recorder is enabled or a :func:`capture` begins), so a
+span tree is self-consistent within one process.  Cross-process
+stitching — a worker's spans re-parented under the parent's job span —
+uses the wall-clock anchor each :class:`Capture` records (see
+``repro.engine.jobs.run_job`` / ``repro.engine.runner.BatchRunner``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "Instrumentation", "Capture", "OBS", "enable",
+           "disable", "enabled", "reset", "span", "event", "collect",
+           "capture"]
+
+#: Hard cap on recorded spans per session (a runaway loop with
+#: instrumentation enabled degrades to dropped spans, never to
+#: unbounded memory).  Drops are counted in ``obs.spans.dropped``.
+MAX_SPANS = 200_000
+
+
+@dataclass
+class Span:
+    """One named interval in the trace tree."""
+
+    name: str
+    start: float
+    end: "float | None" = None
+    attrs: "dict[str, Any]" = field(default_factory=dict)
+    children: "list[Span]" = field(default_factory=list)
+    events: "list[dict[str, Any]]" = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) \
+            - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def shift(self, offset: float) -> "Span":
+        """Translate this subtree in time (re-parenting helper)."""
+        self.start += offset
+        if self.end is not None:
+            self.end += offset
+        for evt in self.events:
+            evt["at"] = evt.get("at", 0.0) + offset
+        for child in self.children:
+            child.shift(offset)
+        return self
+
+    def walk(self) -> "Iterator[tuple[int, Span]]":
+        """Depth-first ``(depth, span)`` pairs, self included."""
+        stack: "list[tuple[int, Span]]" = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    def to_dict(self) -> "dict[str, Any]":
+        doc: "dict[str, Any]" = {
+            "name": self.name,
+            "start": round(self.start, 6),
+            "duration": round(self.duration, 6),
+        }
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        if self.events:
+            doc["events"] = [
+                {"name": evt["name"], "at": round(evt.get("at", 0.0), 6),
+                 **({"attrs": evt["attrs"]} if evt.get("attrs") else {})}
+                for evt in self.events]
+        if self.children:
+            doc["children"] = [child.to_dict() for child in self.children]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: "dict[str, Any]") -> "Span":
+        start = float(doc.get("start", 0.0))
+        span_obj = cls(name=doc["name"], start=start,
+                       end=start + float(doc.get("duration", 0.0)),
+                       attrs=dict(doc.get("attrs", {})))
+        span_obj.events = [
+            {"name": evt["name"], "at": float(evt.get("at", 0.0)),
+             "attrs": dict(evt.get("attrs", {}))}
+            for evt in doc.get("events", [])]
+        span_obj.children = [cls.from_dict(child)
+                             for child in doc.get("children", [])]
+        return span_obj
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """Context manager closing a real span on exit."""
+
+    __slots__ = ("_recorder", "_span")
+
+    def __init__(self, recorder: "Instrumentation", span_obj: Span):
+        self._recorder = recorder
+        self._span = span_obj
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._recorder._close(self._span)
+
+
+class Instrumentation:
+    """Per-process span recorder + metrics registry; off by default."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.metrics = MetricsRegistry()
+        self._epoch = 0.0
+        self._roots: "list[Span]" = []
+        self._stack: "list[Span]" = []
+        self._count = 0
+        self._dropped = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> None:
+        """Switch recording on with a fresh, empty session."""
+        self.reset()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans/metrics; keep the enabled flag off."""
+        self.enabled = False
+        self.metrics = MetricsRegistry()
+        self._epoch = time.perf_counter()
+        self._roots = []
+        self._stack = []
+        self._count = 0
+        self._dropped = 0
+
+    def now(self) -> float:
+        """Seconds since the session epoch."""
+        return time.perf_counter() - self._epoch
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; ``with OBS.span("sched.timing") as sp: ...``."""
+        if not self.enabled:
+            return _NOOP
+        if self._count >= MAX_SPANS:
+            self._dropped += 1
+            self.metrics.counter("obs.spans.dropped").inc()
+            return _NOOP
+        self._count += 1
+        span_obj = Span(name=name, start=self.now(),
+                        attrs=dict(attrs) if attrs else {})
+        if self._stack:
+            self._stack[-1].children.append(span_obj)
+        else:
+            self._roots.append(span_obj)
+        self._stack.append(span_obj)
+        return _LiveSpan(self, span_obj)
+
+    def _close(self, span_obj: Span) -> None:
+        span_obj.end = self.now()
+        # Unwind to (and past) the span being closed; tolerates callers
+        # that leak an inner span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span_obj:
+                break
+            if top.end is None:
+                top.end = span_obj.end
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instant event on the currently-open span."""
+        if not self.enabled or not self._stack:
+            return
+        self._stack[-1].events.append(
+            {"name": name, "at": self.now(),
+             "attrs": dict(attrs) if attrs else {}})
+
+    def attach(self, span_obj: Span) -> None:
+        """Adopt an externally-built span (a re-parented worker tree)."""
+        if self._stack:
+            self._stack[-1].children.append(span_obj)
+        else:
+            self._roots.append(span_obj)
+
+    # -- extraction ----------------------------------------------------
+
+    def collect(self) -> "list[Span]":
+        """The root spans recorded so far (open spans closed at now)."""
+        for open_span in self._stack:
+            if open_span.end is None:
+                open_span.end = self.now()
+        return list(self._roots)
+
+    def capture(self) -> "Capture":
+        """Run a nested, isolated recording session (see below)."""
+        return Capture(self)
+
+
+class Capture:
+    """Isolated recording session — the worker-process span shipper.
+
+    ``with OBS.capture() as cap:`` swaps in a fresh enabled session
+    (epoch = now) and restores the previous state on exit.  The spans
+    recorded inside are available as ``cap.spans`` (times relative to
+    the capture start), the metric increments as ``cap.metrics_data``,
+    and ``cap.wall0`` anchors the capture on the shared wall clock so a
+    parent process can re-base the tree onto its own timeline.
+    """
+
+    def __init__(self, recorder: Instrumentation):
+        self._recorder = recorder
+        self._saved: "tuple | None" = None
+        self.wall0 = 0.0
+        self.spans: "list[Span]" = []
+        self.metrics_data: "dict[str, Any]" = {}
+
+    def __enter__(self) -> "Capture":
+        rec = self._recorder
+        self._saved = (rec.enabled, rec.metrics, rec._epoch, rec._roots,
+                       rec._stack, rec._count, rec._dropped)
+        rec.enabled = True
+        rec.metrics = MetricsRegistry()
+        rec._epoch = time.perf_counter()
+        rec._roots = []
+        rec._stack = []
+        rec._count = 0
+        rec._dropped = 0
+        self.wall0 = time.time()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        rec = self._recorder
+        self.spans = rec.collect()
+        self.metrics_data = rec.metrics.data()
+        (rec.enabled, rec.metrics, rec._epoch, rec._roots, rec._stack,
+         rec._count, rec._dropped) = self._saved
+
+
+#: The process-wide recorder every instrumentation point talks to.
+OBS = Instrumentation()
+
+# Module-level conveniences bound to the singleton.
+
+
+def enable() -> None:
+    OBS.enable()
+
+
+def disable() -> None:
+    OBS.disable()
+
+
+def enabled() -> bool:
+    return OBS.enabled
+
+
+def reset() -> None:
+    OBS.reset()
+
+
+def span(name: str, **attrs: Any):
+    return OBS.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    OBS.event(name, **attrs)
+
+
+def collect() -> "list[Span]":
+    return OBS.collect()
+
+
+def capture() -> Capture:
+    return OBS.capture()

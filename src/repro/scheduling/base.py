@@ -113,7 +113,10 @@ class SchedulerStats:
     pipeline stage name) and the longest-path solver's cache behaviour
     (exact cache hits, incremental delta propagations, and full
     Bellman–Ford recomputations).  The batch engine
-    (:mod:`repro.engine`) aggregates these into its JSON run traces.
+    (:mod:`repro.engine`) aggregates these into its JSON run traces,
+    and :meth:`absorb_into` folds them into a :mod:`repro.obs` metrics
+    registry under the stable ``sched.*`` naming scheme
+    (:data:`repro.obs.STATS_METRIC_NAMES`).
     """
 
     timing_backtracks: int = 0
@@ -147,6 +150,13 @@ class SchedulerStats:
                     if name != "stage_seconds"}
         return {"counters": counters,
                 "stage_seconds": dict(self.stage_seconds)}
+
+    def absorb_into(self, registry) -> None:
+        """Fold this run's counters and stage timings into a
+        :class:`repro.obs.MetricsRegistry` under the ``sched.*``
+        metric names."""
+        from ..obs import absorb_scheduler_stats
+        absorb_scheduler_stats(registry, self.as_dict())
 
 
 @dataclass

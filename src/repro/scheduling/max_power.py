@@ -49,6 +49,7 @@ from ..core.schedule import Schedule
 from ..core.slack import slack
 from ..core.task import ANCHOR_NAME
 from ..errors import PositiveCycleError, SchedulingFailure
+from ..obs import OBS
 from .base import ScheduleResult, SchedulerOptions, SchedulerStats, \
     make_result
 from .timing import TimingScheduler, asap_schedule
@@ -102,13 +103,17 @@ class MaxPowerScheduler:
 
         for variant in range(max(1, self.options.max_power_restarts)):
             graph = base_graph.copy()
-            try:
-                schedule = self.eliminate_spikes(
-                    graph, problem.p_max, problem.total_baseline,
-                    variant=variant)
-            except SchedulingFailure as exc:
-                failures.append(str(exc))
-                continue
+            with OBS.span("sched.maxp.restart",
+                          variant=variant) as restart_span:
+                try:
+                    schedule = self.eliminate_spikes(
+                        graph, problem.p_max, problem.total_baseline,
+                        variant=variant)
+                except SchedulingFailure as exc:
+                    restart_span.set(failed=True)
+                    failures.append(str(exc))
+                    continue
+                restart_span.set(makespan=schedule.makespan)
             consider(schedule, graph)
             if best is not None and variant == 0:
                 # The pure paper heuristic succeeded; further restarts

@@ -39,6 +39,7 @@ from ..core.schedule import Schedule
 from ..core.slack import slack
 from ..core.task import ANCHOR_NAME
 from ..errors import PositiveCycleError
+from ..obs import OBS
 from .base import ScheduleResult, SchedulerOptions, SchedulerStats, \
     make_result
 from .max_power import MaxPowerScheduler
@@ -107,8 +108,12 @@ class MinPowerScheduler:
         if needs_work:
             for config in self._configs():
                 graph = base_graph.copy()
-                schedule, rho = self._fill_gaps(graph, p_max, p_min,
-                                                baseline, config)
+                with OBS.span("sched.minp.scan",
+                              order=config.scan_order,
+                              slot=config.slot) as scan_span:
+                    schedule, rho = self._fill_gaps(graph, p_max, p_min,
+                                                    baseline, config)
+                    scan_span.set(rho=round(rho, 6))
                 if rho > best_rho + _RHO_EPS:
                     best_schedule, best_graph, best_rho = \
                         schedule, graph, rho

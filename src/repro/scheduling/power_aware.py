@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..core.longest_path import lp_counter_snapshot, lp_counters_delta
 from ..core.problem import SchedulingProblem
+from ..obs import OBS
 from .base import ScheduleResult, SchedulerOptions
 from .max_power import MaxPowerScheduler
 from .min_power import MinPowerScheduler
@@ -28,13 +29,19 @@ def _timed_stage(label: str, run) -> ScheduleResult:
     The stage's wall-clock seconds land in ``stats.stage_seconds[label]``
     and the longest-path solver's cache counters (exact hits /
     incremental propagations / full recomputes) observed during the
-    stage are folded into the stage result's stats.
+    stage are folded into the stage result's stats.  Under an enabled
+    :mod:`repro.obs` session the stage also records a
+    ``sched.stage.<label>`` span carrying the same counters.
     """
     snapshot = lp_counter_snapshot()
-    t0 = time.perf_counter()
-    result: ScheduleResult = run()
-    elapsed = time.perf_counter() - t0
-    delta = lp_counters_delta(snapshot)
+    with OBS.span(f"sched.stage.{label}") as stage_span:
+        t0 = time.perf_counter()
+        result: ScheduleResult = run()
+        elapsed = time.perf_counter() - t0
+        delta = lp_counters_delta(snapshot)
+        stage_span.set(lp_cache_hits=delta["cache_hits"],
+                       lp_incremental_runs=delta["incremental_runs"],
+                       lp_full_runs=delta["full_runs"])
     stats = result.stats
     stats.stage_seconds[label] = \
         stats.stage_seconds.get(label, 0.0) + elapsed
@@ -87,15 +94,17 @@ class PowerAwareScheduler:
         is valid; the min-power stage result additionally maximizes
         utilization found across the heuristic configurations.
         """
-        timing = _timed_stage(
-            "timing", lambda: TimingScheduler(self.options).solve(problem))
-        max_power = _timed_stage(
-            "max_power",
-            lambda: MaxPowerScheduler(self.options).solve(problem))
-        min_power = _timed_stage(
-            "min_power",
-            lambda: MinPowerScheduler(self.options).improve(
-                problem, max_power))
+        with OBS.span("sched.pipeline", problem=problem.name):
+            timing = _timed_stage(
+                "timing",
+                lambda: TimingScheduler(self.options).solve(problem))
+            max_power = _timed_stage(
+                "max_power",
+                lambda: MaxPowerScheduler(self.options).solve(problem))
+            min_power = _timed_stage(
+                "min_power",
+                lambda: MinPowerScheduler(self.options).improve(
+                    problem, max_power))
         min_power.stats.merge(max_power.stats)
         # The final result should expose all three stage timings; the
         # standalone Fig.-2 timing run is not merged (its algorithmic

@@ -34,6 +34,7 @@ from ..core.problem import SchedulingProblem
 from ..core.schedule import Schedule
 from ..core.task import ANCHOR_NAME
 from ..errors import PositiveCycleError, SchedulingFailure
+from ..obs import OBS
 from .base import ScheduleResult, SchedulerOptions, SchedulerStats, \
     make_result
 
@@ -90,7 +91,12 @@ class TimingScheduler:
         self.stats = SchedulerStats()
         self._budget = self.options.max_backtracks
         visited: "list[str]" = []
-        if not self._visit_all(graph, visited):
+        with OBS.span("sched.timing.search") as search_span:
+            placed = self._visit_all(graph, visited)
+            search_span.set(backtracks=self.stats.timing_backtracks,
+                            serializations=self.stats.serializations,
+                            placed=placed)
+        if not placed:
             raise SchedulingFailure(
                 "no time-valid schedule exists for "
                 f"{graph.name!r} (exhausted every topological order)"

@@ -155,3 +155,93 @@ class TestSweep:
         strip = lambda s: [ln for ln in s.splitlines()
                            if not ln.startswith("engine:")]
         assert strip(parallel) == strip(serial)
+
+    def test_trace_creates_parent_dirs(self, problem_dsl, tmp_path):
+        trace = str(tmp_path / "deep" / "nested" / "trace.json")
+        assert main(["sweep", problem_dsl, "--budgets", "8,10",
+                     "--trace", trace]) == 0
+        assert json.loads(open(trace).read())["format"] == "repro-trace"
+
+    def test_trace_refuses_overwrite_without_force(self, problem_dsl,
+                                                   tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        assert main(["sweep", problem_dsl, "--budgets", "8,10",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["sweep", problem_dsl, "--budgets", "8,10",
+                     "--trace", trace]) == 1
+        err = capsys.readouterr().err
+        assert "already exists" in err and "--force" in err
+
+    def test_trace_force_overwrites(self, problem_dsl, tmp_path,
+                                    capsys):
+        trace = str(tmp_path / "trace.json")
+        assert main(["sweep", problem_dsl, "--budgets", "8,10",
+                     "--trace", trace]) == 0
+        assert main(["sweep", problem_dsl, "--budgets", "8",
+                     "--trace", trace, "--force"]) == 0
+        doc = json.loads(open(trace).read())
+        assert doc["run"]["jobs"] == 1
+
+    def test_instrument_flag_embeds_spans(self, problem_dsl, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        assert main(["sweep", problem_dsl, "--budgets", "8,10",
+                     "--instrument", "--trace", trace]) == 0
+        doc = json.loads(open(trace).read())
+        assert doc["version"] == 2
+        assert doc["run"]["instrumented"] is True
+        [root] = doc["spans"]
+        assert root["name"] == "engine.run"
+        assert doc["metrics"]["engine.run.jobs"]["value"] == 2
+
+
+@pytest.fixture
+def instrumented_trace(problem_dsl, tmp_path) -> str:
+    path = str(tmp_path / "run_trace.json")
+    assert main(["sweep", problem_dsl, "--budgets", "8,10",
+                 "--levels", "4,6", "--instrument",
+                 "--trace", path]) == 0
+    return path
+
+
+class TestTraceVerbs:
+    def test_summarize(self, instrumented_trace, capsys):
+        capsys.readouterr()
+        assert main(["trace", "summarize", instrumented_trace]) == 0
+        out = capsys.readouterr().out
+        assert "repro-trace v2" in out
+        assert "slowest jobs" in out
+        assert "hit rate" in out
+        assert "histograms" in out
+
+    def test_summarize_missing_file_is_clean_error(self, tmp_path,
+                                                   capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["trace", "summarize", missing]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_chrome(self, instrumented_trace, tmp_path, capsys):
+        out_path = str(tmp_path / "sub" / "chrome.json")
+        assert main(["trace", "export", instrumented_trace,
+                     "--format", "chrome", "--out", out_path]) == 0
+        doc = json.loads(open(out_path).read())
+        events = doc["traceEvents"]
+        assert events and all(e["ph"] in ("X", "i") for e in events)
+        assert any(e["name"] == "engine.run" for e in events)
+
+    def test_export_prom_to_stdout(self, instrumented_trace, capsys):
+        capsys.readouterr()
+        assert main(["trace", "export", instrumented_trace,
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_run_jobs counter" in out
+        assert "repro_engine_run_jobs 4" in out
+
+    def test_export_jsonl(self, instrumented_trace, capsys):
+        capsys.readouterr()
+        assert main(["trace", "export", instrumented_trace,
+                     "--format", "jsonl"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert {"span", "counter", "histogram"} <= \
+            {r["type"] for r in records}

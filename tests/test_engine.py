@@ -69,7 +69,8 @@ class TestResultCache:
         cache.put("k", 42)
         hit, value = cache.lookup("k")
         assert hit and value == 42
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                                 "evictions": 0}
 
     def test_lru_eviction(self):
         cache = ResultCache(max_entries=2)
@@ -79,6 +80,17 @@ class TestResultCache:
         cache.put("c", 3)
         assert cache.contains("a") and cache.contains("c")
         assert not cache.contains("b")
+
+    def test_eviction_counter_past_capacity(self):
+        cache = ResultCache(max_entries=3)
+        for i in range(10):
+            cache.put(f"k{i}", i)
+        stats = cache.stats()
+        assert stats["evictions"] == 7
+        assert stats["entries"] == 3
+        # only the three newest keys survive
+        assert all(cache.contains(f"k{i}") for i in (7, 8, 9))
+        assert not any(cache.contains(f"k{i}") for i in range(7))
 
     def test_rejects_bad_bound(self):
         with pytest.raises(ValueError):
@@ -240,10 +252,12 @@ class TestRunTrace:
 
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
-        assert doc["format"] == "repro-trace" and doc["version"] == 1
+        assert doc["format"] == "repro-trace" and doc["version"] == 2
         assert doc["run"]["jobs"] == 4
         assert doc["run"]["mode"] == "serial"
+        assert doc["run"]["instrumented"] is False
         assert doc["cache"]["misses"] == doc["run"]["unique_solved"]
+        assert doc["cache"]["evictions"] == 0
         assert {"timing", "max_power", "min_power"} <= \
             set(doc["stage_seconds"])
         assert doc["counters"]["longest_path_runs"] > 0
