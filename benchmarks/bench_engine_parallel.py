@@ -167,6 +167,73 @@ def test_instrumentation_overhead_json(artifact_dir):
         f"({disabled_overhead_pct:.1f}%)")
 
 
+def test_schedule_reuse_speedup_json(artifact_dir):
+    """Validity-range reuse: strictly fewer solves, identical points.
+
+    A dense ``(P_max, P_min)`` grid deliberately placed around the
+    timing schedule's validity rectangle (Section 5.3): the store must
+    serve every in-rectangle point without a pipeline solve, the served
+    points must equal the no-reuse run bit for bit, and the wall-clock
+    win is recorded as ``BENCH_reuse.json`` (plus a ``schedule_reuse``
+    section merged into ``BENCH_engine.json`` when that exists) for CI
+    artifact upload and trending.
+    """
+    from repro.engine import SolveJob
+    from repro.scheduling import SchedulerOptions, TimingScheduler
+
+    problem = _grid_problem()
+    options = SchedulerOptions()
+    timing = TimingScheduler(options).solve(problem)
+    peak, floor = timing.profile.peak(), timing.profile.floor()
+    # 8x6 grid, ~2/3 of it inside the certified rectangle
+    budgets = sorted({round(peak * f, 2)
+                      for f in (0.9, 0.95, 1.0, 1.05, 1.15, 1.3,
+                                1.6, 2.0)})
+    levels = sorted({round(floor * f, 2)
+                     for f in (0.2, 0.45, 0.7, 0.9, 1.0, 1.3)})
+    jobs = [SolveJob(problem=problem.with_power_constraints(pm, pn),
+                     options=options)
+            for pm in budgets for pn in levels]
+
+    def timed(reuse):
+        runner = BatchRunner(RunnerConfig(reuse_schedules=reuse))
+        t0 = time.perf_counter()
+        points = runner.run_values(jobs)
+        return time.perf_counter() - t0, points, runner
+
+    timed(False)  # warm imports so neither side pays them
+    plain_s, plain, _ = timed(False)
+    reuse_s, reused, runner = timed(True)
+
+    assert reused == plain  # bit-for-bit identical sweep points
+    reuse = runner.last_trace.reuse
+    assert reuse["range_hits"] > 0
+    assert reuse["solved"] < len(jobs)  # strictly fewer solves
+
+    doc = {
+        "bench": "engine_schedule_reuse",
+        "grid_points": len(jobs),
+        "tasks": GRID_TASKS,
+        "policy": reuse["policy"],
+        "range_hits": reuse["range_hits"],
+        "solved": reuse["solved"],
+        "stored_schedules": reuse["entries"],
+        "no_reuse_s": round(plain_s, 4),
+        "reuse_s": round(reuse_s, 4),
+        "speedup": round(plain_s / reuse_s, 2),
+    }
+    write_artifact(artifact_dir, "BENCH_reuse.json",
+                   json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    engine_json = os.path.join(artifact_dir, "BENCH_engine.json")
+    if os.path.exists(engine_json):
+        with open(engine_json, encoding="utf-8") as handle:
+            engine_doc = json.load(handle)
+        engine_doc["schedule_reuse"] = doc
+        write_artifact(artifact_dir, "BENCH_engine.json",
+                       json.dumps(engine_doc, indent=2,
+                                  sort_keys=True) + "\n")
+
+
 def test_bench_parallel_grid(benchmark):
     """Median wall time of the cached 4-worker grid (for trending)."""
     problem = _grid_problem()

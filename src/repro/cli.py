@@ -12,7 +12,10 @@ Subcommands:
   stages (Figs. 2, 5, 7).
 * ``sweep FILE`` — batch-solve a (P_max, P_min) sweep, optionally
   across worker processes, with ``--trace`` / ``--instrument`` run
-  traces.
+  traces and ``--reuse-schedules`` / ``--store`` validity-range
+  schedule reuse (Section 5.3).
+* ``table show|export PATH`` — inspect a saved schedule store:
+  Fig.-7-style validity-range lines, or JSON/CSV conversion.
 * ``trace summarize|export PATH`` — digest or convert a saved
   ``repro-trace`` document (Chrome trace-event for Perfetto,
   Prometheus text, JSON Lines).
@@ -105,6 +108,40 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--instrument", action="store_true",
                        help="record hierarchical spans + metrics into "
                             "the run trace (schema v2)")
+    sweep.add_argument("--reuse-schedules", action="store_true",
+                       help="serve grid points from the validity-range "
+                            "schedule store instead of re-solving "
+                            "(Section 5.3: a schedule covers every "
+                            "P_max >= its peak, P_min <= its floor)")
+    sweep.add_argument("--reuse-policy",
+                       choices=["identical", "valid"],
+                       default="identical",
+                       help="'identical' serves only entries that "
+                            "reproduce a fresh solve bit-for-bit "
+                            "(default); 'valid' serves any covering "
+                            "entry, Fig. 7 style")
+    sweep.add_argument("--store", metavar="PATH",
+                       help="schedule-store JSON: loaded before the "
+                            "sweep when it exists, written back after "
+                            "(implies --reuse-schedules)")
+
+    table = sub.add_parser(
+        "table",
+        help="inspect or convert a saved schedule-store document")
+    table_sub = table.add_subparsers(dest="table_command", required=True)
+    table_show = table_sub.add_parser(
+        "show", help="print every stored schedule's validity range, "
+                     "Fig.-7 style")
+    table_show.add_argument("path", help="schedule-store JSON file")
+    table_export = table_sub.add_parser(
+        "export", help="convert a schedule store for external tooling")
+    table_export.add_argument("path", help="schedule-store JSON file")
+    table_export.add_argument("--format", default="json",
+                              choices=["json", "csv"],
+                              help="normalized JSON (default) or a "
+                                   "flat CSV of entries")
+    table_export.add_argument("--out", metavar="PATH",
+                              help="output file (default: stdout)")
 
     trace = sub.add_parser(
         "trace", help="inspect or convert a saved repro-trace document")
@@ -141,6 +178,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_diagnose(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "table":
+            return _cmd_table(args)
         if args.command == "trace":
             return _cmd_trace(args)
         return _cmd_example()
@@ -171,7 +210,7 @@ def _cmd_diagnose(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from .analysis import knee_point, sweep_grid, sweep_p_max
-    from .engine import BatchRunner, RunnerConfig
+    from .engine import BatchRunner, RunnerConfig, ScheduleStore
     problem = _load(args.file)
     if args.trace and os.path.exists(args.trace) and not args.force:
         raise ReproError(
@@ -184,9 +223,17 @@ def _cmd_sweep(args) -> int:
         budgets = [round(base * factor, 2)
                    for factor in (0.6, 0.75, 0.9, 1.0, 1.2, 1.5, 2.0,
                                   3.0)]
+    reuse = args.reuse_schedules or bool(args.store)
+    store = None
+    if args.store and os.path.exists(args.store):
+        store = ScheduleStore.read(args.store,
+                                   policy=args.reuse_policy)
     runner = BatchRunner(RunnerConfig(workers=max(0, args.parallel),
                                       trace_path=args.trace,
-                                      instrument=args.instrument))
+                                      instrument=args.instrument,
+                                      reuse_schedules=reuse,
+                                      reuse_policy=args.reuse_policy),
+                         store=store)
     if args.levels:
         levels = [float(token) for token in args.levels.split(",")]
         points = sweep_grid(problem, budgets, levels, runner=runner)
@@ -206,8 +253,60 @@ def _cmd_sweep(args) -> int:
               f"{run['unique_solved']} solved "
               f"({cache.get('hits', 0)} cache hits), "
               f"mode={run['mode']}, {run['elapsed_s']:.2f}s")
+        if trace.reuse is not None:
+            r = trace.reuse
+            print(f"reuse[{r['policy']}]: {r['range_hits']} range "
+                  f"hits, {r['solved']} solved, "
+                  f"{r['entries']} stored schedules")
     if args.trace:
         print(f"wrote {args.trace}")
+    if args.store and runner.store is not None:
+        runner.store.write(args.store)
+        print(f"wrote {args.store}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .engine import ScheduleStore
+    store = ScheduleStore.read(args.path)
+    if args.table_command == "show":
+        lines = store.describe()
+        if not lines:
+            print("(empty schedule store)")
+            return 0
+        print(f"== schedule store: {len(store)} schedules, "
+              f"policy={store.policy} ==")
+        for line in lines:
+            print(line)
+        return 0
+    # export
+    if args.format == "json":
+        import json
+        text = json.dumps(store.to_dict(), indent=2, sort_keys=False)
+    else:  # csv — one flat row per stored schedule
+        import csv
+        import io as _io
+        buffer = _io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["base_key", "problem", "label", "stage",
+                         "makespan_s", "min_p_max_W", "max_full_p_min_W",
+                         "solved_p_max_W", "solved_p_min_W"])
+        for base_key, bucket in sorted(store.problems.items()):
+            for entry in bucket.entries:
+                writer.writerow([
+                    base_key, bucket.name, entry.label, entry.stage,
+                    entry.makespan, entry.peak, entry.floor,
+                    entry.solved_p_max, entry.solved_p_min])
+        text = buffer.getvalue().rstrip("\n")
+    if args.out:
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
     return 0
 
 

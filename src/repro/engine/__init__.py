@@ -14,6 +14,12 @@ that exploration cheap and measurable at scale:
   by a canonical problem hash, so duplicate design points (e.g. the
   clamped ``p_min`` values a ``sweep_p_max`` grid produces) are solved
   exactly once, in the serial path and the parallel path alike;
+* :class:`~repro.engine.schedule_store.ScheduleStore` — the
+  validity-range layer above the exact cache (paper Section 5.3): a
+  solved schedule is reusable for every environment inside its
+  ``[peak, inf) x (-inf, floor]`` rectangle, so a ``(P_max, P_min)``
+  sweep solves strictly fewer points than it reports; stores serialize
+  to JSON and their entries travel across worker processes;
 * :class:`~repro.engine.trace.RunTrace` — a structured JSON trace per
   run (schema v2): per-job wall times, cache hit/miss/eviction
   counters, the per-stage scheduler timings threaded through
@@ -28,23 +34,30 @@ only change *when* a point is solved, never *what* it resolves to.
 """
 
 from .cache import ResultCache
-from .hashing import options_fingerprint, problem_key
+from .hashing import (options_fingerprint, problem_base_key,
+                      problem_key)
 from .jobs import (JobResult, SolveJob, derive_seed, register_kind,
                    run_job, solve_problems)
 from .runner import BatchRunner, RunnerConfig
+from .schedule_store import (REUSE_POLICIES, ScheduleStore,
+                             StoredSchedule)
 from .trace import JobTrace, RunTrace, load_trace, read_trace
 
 __all__ = [
     "BatchRunner",
     "JobResult",
     "JobTrace",
+    "REUSE_POLICIES",
     "ResultCache",
     "RunTrace",
     "RunnerConfig",
+    "ScheduleStore",
     "SolveJob",
+    "StoredSchedule",
     "derive_seed",
     "load_trace",
     "options_fingerprint",
+    "problem_base_key",
     "problem_key",
     "read_trace",
     "register_kind",

@@ -40,6 +40,22 @@ class ResultCache:
         self.hits += 1
         return True, value
 
+    def peek(self, key: str) -> "tuple[bool, Any]":
+        """``(hit, value)`` without touching counters or LRU order.
+
+        The validity-range schedule store probes the exact cache before
+        deciding whether a job needs a solve at all; counting that probe
+        as a miss (as :meth:`lookup` does) would charge the cache for
+        jobs it was never asked to serve.  Callers that act on the
+        answer should follow up with :meth:`lookup` (on a hit, to record
+        it and refresh recency) or count the miss at the point the solve
+        is actually committed.
+        """
+        value = self._entries.get(key, _MISS)
+        if value is _MISS:
+            return False, None
+        return True, value
+
     def contains(self, key: str) -> bool:
         """Membership probe *without* touching the counters."""
         return key in self._entries

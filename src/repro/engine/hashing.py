@@ -19,7 +19,7 @@ from ..core.problem import SchedulingProblem
 from ..scheduling.base import SchedulerOptions
 
 __all__ = ["canonical_problem_dict", "options_fingerprint",
-           "problem_key"]
+           "problem_key", "problem_base_key"]
 
 
 def canonical_problem_dict(problem: SchedulingProblem) \
@@ -72,6 +72,32 @@ def problem_key(problem: SchedulingProblem,
         "problem": canonical_problem_dict(problem),
         "options": options_fingerprint(options),
         "extra": extra,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def problem_base_key(problem: SchedulingProblem,
+                     options: "SchedulerOptions | None" = None,
+                     kind: str = "") -> str:
+    """SHA-256 key identifying a problem *up to its power constraints*.
+
+    Two jobs that differ only in ``(p_max, p_min)`` share a base key:
+    the workload (tasks, edges, resources, baseline), the complete
+    options configuration, and the job kind all match.  This is the
+    grouping the validity-range schedule store
+    (:mod:`repro.engine.schedule_store`) indexes by — a schedule solved
+    under one power environment can only ever be reused for *the same
+    workload* under a different environment.
+    """
+    canonical = canonical_problem_dict(problem)
+    canonical.pop("p_max", None)
+    canonical.pop("p_min", None)
+    payload = {
+        "scope": "schedule-store",
+        "kind": kind,
+        "problem": canonical,
+        "options": options_fingerprint(options),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -14,6 +14,16 @@ Built-in kinds
     :class:`~repro.analysis.sweep.SweepPoint` (infeasible problems give
     a ``feasible=False`` point rather than an error).
 
+Schedule reuse: kind functions may accept an optional second parameter
+— a :class:`~repro.engine.schedule_store.ScheduleStore` — and consult
+it before solving.  A job served from the store marks
+``stats["reuse"]["hit"] = True`` and skips the pipeline entirely; a job
+that solved records its final schedule into the store and ships any new
+entries back through ``stats["reuse"]["new_entries"]`` so the parent
+process can merge them (:func:`run_job` drains the store journal after
+each job).  Single-parameter kind functions remain valid: the registry
+inspects the signature at registration and never passes them a store.
+
 Determinism: a job's randomness flows entirely from ``options.seed``.
 :func:`derive_seed` produces stable per-job seeds from a base seed and
 a job index — the same arithmetic on every platform and process, so
@@ -22,6 +32,7 @@ serial and parallel executions of the same batch are identical.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Mapping
@@ -82,39 +93,91 @@ class JobResult:
 # worker-kind registry
 # ----------------------------------------------------------------------
 
-_KINDS: "dict[str, Callable[[SolveJob], tuple[Any, dict]]]" = {}
+_KINDS: "dict[str, Callable[..., tuple[Any, dict]]]" = {}
+
+#: Kind names whose function accepts the optional store parameter.
+_STORE_AWARE: "set[str]" = set()
 
 
 def register_kind(name: str,
-                  fn: "Callable[[SolveJob], tuple[Any, dict]]") -> None:
+                  fn: "Callable[..., tuple[Any, dict]]") -> None:
     """Register a worker function ``job -> (value, stats_dict)``.
 
     Must be called at import time of a real module so that spawned
     worker processes see the registration too; with the default ``fork``
     start method the parent's registry is inherited directly.
+
+    A function taking a second parameter is treated as store-aware and
+    called as ``fn(job, store)`` (``store`` may be None); one-parameter
+    functions keep the original ``fn(job)`` contract.
     """
     _KINDS[name] = fn
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        params = {}
+    if len(params) >= 2:
+        _STORE_AWARE.add(name)
+    else:
+        _STORE_AWARE.discard(name)
 
 
-def _solve_sweep_point(job: SolveJob) -> "tuple[Any, dict]":
+def _solve_sweep_point(job: SolveJob, store=None) -> "tuple[Any, dict]":
     from ..analysis.sweep import SweepPoint
     from ..errors import SchedulingFailure
     from ..scheduling.power_aware import PowerAwareScheduler
 
     problem = job.problem
     options = job.options or SchedulerOptions()
+    if store is not None:
+        base_key = store.ensure_primed(problem, options, kind=job.kind)
+        entry = store.probe(base_key, problem.p_max, problem.p_min)
+        if entry is not None:
+            return _serve_stored_point(problem, entry)
     try:
         result = PowerAwareScheduler(options).solve(problem)
     except SchedulingFailure:
+        stats = {"reuse": {"hit": False}} if store is not None else {}
         return (SweepPoint(p_max=problem.p_max, p_min=problem.p_min,
-                           feasible=False), {})
+                           feasible=False), stats)
+    stats = result.stats.as_dict()
+    if store is not None:
+        store.record_result(base_key, problem, result)
+        stats["reuse"] = {"hit": False}
     point = SweepPoint(
         p_max=problem.p_max, p_min=problem.p_min, feasible=True,
         finish_time=result.finish_time,
         energy_cost=result.energy_cost,
         utilization=result.utilization,
         peak_power=result.metrics.peak_power)
-    return point, result.stats.as_dict()
+    return point, stats
+
+
+def _serve_stored_point(problem: SchedulingProblem, entry) \
+        -> "tuple[Any, dict]":
+    """Materialize a stored schedule as this environment's SweepPoint.
+
+    The stored start times are rebuilt against the job's own graph and
+    re-evaluated under the job's ``(p_max, p_min)`` — metrics are
+    *computed*, never copied, so a served point carries exactly the
+    numbers a fresh solve of the same schedule would report.
+    """
+    from ..analysis.sweep import SweepPoint
+    from ..core.metrics import evaluate
+
+    schedule = entry.rebuild(problem)
+    metrics = evaluate(schedule, problem.p_max, problem.p_min,
+                       baseline=problem.baseline)
+    point = SweepPoint(
+        p_max=problem.p_max, p_min=problem.p_min, feasible=True,
+        finish_time=metrics.finish_time,
+        energy_cost=metrics.energy_cost,
+        utilization=metrics.utilization,
+        peak_power=metrics.peak_power)
+    stats = {"reuse": {"hit": True, "label": entry.label,
+                       "stage": entry.stage,
+                       "peak": entry.peak, "floor": entry.floor}}
+    return point, stats
 
 
 register_kind("sweep_point", _solve_sweep_point)
@@ -125,7 +188,8 @@ register_kind("sweep_point", _solve_sweep_point)
 # ----------------------------------------------------------------------
 
 def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
-            retries: int = 0, instrument: bool = False) -> JobResult:
+            retries: int = 0, instrument: bool = False,
+            store=None) -> JobResult:
     """Execute one job with capped in-place retry.
 
     Scheduler-level infeasibility is a *result* (the kind functions
@@ -141,12 +205,20 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
     anchored by a ``wall0`` wall-clock timestamp — so the parent
     process (serial caller and pool worker alike) can re-parent the
     tree under its own job span and merge the metric increments.
+
+    ``store`` (a :class:`~repro.engine.schedule_store.ScheduleStore`)
+    is forwarded to store-aware kinds; entries the job inserted are
+    drained from the store journal into
+    ``result.stats["reuse"]["new_entries"]`` so pool workers ship them
+    back to the parent (the serial path shares the live store, where the
+    drained delta is simply redundant with what is already in it).
     """
     fn = _KINDS.get(job.kind)
     key = key if key is not None else job.key()
     if fn is None:
         return JobResult(position=position, key=key, ok=False,
                          error=f"unknown job kind {job.kind!r}")
+    use_store = store is not None and job.kind in _STORE_AWARE
     last_error = ""
     capture_ctx = None
     if instrument:
@@ -158,7 +230,10 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
     try:
         for attempt in range(1, max(1, retries + 1) + 1):
             try:
-                value, stats = fn(job)
+                if use_store:
+                    value, stats = fn(job, store)
+                else:
+                    value, stats = fn(job)
             except Exception as exc:  # noqa: BLE001 - reported, not raised
                 last_error = f"{type(exc).__name__}: {exc}"
                 continue
@@ -182,15 +257,29 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
             "spans": [span.to_dict() for span in capture_ctx.spans],
             "metrics": capture_ctx.metrics_data,
         }
+    if use_store:
+        new_entries = store.drain_journal()
+        if new_entries:
+            result.stats = dict(result.stats)
+            reuse = dict(result.stats.get("reuse") or {})
+            reuse["new_entries"] = new_entries
+            result.stats["reuse"] = reuse
     return result
 
 
 def run_chunk(jobs: "list[tuple[int, str, SolveJob]]",
               retries: int = 0,
-              instrument: bool = False) -> "list[JobResult]":
-    """Worker entry point: execute a chunk of keyed jobs in order."""
+              instrument: bool = False,
+              store=None) -> "list[JobResult]":
+    """Worker entry point: execute a chunk of keyed jobs in order.
+
+    ``store`` is the worker's private snapshot of the parent's schedule
+    store: jobs in the chunk build on each other's entries locally, and
+    each job's freshly-inserted entries travel back to the parent in its
+    result's ``stats["reuse"]["new_entries"]``.
+    """
     return [run_job(job, position=position, key=key, retries=retries,
-                    instrument=instrument)
+                    instrument=instrument, store=store)
             for position, key, job in jobs]
 
 

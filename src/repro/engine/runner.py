@@ -31,9 +31,10 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from ..obs import (OBS, MetricsRegistry, Span, absorb_cache_stats,
-                   absorb_scheduler_stats)
+                   absorb_scheduler_stats, absorb_store_stats)
 from .cache import ResultCache
 from .jobs import JobResult, SolveJob, run_chunk, run_job
+from .schedule_store import REUSE_POLICIES, ScheduleStore
 from .trace import JobTrace, RunTrace
 
 __all__ = ["RunnerConfig", "BatchRunner"]
@@ -69,6 +70,18 @@ class RunnerConfig:
         When set, every job is reseeded with
         ``derive_seed(reseed_base, position)`` before keying — one
         deterministic seed per batch position (Monte Carlo batches).
+    reuse_schedules:
+        Attach a validity-range :class:`ScheduleStore`: jobs whose
+        power environment falls inside a stored schedule's validity
+        rectangle are served without running the pipeline (paper
+        Section 5.3).  Orthogonal to the exact-key ``use_cache`` memo —
+        the cache serves *identical* jobs, the store serves the same
+        workload under *different* ``(P_max, P_min)``.
+    reuse_policy:
+        ``"identical"`` (default) serves only certified entries that
+        provably reproduce a fresh solve bit-for-bit;``"valid"`` serves
+        any covering entry (power-valid, full utilization — the paper's
+        Fig. 7 semantics) even when a fresh solve might beat it.
     trace_path:
         When set, every run writes its JSON :class:`RunTrace` here.
     instrument:
@@ -90,6 +103,8 @@ class RunnerConfig:
     cache_max_entries: "int | None" = 4096
     use_cache: bool = True
     reseed_base: "int | None" = None
+    reuse_schedules: bool = False
+    reuse_policy: str = "identical"
     trace_path: "str | None" = None
     instrument: bool = False
 
@@ -104,13 +119,18 @@ class RunnerConfig:
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(
                 f"timeout_s must be positive or None, got {self.timeout_s}")
+        if self.reuse_policy not in REUSE_POLICIES:
+            raise ValueError(
+                f"reuse_policy must be one of {REUSE_POLICIES}, "
+                f"got {self.reuse_policy!r}")
 
 
 class BatchRunner:
     """Execute independent solve jobs, in parallel when asked to."""
 
     def __init__(self, config: "RunnerConfig | None" = None,
-                 cache: "ResultCache | None" = None):
+                 cache: "ResultCache | None" = None,
+                 store: "ScheduleStore | None" = None):
         self.config = config or RunnerConfig()
         if cache is not None:
             self.cache: "ResultCache | None" = cache
@@ -118,6 +138,12 @@ class BatchRunner:
             self.cache = ResultCache(self.config.cache_max_entries)
         else:
             self.cache = None
+        if store is not None:
+            self.store: "ScheduleStore | None" = store
+        elif self.config.reuse_schedules:
+            self.store = ScheduleStore(policy=self.config.reuse_policy)
+        else:
+            self.store = None
         #: Trace of the most recent :meth:`run` (also written to
         #: ``config.trace_path`` when that is set).
         self.last_trace: "RunTrace | None" = None
@@ -133,6 +159,8 @@ class BatchRunner:
         instrument = self.config.instrument or OBS.enabled
         cache_before = self.cache.stats() if self.cache is not None \
             else None
+        store_before = self.store.counters() \
+            if self.store is not None else None
         ordered = list(jobs)
         if self.config.reseed_base is not None:
             ordered = [job.reseeded(self.config.reseed_base, position)
@@ -148,8 +176,13 @@ class BatchRunner:
         duplicates: "list[tuple[int, str]]" = []
         for position, key, job in keyed:
             if self.cache is not None:
-                hit, value = self.cache.lookup(key)
+                # peek(): classification must not disturb accounting —
+                # a job that ends up range-served by the schedule store
+                # was never a cache miss, and duplicate occurrences of
+                # one uncached key are one miss, not many.
+                hit, value = self.cache.peek(key)
                 if hit:
+                    self.cache.lookup(key)  # record hit, refresh LRU
                     cache_hits += 1
                     results[position] = JobResult(
                         position=position, key=key, value=value,
@@ -163,8 +196,17 @@ class BatchRunner:
 
         entries = [(position, key, job)
                    for key, (position, job) in primaries.items()]
+        if self.store is not None:
+            # Prime the certified timing-stage entries in the parent so
+            # every worker snapshot already carries them; idempotent per
+            # base key, so serial jobs find the work done too.
+            for _position, _key, job in entries:
+                self.store.ensure_primed(job.problem, job.options,
+                                         kind=job.kind)
         run_wall0 = time.time()
         mode = self._execute(entries, results, instrument)
+
+        range_hits = self._settle_reuse(entries, results, mode)
 
         for position, key in duplicates:
             primary = results[primaries[key][0]]
@@ -175,6 +217,11 @@ class BatchRunner:
             for key, (position, _job) in primaries.items():
                 primary = results[position]
                 if primary.ok:
+                    reuse = (primary.stats or {}).get("reuse") or {}
+                    if not reuse.get("hit"):
+                        # The solve is committed: record the miss the
+                        # classification peek deferred.
+                        self.cache.lookup(key)
                     self.cache.put(key, primary.value)
 
         final = [results[position] for position in range(len(ordered))]
@@ -185,15 +232,48 @@ class BatchRunner:
             spans, metrics = self._assemble_obs(
                 final, entries, mode, run_wall0, elapsed_s,
                 cache_hits=cache_hits + dedup_hits,
-                cache_before=cache_before)
+                cache_before=cache_before, store_before=store_before)
         self.last_mode = mode
         self.last_trace = self._build_trace(
             final, mode, unique_solved=len(entries),
             cache_hits=cache_hits + dedup_hits,
+            range_hits=range_hits,
             elapsed_s=elapsed_s, spans=spans, metrics=metrics)
         if self.config.trace_path:
             self.last_trace.write(self.config.trace_path)
         return final
+
+    def _settle_reuse(self, entries, results: "dict[int, JobResult]",
+                      mode: str) -> int:
+        """Post-execution schedule-store bookkeeping.
+
+        Credits the parent store's hit/miss counters from the per-job
+        reuse markers (:meth:`ScheduleStore.probe` is side-effect-free,
+        so serial and parallel runs account identically here), and —
+        when the jobs ran in worker processes against snapshots — merges
+        the shipped new entries back into the parent store.  Returns the
+        number of range-served jobs for the run trace.
+        """
+        if self.store is None:
+            return 0
+        range_hits = 0
+        for position, _key, _job in entries:
+            result = results.get(position)
+            if result is None:
+                continue
+            reuse = (result.stats or {}).get("reuse")
+            if not reuse:
+                continue
+            if reuse.get("hit"):
+                range_hits += 1
+                self.store.range_hits += 1
+            else:
+                self.store.misses += 1
+            if mode == "process" and reuse.get("new_entries"):
+                # Serial runs insert into the live store directly; only
+                # worker snapshots need their deltas folded back.
+                self.store.merge_delta(reuse["new_entries"])
+        return range_hits
 
     def run_values(self, jobs: "Iterable[SolveJob]") -> "list[Any]":
         """Like :meth:`run` but returns just the payloads (``None`` for
@@ -223,7 +303,8 @@ class BatchRunner:
         for position, key, job in entries:
             results[position] = run_job(job, position=position, key=key,
                                         retries=self.config.retries,
-                                        instrument=instrument)
+                                        instrument=instrument,
+                                        store=self.store)
 
     def _run_pool(self, entries, results, instrument=False) -> None:
         """Chunked dispatch over a process pool with timeout + retry.
@@ -241,6 +322,11 @@ class BatchRunner:
         except Exception as exc:  # noqa: BLE001 - degrade to serial
             raise _PoolUnavailable(str(exc)) from exc
 
+        # Workers get a snapshot of the schedule store (pre-primed by
+        # run()); their new entries return via the job results and are
+        # merged by _settle_reuse.
+        snapshot = self.store.snapshot() if self.store is not None \
+            else None
         chunks = [list(entries[i:i + cfg.chunksize])
                   for i in range(0, len(entries), cfg.chunksize)]
         pending = [(chunk, 0) for chunk in chunks]
@@ -251,7 +337,8 @@ class BatchRunner:
                 for chunk, attempt in pending:
                     try:
                         future = pool.submit(run_chunk, chunk,
-                                             cfg.retries, instrument)
+                                             cfg.retries, instrument,
+                                             snapshot)
                     except Exception:  # noqa: BLE001 - pool is gone
                         future = None
                     submitted.append((future, chunk, attempt))
@@ -297,7 +384,8 @@ class BatchRunner:
 
     def _assemble_obs(self, final: "list[JobResult]", entries,
                       mode: str, run_wall0: float, elapsed_s: float,
-                      cache_hits: int, cache_before) \
+                      cache_hits: int, cache_before,
+                      store_before=None) \
             -> "tuple[list[dict], dict[str, dict]]":
         """Build the run's span tree and metric snapshot.
 
@@ -352,6 +440,9 @@ class BatchRunner:
         if self.cache is not None and cache_before is not None:
             absorb_cache_stats(registry, cache_before,
                                self.cache.stats())
+        if self.store is not None and store_before is not None:
+            absorb_store_stats(registry, store_before,
+                               self.store.counters())
         spans_doc = [run_span.to_dict()]
         if OBS.enabled:
             # A surrounding obs session (e.g. a mission simulation
@@ -366,10 +457,17 @@ class BatchRunner:
     def _build_trace(self, final: "list[JobResult]", mode: str,
                      unique_solved: int, cache_hits: int,
                      elapsed_s: float,
+                     range_hits: int = 0,
                      spans: "list[dict] | None" = None,
                      metrics: "dict[str, dict] | None" = None) \
             -> RunTrace:
         cfg = self.config
+        reuse_doc = None
+        if self.store is not None:
+            reuse_doc = {"policy": self.store.policy,
+                         "range_hits": range_hits,
+                         "solved": unique_solved - range_hits,
+                         **self.store.counters()}
         trace = RunTrace(
             run={
                 "jobs": len(final),
@@ -387,9 +485,11 @@ class BatchRunner:
                        "entries": len(self.cache)}
                       if self.cache is not None else {})},
             spans=list(spans or []),
-            metrics=dict(metrics or {}))
+            metrics=dict(metrics or {}),
+            reuse=reuse_doc)
         for result in final:
             stats = result.stats or {}
+            reuse = stats.get("reuse") or {}
             trace.add_job(JobTrace(
                 position=result.position,
                 key=result.key,
@@ -399,7 +499,8 @@ class BatchRunner:
                 elapsed_s=result.elapsed_s,
                 error=result.error,
                 stage_seconds=dict(stats.get("stage_seconds", {})),
-                counters=dict(stats.get("counters", {}))))
+                counters=dict(stats.get("counters", {})),
+                reused=bool(reuse.get("hit"))))
         return trace
 
 

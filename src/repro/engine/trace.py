@@ -21,14 +21,22 @@ Schema (``format: "repro-trace", version: 2``)::
       "counters": {"longest_path_runs": ..., "lp_cache_hits": ..., ...},
       "jobs": [{"position": 0, "key": "ab12...", "cached": false,
                 "ok": true, "attempts": 1, "elapsed_s": 0.11,
-                "error": null, "stage_seconds": {...},
+                "error": null, "reused": false, "stage_seconds": {...},
                 "counters": {...}}, ...],
       "spans": [{"name": "engine.run", "start": 0.0, "duration": 0.93,
                  "attrs": {...}, "children": [...]}, ...],
       "metrics": {"engine.cache.hits": {"type": "counter", "value": 15},
                   "engine.job.seconds": {"type": "histogram",
-                                         "count": 5, "p50": ..., ...}}
+                                         "count": 5, "p50": ..., ...}},
+      "reuse": {"policy": "identical", "range_hits": 12, "solved": 3,
+                "misses": 3, "primes": 1, "inserted": 4, "deduped": 0,
+                "entries": 4}
     }
+
+The ``reuse`` section appears only when the run carried a validity-range
+schedule store (``reuse_schedules``); per-job ``reused`` flags mark the
+jobs it served.  Both are additive to schema v2 — absent in older
+documents, tolerated by this reader.
 
 Version 1 documents (no ``spans`` / ``metrics`` sections, no eviction
 accounting) are still accepted by :func:`read_trace` — they load with
@@ -66,6 +74,8 @@ class JobTrace:
     error: "str | None" = None
     stage_seconds: "dict[str, float]" = field(default_factory=dict)
     counters: "dict[str, int]" = field(default_factory=dict)
+    #: Served from the validity-range schedule store (no solve ran).
+    reused: bool = False
 
     def to_dict(self) -> "dict[str, Any]":
         return {
@@ -76,6 +86,7 @@ class JobTrace:
             "attempts": self.attempts,
             "elapsed_s": round(self.elapsed_s, 6),
             "error": self.error,
+            "reused": self.reused,
             "stage_seconds": {stage: round(seconds, 6)
                               for stage, seconds
                               in self.stage_seconds.items()},
@@ -91,7 +102,8 @@ class JobTrace:
                    elapsed_s=doc.get("elapsed_s", 0.0),
                    error=doc.get("error"),
                    stage_seconds=dict(doc.get("stage_seconds", {})),
-                   counters=dict(doc.get("counters", {})))
+                   counters=dict(doc.get("counters", {})),
+                   reused=doc.get("reused", False))
 
 
 @dataclass
@@ -106,6 +118,9 @@ class RunTrace:
     spans: "list[dict[str, Any]]" = field(default_factory=list)
     #: Metric snapshot (:meth:`MetricsRegistry.snapshot` form).
     metrics: "dict[str, Any]" = field(default_factory=dict)
+    #: Schedule-store summary (policy + counters); ``None`` when the
+    #: run carried no store.
+    reuse: "dict[str, Any] | None" = None
 
     def add_job(self, trace: JobTrace) -> None:
         self.jobs.append(trace)
@@ -127,7 +142,7 @@ class RunTrace:
         return totals
 
     def to_dict(self) -> "dict[str, Any]":
-        return {
+        doc = {
             "format": TRACE_FORMAT,
             "version": TRACE_VERSION,
             "run": dict(self.run),
@@ -140,6 +155,9 @@ class RunTrace:
             "spans": list(self.spans),
             "metrics": dict(self.metrics),
         }
+        if self.reuse is not None:
+            doc["reuse"] = dict(self.reuse)
+        return doc
 
     @classmethod
     def from_dict(cls, doc: "Mapping[str, Any]") -> "RunTrace":
@@ -153,12 +171,14 @@ class RunTrace:
             raise ReproError(
                 f"unsupported {TRACE_FORMAT} version {version!r}; "
                 f"this reader accepts {READABLE_VERSIONS}")
+        reuse = doc.get("reuse")
         return cls(run=dict(doc.get("run", {})),
                    cache=dict(doc.get("cache", {})),
                    jobs=[JobTrace.from_dict(job)
                          for job in doc.get("jobs", [])],
                    spans=list(doc.get("spans", [])),
-                   metrics=dict(doc.get("metrics", {})))
+                   metrics=dict(doc.get("metrics", {})),
+                   reuse=dict(reuse) if reuse is not None else None)
 
     def write(self, path: str) -> str:
         """Write the trace as pretty-printed JSON; returns ``path``.

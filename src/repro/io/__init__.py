@@ -2,9 +2,10 @@
 
 from .chart_json import chart_to_dict, save_chart
 from .dsl import load_problem_dsl, parse_problem
-from .json_io import (load_problem, load_schedule, problem_from_dict,
-                      problem_to_dict, save_problem, save_schedule,
-                      schedule_from_dict, schedule_to_dict)
+from .json_io import (load_problem, load_schedule, load_store,
+                      problem_from_dict, problem_to_dict, save_problem,
+                      save_schedule, save_store, schedule_from_dict,
+                      schedule_to_dict)
 
 __all__ = [
     "chart_to_dict",
@@ -12,11 +13,13 @@ __all__ = [
     "load_problem",
     "load_problem_dsl",
     "load_schedule",
+    "load_store",
     "parse_problem",
     "problem_from_dict",
     "problem_to_dict",
     "save_problem",
     "save_schedule",
+    "save_store",
     "schedule_from_dict",
     "schedule_to_dict",
 ]

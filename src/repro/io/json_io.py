@@ -33,7 +33,8 @@ from ..errors import SerializationError
 
 __all__ = ["problem_to_dict", "problem_from_dict", "save_problem",
            "load_problem", "schedule_to_dict", "schedule_from_dict",
-           "save_schedule", "load_schedule"]
+           "save_schedule", "load_schedule", "save_store",
+           "load_store"]
 
 _PROBLEM_FORMAT = "repro-problem"
 _SCHEDULE_FORMAT = "repro-schedule"
@@ -176,3 +177,25 @@ def _expect_format(data: "dict[str, Any]", expected: str) -> None:
         raise SerializationError(
             f"document version {version} is newer than supported "
             f"({_VERSION})")
+
+
+def save_store(store, path: str) -> str:
+    """Write a schedule store (``repro-schedule-store`` v1 JSON).
+
+    Thin persistence front-end over
+    :meth:`repro.engine.schedule_store.ScheduleStore.write`, here so
+    the :mod:`repro.io` package is the one place that knows every
+    on-disk document the tool reads and writes.
+    """
+    return store.write(path)
+
+
+def load_store(path: str, policy: "str | None" = None):
+    """Read a schedule store JSON file.
+
+    ``policy`` optionally overrides the document's recorded reuse
+    policy; see
+    :meth:`repro.engine.schedule_store.ScheduleStore.from_dict`.
+    """
+    from ..engine.schedule_store import ScheduleStore
+    return ScheduleStore.read(path, policy=policy)

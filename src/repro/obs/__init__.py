@@ -30,7 +30,7 @@ from .export import (chrome_trace, jsonl_lines, metrics_from_doc,
 from .metrics import (HISTOGRAM_LIMIT, STATS_METRIC_NAMES, Counter,
                       Gauge, Histogram, MetricsRegistry,
                       absorb_cache_stats, absorb_scheduler_stats,
-                      quantile)
+                      absorb_store_stats, quantile)
 from .spans import (OBS, Capture, Instrumentation, Span, capture,
                     collect, disable, enable, enabled, event, reset,
                     span)
@@ -49,6 +49,7 @@ __all__ = [
     "Span",
     "absorb_cache_stats",
     "absorb_scheduler_stats",
+    "absorb_store_stats",
     "capture",
     "chrome_trace",
     "collect",

@@ -34,7 +34,7 @@ from typing import Any, Mapping
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "STATS_METRIC_NAMES", "absorb_scheduler_stats",
-           "absorb_cache_stats", "quantile"]
+           "absorb_cache_stats", "absorb_store_stats", "quantile"]
 
 #: Raw observations kept per histogram; beyond this the histogram keeps
 #: exact count/sum/min/max and quantiles become estimates over the
@@ -236,3 +236,25 @@ def absorb_cache_stats(registry: MetricsRegistry,
         if delta:
             registry.counter(f"engine.cache.{key}").inc(delta)
     registry.gauge("engine.cache.entries").set(after.get("entries", 0))
+
+
+def absorb_store_stats(registry: MetricsRegistry,
+                       before: "Mapping[str, int]",
+                       after: "Mapping[str, int]") -> None:
+    """Fold a schedule-store counters delta into the registry.
+
+    ``before``/``after`` are two
+    :meth:`~repro.engine.schedule_store.ScheduleStore.counters`
+    snapshots; the monotone counters (range hits, misses, priming
+    solves, insertions, dedups) contribute their increase under
+    ``engine.store.*`` and ``entries`` sets the ``engine.store.entries``
+    gauge — the same before/after discipline as
+    :func:`absorb_cache_stats`, so a store shared across runs never
+    double-reports.
+    """
+    for key in ("range_hits", "misses", "primes", "inserted",
+                "deduped"):
+        delta = after.get(key, 0) - before.get(key, 0)
+        if delta:
+            registry.counter(f"engine.store.{key}").inc(delta)
+    registry.gauge("engine.store.entries").set(after.get("entries", 0))

@@ -18,7 +18,8 @@ from .max_power import MaxPowerScheduler, max_power_schedule
 from .min_power import GapFillConfig, MinPowerScheduler, min_power_schedule
 from .optimal import OptimalScheduler, optimal_schedule
 from .power_aware import PipelineResult, PowerAwareScheduler, schedule
-from .runtime import RuntimeScheduler, ScheduleEntry, ScheduleTable
+from .runtime import (RuntimeScheduler, ScheduleEntry, ScheduleTable,
+                      in_validity_range)
 from .serial import SerialScheduler, serial_schedule
 from .timing import TimingScheduler, asap_schedule, timing_schedule
 
@@ -46,6 +47,7 @@ __all__ = [
     "TimingScheduler",
     "asap_schedule",
     "greedy_schedule",
+    "in_validity_range",
     "make_result",
     "max_power_schedule",
     "min_power_schedule",

@@ -37,7 +37,25 @@ from ..errors import SchedulingFailure
 from .base import ScheduleResult, SchedulerOptions
 from .power_aware import PowerAwareScheduler
 
-__all__ = ["ScheduleEntry", "ScheduleTable", "RuntimeScheduler"]
+__all__ = ["in_validity_range", "ScheduleEntry", "ScheduleTable",
+           "RuntimeScheduler"]
+
+
+def in_validity_range(peak: float, floor: float, p_max: float,
+                      p_min: float,
+                      tol: float = PowerProfile.POWER_TOL) -> bool:
+    """Is ``(p_max, p_min)`` inside ``[peak, inf) x (-inf, floor]``?
+
+    The Section 5.3 validity rectangle of a stored schedule whose
+    profile peaks at ``peak`` and bottoms out at ``floor``: the schedule
+    is power-valid for any budget at or above its peak, and keeps full
+    utilization (so its energy cost is determined by its finish time
+    alone) for any free-power level at or below its floor.  Shared by
+    :class:`ScheduleEntry` and the engine's
+    :class:`~repro.engine.schedule_store.ScheduleStore` so the runtime
+    table and the cross-process cache agree on the same math.
+    """
+    return peak <= p_max + tol and p_min <= floor + tol
 
 
 @dataclass(frozen=True)
@@ -61,6 +79,16 @@ class ScheduleEntry:
     def is_valid_under(self, p_max: float) -> bool:
         """Power-valid for this budget?"""
         return self.min_p_max <= p_max + PowerProfile.POWER_TOL
+
+    def covers(self, p_max: float, p_min: float) -> bool:
+        """Is the environment inside this entry's validity rectangle?
+
+        True when the schedule is power-valid under ``p_max`` *and*
+        keeps full utilization at ``p_min`` — the Fig. 7 claim
+        (``P_max >= 16``, ``P_min <= 14``) as a predicate.
+        """
+        return in_validity_range(self.min_p_max, self.max_full_p_min,
+                                 p_max, p_min)
 
     def score(self, p_max: float, p_min: float) \
             -> "tuple[float, float, float]":

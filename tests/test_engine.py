@@ -96,6 +96,33 @@ class TestResultCache:
         with pytest.raises(ValueError):
             ResultCache(max_entries=0)
 
+    def test_peek_does_not_perturb_accounting(self):
+        """Regression: classification probes must not count as misses.
+
+        ``lookup`` charges a miss the moment it is called, but the
+        runner probes the cache *before* deciding whether a job will be
+        solved at all (it may be served by the schedule store instead).
+        ``peek`` answers that question without moving any counter or
+        the LRU order."""
+        cache = ResultCache(max_entries=2)
+        hit, value = cache.peek("absent")
+        assert not hit and value is None
+        cache.put("a", 1)
+        cache.put("b", 2)
+        hit, value = cache.peek("a")
+        assert hit and value == 1
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 2,
+                                 "evictions": 0}
+        # peek("a") did NOT refresh recency: "a" is still the oldest
+        cache.put("c", 3)
+        assert not cache.contains("a")
+        assert cache.contains("b") and cache.contains("c")
+        # lookup still counts, as before
+        cache.lookup("b")
+        cache.lookup("absent")
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 2,
+                                 "evictions": 1}
+
 
 # ----------------------------------------------------------------------
 # batch runner
