@@ -57,6 +57,7 @@ from .scheduling import (GreedyListScheduler, MaxPowerScheduler,
                          min_power_schedule, optimal_schedule, schedule,
                          serial_schedule, timing_schedule)
 
+#: Release version of the repro package.
 __version__ = "1.0.0"
 
 __all__ = [

@@ -19,6 +19,12 @@ Subcommands:
 * ``trace summarize|export PATH`` — digest or convert a saved
   ``repro-trace`` document (Chrome trace-event for Perfetto,
   Prometheus text, JSON Lines).
+* ``serve`` — run the async solve server (``docs/serving.md``):
+  JSON-over-HTTP solve/sweep endpoints, micro-batching, NDJSON event
+  streams, Prometheus ``/metrics``.
+* ``submit FILE`` — send a problem to a running solve server and
+  print the solved points (synchronous single solve, or an
+  asynchronous sweep with a live event tail).
 
 All output is plain text so the tool works over a serial console —
 fitting, for a Mars rover scheduler.
@@ -27,6 +33,7 @@ fitting, for a Mars rover scheduler.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -161,6 +168,67 @@ def build_parser() -> argparse.ArgumentParser:
                              "Prometheus text, or JSON Lines")
     export.add_argument("--out", metavar="PATH",
                         help="output file (default: stdout)")
+
+    serve = sub.add_parser(
+        "serve", help="run the async solve server (docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="port (default 8080; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="engine worker processes per batch "
+                            "(0 = solve in the server process)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="most solve jobs per engine batch "
+                            "(default 16)")
+    serve.add_argument("--max-wait-ms", type=float, default=10.0,
+                       help="micro-batch coalescing window in ms "
+                            "(default 10)")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       help="bound on queued jobs before 429 "
+                            "backpressure (default 256)")
+    serve.add_argument("--reuse-schedules", action="store_true",
+                       help="serve covered points from the "
+                            "validity-range schedule store "
+                            "(Section 5.3)")
+    serve.add_argument("--reuse-policy",
+                       choices=["identical", "valid"],
+                       default="identical",
+                       help="store policy (see sweep --reuse-policy)")
+    serve.add_argument("--store", metavar="PATH",
+                       help="schedule-store JSON: loaded at startup "
+                            "when it exists, written back on "
+                            "shutdown (implies --reuse-schedules)")
+    serve.add_argument("--trace", metavar="PATH",
+                       help="write the repro-serve-trace JSON "
+                            "document (metrics + job summaries) on "
+                            "shutdown")
+
+    submit = sub.add_parser(
+        "submit",
+        help="send a problem to a running solve server")
+    submit.add_argument("file", help="problem file path (.json/.txt)")
+    submit.add_argument("--server", default="http://127.0.0.1:8080",
+                        help="server base URL "
+                             "(default http://127.0.0.1:8080)")
+    submit.add_argument("--budgets", default="",
+                        help="comma-separated P_max values; with "
+                             "--levels, sweeps the grid "
+                             "asynchronously via /v1/sweep")
+    submit.add_argument("--levels", default="",
+                        help="comma-separated P_min values")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="heuristic seed forwarded to the server")
+    submit.add_argument("--deadline-ms", type=int, default=None,
+                        help="per-request deadline; past it the "
+                             "server answers 504 deadline_exceeded")
+    submit.add_argument("--events", action="store_true",
+                        help="print the NDJSON event stream while a "
+                             "sweep runs")
+    submit.add_argument("--check", action="store_true",
+                        help="exit 1 unless at least one point is "
+                             "feasible and every feasible point is "
+                             "power-valid (peak <= P_max)")
     return parser
 
 
@@ -182,6 +250,10 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_table(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
         return _cmd_example()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -422,6 +494,115 @@ def _cmd_mission(args) -> int:
     print(f"improvement: {comparison['time_improvement_pct']:.1f}% time, "
           f"{comparison['energy_improvement_pct']:.1f}% energy "
           f"(paper: 33.3% / 32.7%)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    from .serving import ServingConfig, SolveServer
+
+    config = ServingConfig(host=args.host, port=args.port,
+                           max_batch=args.max_batch,
+                           max_wait_ms=args.max_wait_ms,
+                           queue_limit=args.queue_limit,
+                           workers=max(0, args.workers),
+                           reuse_schedules=args.reuse_schedules,
+                           reuse_policy=args.reuse_policy,
+                           store_path=args.store,
+                           trace_path=args.trace)
+
+    async def _run() -> None:
+        server = SolveServer(config)
+        await server.start()
+        print(f"repro solve server listening on "
+              f"http://{config.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining...", flush=True)
+            await server.shutdown()
+            if config.store_path:
+                print(f"wrote {config.store_path}")
+            if config.trace_path:
+                print(f"wrote {config.trace_path}")
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _point_row(point: "dict") -> "dict[str, object]":
+    utilization = point.get("utilization")
+    return {
+        "P_max_W": point["p_max"],
+        "P_min_W": point["p_min"],
+        "feasible": point["feasible"],
+        "tau_s": point.get("finish_time"),
+        "Ec_J": point.get("energy_cost"),
+        "rho_pct": (None if utilization is None
+                    else 100.0 * utilization),
+        "peak_W": point.get("peak_power"),
+        "served": ("cache" if point.get("cached")
+                   else "store" if point.get("reused") else "solve"),
+    }
+
+
+def _cmd_submit(args) -> int:
+    from .serving import ServingClient
+    problem = _load(args.file)
+    client = ServingClient(args.server)
+    budgets = ([float(token) for token in args.budgets.split(",")]
+               if args.budgets else None)
+    levels = ([float(token) for token in args.levels.split(",")]
+              if args.levels else None)
+    if budgets or levels:
+        ack = client.sweep(problem, budgets=budgets, levels=levels,
+                           seed=args.seed,
+                           deadline_ms=args.deadline_ms)
+        job_id = ack["job"]
+        print(f"job {job_id} accepted "
+              f"({ack.get('points_total', '?')} points)")
+        if args.events:
+            for event in client.events(job_id):
+                print(json.dumps(event))
+            response = client.job(job_id)
+        else:
+            response = client.wait(job_id)
+    else:
+        response = client.solve(problem, seed=args.seed,
+                                deadline_ms=args.deadline_ms)
+    points = response.get("points", [])
+    title = f"== {problem.name}: served points =="
+    print(format_table([_point_row(p) for p in points], title=title))
+    print(f"job {response.get('job')}: {response.get('status')}, "
+          f"{response.get('cached', 0)} cache hits, "
+          f"{response.get('reused', 0)} store reuses, "
+          f"{response.get('elapsed_ms', 0):.0f} ms server-side")
+    if response.get("status") == "error":
+        error = response.get("error") or {}
+        print(f"job failed [{error.get('code', 'internal')}]: "
+              f"{error.get('message', 'unknown error')}",
+              file=sys.stderr)
+        return 1
+    if args.check:
+        feasible = [p for p in points if p.get("feasible")]
+        if not feasible:
+            print("check: FAILED (no feasible point)",
+                  file=sys.stderr)
+            return 1
+        for point in feasible:
+            if point.get("peak_power") is not None \
+                    and point["peak_power"] > point["p_max"] + 1e-9:
+                print(f"check: FAILED (peak {point['peak_power']} W "
+                      f"exceeds P_max {point['p_max']} W)",
+                      file=sys.stderr)
+                return 1
+        print(f"check: ok ({len(feasible)} feasible, "
+              "all power-valid)")
     return 0
 
 

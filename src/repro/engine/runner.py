@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from ..obs import (OBS, MetricsRegistry, Span, absorb_cache_stats,
                    absorb_scheduler_stats, absorb_store_stats)
@@ -153,8 +153,18 @@ class BatchRunner:
 
     # ------------------------------------------------------------------
 
-    def run(self, jobs: "Iterable[SolveJob]") -> "list[JobResult]":
-        """Execute ``jobs``; results come back in submission order."""
+    def run(self, jobs: "Iterable[SolveJob]",
+            on_result: "Callable[[JobResult], None] | None" = None) \
+            -> "list[JobResult]":
+        """Execute ``jobs``; results come back in submission order.
+
+        ``on_result`` is the streaming hook the serving front-end
+        builds on: it is invoked once per job, in *completion* order
+        (cache hits first, then solved primaries as they land, then
+        dedup copies), from whatever thread is executing ``run`` —
+        callbacks must be cheap and must not raise.  The returned list
+        is still the authoritative, submission-ordered result.
+        """
         t_start = time.perf_counter()
         instrument = self.config.instrument or OBS.enabled
         cache_before = self.cache.stats() if self.cache is not None \
@@ -187,6 +197,8 @@ class BatchRunner:
                     results[position] = JobResult(
                         position=position, key=key, value=value,
                         cached=True)
+                    if on_result is not None:
+                        on_result(results[position])
                     continue
             if key in primaries:
                 duplicates.append((position, key))
@@ -204,7 +216,8 @@ class BatchRunner:
                 self.store.ensure_primed(job.problem, job.options,
                                          kind=job.kind)
         run_wall0 = time.time()
-        mode = self._execute(entries, results, instrument)
+        mode = self._execute(entries, results, instrument,
+                             on_result=on_result)
 
         range_hits = self._settle_reuse(entries, results, mode)
 
@@ -213,6 +226,8 @@ class BatchRunner:
             results[position] = JobResult(
                 position=position, key=key, value=primary.value,
                 ok=primary.ok, error=primary.error, cached=True)
+            if on_result is not None:
+                on_result(results[position])
         if self.cache is not None:
             for key, (position, _job) in primaries.items():
                 primary = results[position]
@@ -280,33 +295,56 @@ class BatchRunner:
         jobs that ultimately failed)."""
         return [result.value for result in self.run(jobs)]
 
+    async def arun(self, jobs: "Iterable[SolveJob]",
+                   on_result: "Callable[[JobResult], None] | None"
+                   = None) -> "list[JobResult]":
+        """Async submission hook: :meth:`run` off the event loop.
+
+        The batch executes in a worker thread (``asyncio.to_thread``),
+        so an asyncio server stays responsive while solves run; one
+        runner must only ever execute one batch at a time (the cache
+        and store are not guarded for concurrent ``run`` calls), which
+        the serving layer's micro-batching loop guarantees by design.
+        ``on_result`` fires on the worker thread — marshal back onto
+        the loop with ``call_soon_threadsafe`` before touching asyncio
+        state.
+        """
+        import asyncio
+        return await asyncio.to_thread(self.run, jobs,
+                                       on_result=on_result)
+
     # ------------------------------------------------------------------
 
     def _execute(self, entries: "Sequence[tuple[int, str, SolveJob]]",
                  results: "dict[int, JobResult]",
-                 instrument: bool = False) -> str:
+                 instrument: bool = False,
+                 on_result=None) -> str:
         """Solve the unique jobs; fills ``results`` keyed by position."""
         cfg = self.config
         if not entries:
             return "serial" if cfg.workers <= 1 else "process"
         if cfg.workers <= 1:
-            self._run_serial(entries, results, instrument)
+            self._run_serial(entries, results, instrument, on_result)
             return "serial"
         try:
-            self._run_pool(entries, results, instrument)
+            self._run_pool(entries, results, instrument, on_result)
             return "process"
         except _PoolUnavailable:
-            self._run_serial(entries, results, instrument)
+            self._run_serial(entries, results, instrument, on_result)
             return "serial-fallback"
 
-    def _run_serial(self, entries, results, instrument=False) -> None:
+    def _run_serial(self, entries, results, instrument=False,
+                    on_result=None) -> None:
         for position, key, job in entries:
             results[position] = run_job(job, position=position, key=key,
                                         retries=self.config.retries,
                                         instrument=instrument,
                                         store=self.store)
+            if on_result is not None:
+                on_result(results[position])
 
-    def _run_pool(self, entries, results, instrument=False) -> None:
+    def _run_pool(self, entries, results, instrument=False,
+                  on_result=None) -> None:
         """Chunked dispatch over a process pool with timeout + retry.
 
         Raises :class:`_PoolUnavailable` only when the pool cannot be
@@ -353,6 +391,8 @@ class BatchRunner:
                         try:
                             for job_result in future.result(budget):
                                 results[job_result.position] = job_result
+                                if on_result is not None:
+                                    on_result(job_result)
                         except FutureTimeout:
                             future.cancel()
                             clean = False
@@ -372,6 +412,8 @@ class BatchRunner:
                             results[position] = JobResult(
                                 position=position, key=key, ok=False,
                                 error=error, attempts=attempt + 1)
+                            if on_result is not None:
+                                on_result(results[position])
         finally:
             # A timed-out worker may still be running its job; waiting
             # for it would defeat the timeout, so release the pool

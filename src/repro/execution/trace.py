@@ -22,13 +22,19 @@ __all__ = ["TraceEvent", "Trace",
            "RESOURCE_VIOLATION", "POWER_SPIKE", "BATTERY_DEPLETED",
            "REPLAN_TRIGGERED"]
 
-# Event kinds.
+#: Event kind: a task began executing.
 TASK_STARTED = "task-started"
+#: Event kind: a task finished executing.
 TASK_FINISHED = "task-finished"
+#: Event kind: a min/max separation constraint was violated.
 SEPARATION_VIOLATION = "separation-violation"
+#: Event kind: two tasks overlapped on one exclusive resource.
 RESOURCE_VIOLATION = "resource-violation"
+#: Event kind: instantaneous draw exceeded the power budget.
 POWER_SPIKE = "power-spike"
+#: Event kind: the battery ran out mid-run.
 BATTERY_DEPLETED = "battery-depleted"
+#: Event kind: the executor handed control back for a replan.
 REPLAN_TRIGGERED = "replan-triggered"
 
 #: Kinds that mark a run as unsuccessful.

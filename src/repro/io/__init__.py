@@ -1,4 +1,4 @@
-"""Problem/schedule persistence: JSON documents and a text DSL."""
+"""Problem/schedule persistence (JSON + DSL) and wire schemas."""
 
 from .chart_json import chart_to_dict, save_chart
 from .dsl import load_problem_dsl, parse_problem
@@ -6,10 +6,17 @@ from .json_io import (load_problem, load_schedule, load_store,
                       problem_from_dict, problem_to_dict, save_problem,
                       save_schedule, save_store, schedule_from_dict,
                       schedule_to_dict)
+from .requests import (ERROR_CODES, RequestError, SolvedPoint,
+                       SolveRequest, error_envelope, response_envelope,
+                       solve_request_from_dict, solve_request_to_dict)
 
 __all__ = [
+    "ERROR_CODES",
+    "RequestError",
+    "SolveRequest",
+    "SolvedPoint",
     "chart_to_dict",
-    "save_chart",
+    "error_envelope",
     "load_problem",
     "load_problem_dsl",
     "load_schedule",
@@ -17,9 +24,13 @@ __all__ = [
     "parse_problem",
     "problem_from_dict",
     "problem_to_dict",
+    "response_envelope",
+    "save_chart",
     "save_problem",
     "save_schedule",
     "save_store",
     "schedule_from_dict",
     "schedule_to_dict",
+    "solve_request_from_dict",
+    "solve_request_to_dict",
 ]

@@ -1,0 +1,298 @@
+"""Wire schemas for the solve-serving front-end.
+
+Two versioned JSON documents connect a client to a
+:class:`repro.serving.server.SolveServer`:
+
+* ``repro-solve-request`` (version 1) — one workload (an embedded
+  ``repro-problem`` document) plus the power environment(s) to solve it
+  under: either a single ``(p_max, p_min)`` pair (``POST /v1/solve``)
+  or a ``budgets`` x ``levels`` grid / explicit ``points`` list
+  (``POST /v1/sweep``).
+* ``repro-solve-response`` (version 1) — the envelope every endpoint
+  answers with: a ``status`` (``done``/``queued``/``running``/
+  ``cancelled``/``error``), the solved :class:`SolvedPoint` rows when
+  the job finished, and a machine-readable :class:`RequestError`
+  ``{code, message}`` object otherwise.
+
+Version negotiation: a request's ``version`` must be ``<=`` the
+server's :data:`REQUEST_VERSION`; newer documents are rejected with the
+``unsupported_version`` error code (the server can always read older
+minor shapes of version 1, because every field beyond ``format``,
+``version`` and ``problem`` has a default).  Responses always carry the
+server's own :data:`RESPONSE_VERSION`; clients apply the mirror-image
+rule.  The full wire contract — endpoints, error codes, the NDJSON
+event stream — is documented (and conformance-tested) in
+``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.problem import SchedulingProblem
+from ..errors import SerializationError
+from .json_io import problem_from_dict, problem_to_dict
+
+__all__ = ["SolveRequest", "SolvedPoint", "RequestError",
+           "ERROR_CODES", "REQUEST_FORMAT", "REQUEST_VERSION",
+           "RESPONSE_FORMAT", "RESPONSE_VERSION", "EVENTS_FORMAT",
+           "EVENTS_VERSION", "solve_request_to_dict",
+           "solve_request_from_dict", "response_envelope",
+           "error_envelope"]
+
+#: ``format`` field of a solve request document.
+REQUEST_FORMAT = "repro-solve-request"
+#: Highest request schema version this library speaks.
+REQUEST_VERSION = 1
+#: ``format`` field of a solve response document.
+RESPONSE_FORMAT = "repro-solve-response"
+#: Response schema version stamped on every server reply.
+RESPONSE_VERSION = 1
+#: ``format`` field of the NDJSON job event stream.
+EVENTS_FORMAT = "repro-serve-events"
+#: Event stream schema version.
+EVENTS_VERSION = 1
+
+#: Machine-readable error codes, and the HTTP status each maps to.
+#: ``docs/serving.md`` documents every row; the doc-conformance test
+#: keeps the table and this mapping identical.
+ERROR_CODES: "dict[str, int]" = {
+    "bad_request": 400,
+    "unsupported_version": 400,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "payload_too_large": 413,
+    "queue_full": 429,
+    "internal": 500,
+    "shutting_down": 503,
+    "deadline_exceeded": 504,
+}
+
+
+@dataclass(frozen=True)
+class RequestError(Exception):
+    """A rejected request: an :data:`ERROR_CODES` code + prose."""
+
+    code: str
+    message: str
+
+    @property
+    def http_status(self) -> int:
+        return ERROR_CODES.get(self.code, 500)
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {"code": self.code, "message": self.message}
+
+
+@dataclass(frozen=True)
+class SolvedPoint:
+    """One solved ``(p_max, p_min)`` row of a response document.
+
+    The numbers are exactly what a direct
+    :meth:`~repro.scheduling.power_aware.PowerAwareScheduler.solve`
+    of the same problem reports — serving adds transport, never
+    arithmetic.
+    """
+
+    p_max: float
+    p_min: float
+    feasible: bool
+    finish_time: "int | None" = None
+    energy_cost: "float | None" = None
+    utilization: "float | None" = None
+    peak_power: "float | None" = None
+    cached: bool = False
+    reused: bool = False
+
+    def to_dict(self) -> "dict[str, Any]":
+        doc: "dict[str, Any]" = {
+            "p_max": self.p_max, "p_min": self.p_min,
+            "feasible": self.feasible,
+        }
+        if self.feasible:
+            doc.update(finish_time=self.finish_time,
+                       energy_cost=self.energy_cost,
+                       utilization=self.utilization,
+                       peak_power=self.peak_power)
+        if self.cached:
+            doc["cached"] = True
+        if self.reused:
+            doc["reused"] = True
+        return doc
+
+    @classmethod
+    def from_sweep_point(cls, point, cached: bool = False,
+                         reused: bool = False) -> "SolvedPoint":
+        """Build from an :class:`~repro.analysis.sweep.SweepPoint`."""
+        return cls(p_max=point.p_max, p_min=point.p_min,
+                   feasible=point.feasible,
+                   finish_time=point.finish_time,
+                   energy_cost=point.energy_cost,
+                   utilization=point.utilization,
+                   peak_power=point.peak_power,
+                   cached=cached, reused=reused)
+
+
+@dataclass
+class SolveRequest:
+    """A parsed, validated solve request (one workload, >= 1 point)."""
+
+    problem: SchedulingProblem
+    points: "list[tuple[float, float]]"
+    seed: "int | None" = None
+    deadline_ms: "int | None" = None
+    tags: "dict[str, Any]" = field(default_factory=dict)
+
+
+def solve_request_to_dict(problem: SchedulingProblem,
+                          p_max: "float | None" = None,
+                          p_min: "float | None" = None,
+                          budgets: "list[float] | None" = None,
+                          levels: "list[float] | None" = None,
+                          points: "list[tuple[float, float]] | None"
+                          = None,
+                          seed: "int | None" = None,
+                          deadline_ms: "int | None" = None,
+                          tags: "Mapping[str, Any] | None" = None) \
+        -> "dict[str, Any]":
+    """Assemble a ``repro-solve-request`` document (client side)."""
+    doc: "dict[str, Any]" = {
+        "format": REQUEST_FORMAT,
+        "version": REQUEST_VERSION,
+        "problem": problem_to_dict(problem),
+    }
+    if p_max is not None:
+        doc["p_max"] = p_max
+    if p_min is not None:
+        doc["p_min"] = p_min
+    if budgets is not None:
+        doc["budgets"] = list(budgets)
+    if levels is not None:
+        doc["levels"] = list(levels)
+    if points is not None:
+        doc["points"] = [[pmax, pmin] for pmax, pmin in points]
+    if seed is not None:
+        doc["seed"] = seed
+    if deadline_ms is not None:
+        doc["deadline_ms"] = deadline_ms
+    if tags:
+        doc["tags"] = dict(tags)
+    return doc
+
+
+def _point_list(data: "Mapping[str, Any]",
+                problem: SchedulingProblem) \
+        -> "list[tuple[float, float]]":
+    """The (p_max, p_min) pairs a request asks for.
+
+    Priority: explicit ``points`` > ``budgets`` x ``levels`` grid >
+    single ``p_max``/``p_min`` override > the problem's own pair.
+    Levels are clamped to each budget so the constraint window never
+    inverts (same rule as ``repro-schedule sweep``).
+    """
+    if "points" in data:
+        pairs = []
+        for row in data["points"]:
+            if (not isinstance(row, (list, tuple)) or len(row) != 2
+                    or not all(isinstance(v, (int, float))
+                               and not isinstance(v, bool)
+                               for v in row)):
+                raise RequestError(
+                    "bad_request",
+                    "points must be [p_max, p_min] number pairs")
+            pairs.append((float(row[0]), float(row[1])))
+        if not pairs:
+            raise RequestError("bad_request",
+                               "points must not be empty")
+        return pairs
+    if "budgets" in data or "levels" in data:
+        budgets = data.get("budgets") or [problem.p_max]
+        levels = data.get("levels") or [problem.p_min]
+        try:
+            budgets = [float(b) for b in budgets]
+            levels = [float(lv) for lv in levels]
+        except (TypeError, ValueError) as exc:
+            raise RequestError(
+                "bad_request",
+                f"budgets/levels must be numbers: {exc}") from exc
+        if not budgets or not levels:
+            raise RequestError("bad_request",
+                               "budgets/levels must not be empty")
+        return [(b, min(lv, b)) for b in budgets for lv in levels]
+    p_max = data.get("p_max", problem.p_max)
+    p_min = data.get("p_min", problem.p_min)
+    if not all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in (p_max, p_min)):
+        raise RequestError("bad_request",
+                           "p_max/p_min must be numbers")
+    return [(float(p_max), min(float(p_min), float(p_max)))]
+
+
+def solve_request_from_dict(data: Any) -> SolveRequest:
+    """Validate and parse a request document (server side).
+
+    Raises :class:`RequestError` — never a bare exception — so the
+    server can map every rejection to its documented error code.
+    """
+    if not isinstance(data, Mapping):
+        raise RequestError("bad_request",
+                           "request body must be a JSON object")
+    if data.get("format") != REQUEST_FORMAT:
+        raise RequestError(
+            "bad_request",
+            f"format must be {REQUEST_FORMAT!r}, "
+            f"got {data.get('format')!r}")
+    version = data.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise RequestError("bad_request",
+                           f"version must be a positive integer, "
+                           f"got {version!r}")
+    if version > REQUEST_VERSION:
+        raise RequestError(
+            "unsupported_version",
+            f"request version {version} is newer than this server's "
+            f"{REQUEST_VERSION}; re-send as version "
+            f"{REQUEST_VERSION}")
+    if "problem" not in data:
+        raise RequestError("bad_request",
+                           "request is missing 'problem'")
+    try:
+        problem = problem_from_dict(data["problem"])
+    except SerializationError as exc:
+        raise RequestError("bad_request",
+                           f"invalid problem document: {exc}") from exc
+    except (TypeError, KeyError, AttributeError) as exc:
+        raise RequestError(
+            "bad_request",
+            f"invalid problem document: {exc!r}") from exc
+    points = _point_list(data, problem)
+    seed = data.get("seed")
+    if seed is not None and (not isinstance(seed, int)
+                             or isinstance(seed, bool)):
+        raise RequestError("bad_request",
+                           f"seed must be an integer, got {seed!r}")
+    deadline_ms = data.get("deadline_ms")
+    if deadline_ms is not None and (not isinstance(deadline_ms, int)
+                                    or isinstance(deadline_ms, bool)
+                                    or deadline_ms < 0):
+        raise RequestError(
+            "bad_request",
+            f"deadline_ms must be a non-negative integer, "
+            f"got {deadline_ms!r}")
+    tags = data.get("tags") or {}
+    if not isinstance(tags, Mapping):
+        raise RequestError("bad_request", "tags must be an object")
+    return SolveRequest(problem=problem, points=points, seed=seed,
+                        deadline_ms=deadline_ms, tags=dict(tags))
+
+
+def response_envelope(status: str, **fields: Any) -> "dict[str, Any]":
+    """A ``repro-solve-response`` document skeleton."""
+    return {"format": RESPONSE_FORMAT, "version": RESPONSE_VERSION,
+            "status": status, **fields}
+
+
+def error_envelope(error: RequestError) -> "dict[str, Any]":
+    """The error form of the response envelope."""
+    return response_envelope("error", error=error.to_dict())

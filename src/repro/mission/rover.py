@@ -46,8 +46,9 @@ from ..scheduling.serial import SerialScheduler
 __all__ = ["SolarCase", "CasePowers", "MarsRover",
            "HEAT_MIN_LEAD", "HEAT_MAX_LEAD"]
 
-#: Table 1: heating must lead steering/driving by [5, 50] s.
+#: Table 1: heating must lead steering/driving by at least 5 s.
 HEAT_MIN_LEAD = 5
+#: Table 1: heating must lead steering/driving by at most 50 s.
 HEAT_MAX_LEAD = 50
 
 #: Task durations (Table 1), in seconds.

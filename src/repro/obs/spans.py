@@ -287,32 +287,40 @@ OBS = Instrumentation()
 
 
 def enable() -> None:
+    """Turn recording on for the process-wide :data:`OBS` singleton."""
     OBS.enable()
 
 
 def disable() -> None:
+    """Turn recording off for the process-wide :data:`OBS` singleton."""
     OBS.disable()
 
 
 def enabled() -> bool:
+    """Is the process-wide :data:`OBS` singleton recording?"""
     return OBS.enabled
 
 
 def reset() -> None:
+    """Drop all spans and metrics recorded by :data:`OBS` so far."""
     OBS.reset()
 
 
 def span(name: str, **attrs: Any):
+    """Open a span on :data:`OBS` (a no-op stub while disabled)."""
     return OBS.span(name, **attrs)
 
 
 def event(name: str, **attrs: Any) -> None:
+    """Record a zero-duration span on :data:`OBS`."""
     OBS.event(name, **attrs)
 
 
 def collect() -> "list[Span]":
+    """Detach and return the finished root spans of :data:`OBS`."""
     return OBS.collect()
 
 
 def capture() -> Capture:
+    """An isolated recording session on :data:`OBS` (worker shipper)."""
     return OBS.capture()

@@ -52,6 +52,9 @@ def _random_slots(seed: int) -> SchedulerOptions:
     return SchedulerOptions(slot_heuristics=("random",), seed=seed)
 
 
+#: Named heuristic configurations (the paper's default plus the
+#: ablation variants); values are SchedulerOptions factories
+#: taking a seed.
 PRESETS = {
     "paper": _paper_default,
     "random-selection": _random_selection,

@@ -1,0 +1,63 @@
+"""Async solve-serving front-end over :mod:`repro.engine`.
+
+The ROADMAP's online-serving layer: a stdlib-``asyncio`` HTTP server
+that accepts solve requests, coalesces them into engine batches, and
+streams results and progress events back — turning the batch engine
+(:class:`~repro.engine.runner.BatchRunner`), the observability layer
+(:mod:`repro.obs`), and the validity-range schedule store (paper
+Section 5.3) into a system that serves many concurrent clients from
+one shared cache.
+
+The pieces:
+
+* :class:`~repro.serving.server.SolveServer` /
+  :class:`~repro.serving.server.ServingConfig` — the HTTP front-end:
+  ``POST /v1/solve`` (synchronous), ``POST /v1/sweep``
+  (asynchronous + NDJSON event stream), job status/cancel,
+  ``/healthz``, Prometheus ``/metrics``;
+* :class:`~repro.serving.batching.Batcher` /
+  :class:`~repro.serving.batching.BatchingConfig` — the micro-batching
+  loop (``max_batch``, ``max_wait_ms``, bounded queue with 429
+  backpressure, per-request deadlines, cancellation, graceful drain);
+* :class:`~repro.serving.client.ServingClient` — the blocking
+  reference client (``repro-schedule submit`` uses it);
+* :mod:`repro.serving.protocol` — the size-capped HTTP/1.1 subset the
+  server speaks.
+
+Wire documents (``repro-solve-request``/``-response`` v1, the
+``repro-serve-events`` v1 stream) live in :mod:`repro.io.requests`;
+the operator's guide — every endpoint, schema, error code and tuning
+knob, conformance-tested against a live server — is
+``docs/serving.md``.
+
+Run one::
+
+    repro-schedule serve --port 8080 --reuse-schedules
+
+    # or programmatically
+    import asyncio
+    from repro.serving import ServingConfig, SolveServer
+
+    async def main():
+        server = SolveServer(ServingConfig(port=8080))
+        await server.start()
+        await server.serve_forever()
+
+    asyncio.run(main())
+"""
+
+from .batching import Batcher, BatchingConfig, Submission
+from .client import ServingClient, ServingError
+from .protocol import HttpRequest
+from .server import ServingConfig, SolveServer
+
+__all__ = [
+    "Batcher",
+    "BatchingConfig",
+    "HttpRequest",
+    "ServingClient",
+    "ServingConfig",
+    "ServingError",
+    "SolveServer",
+    "Submission",
+]

@@ -1,0 +1,184 @@
+"""Blocking client for the solve server — stdlib ``http.client`` only.
+
+:class:`ServingClient` is both the reference implementation of the
+wire protocol (``docs/serving.md``) and the transport behind
+``repro-schedule submit``.  It opens one connection per request (the
+server closes connections after each response, so there is no pooling
+to manage) and raises :class:`ServingError` — carrying the documented
+machine-readable error ``code`` — whenever the server answers with an
+error envelope.
+
+Typical use::
+
+    from repro.serving import ServingClient
+
+    client = ServingClient("http://127.0.0.1:8080")
+    response = client.solve(problem)              # synchronous
+    job = client.sweep(problem, budgets=[10, 12, 16],
+                       levels=[4, 8])             # asynchronous
+    for event in client.events(job["job"]):       # NDJSON live tail
+        print(event)
+    points = client.job(job["job"])["points"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from typing import Any, Iterator, Mapping
+
+from ..core.problem import SchedulingProblem
+from ..errors import ReproError
+from ..io.requests import solve_request_to_dict
+
+__all__ = ["ServingClient", "ServingError"]
+
+
+class ServingError(ReproError):
+    """The server answered with a documented error envelope."""
+
+    def __init__(self, code: str, message: str, http_status: int):
+        super().__init__(f"[{code}] {message} (HTTP {http_status})")
+        self.code = code
+        self.http_status = http_status
+
+
+class ServingClient:
+    """Talk to a :class:`~repro.serving.server.SolveServer`."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8080",
+                 timeout: float = 60.0):
+        parsed = urllib.parse.urlparse(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ReproError(
+                f"only http:// servers are supported, "
+                f"got {base_url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8080
+        self.timeout = timeout
+
+    # -- low-level -----------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def request(self, method: str, path: str,
+                body: "Mapping[str, Any] | None" = None) \
+            -> "tuple[int, Any]":
+        """One round trip; returns ``(http_status, parsed_body)``.
+
+        JSON responses are parsed; anything else comes back as text.
+        Does not raise on error statuses — :meth:`checked` does.
+        """
+        connection = self._connect()
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                return response.status, json.loads(raw)
+            return response.status, raw.decode("utf-8")
+        finally:
+            connection.close()
+
+    def checked(self, method: str, path: str,
+                body: "Mapping[str, Any] | None" = None) -> Any:
+        """Like :meth:`request` but raises :class:`ServingError` on
+        an error envelope (any non-2xx status)."""
+        status, document = self.request(method, path, body)
+        if 200 <= status < 300:
+            return document
+        if isinstance(document, Mapping) \
+                and isinstance(document.get("error"), Mapping):
+            error = document["error"]
+            raise ServingError(error.get("code", "internal"),
+                               error.get("message", ""), status)
+        raise ServingError("internal", str(document)[:200], status)
+
+    # -- API surface ---------------------------------------------------
+
+    def solve(self, problem: SchedulingProblem,
+              p_max: "float | None" = None,
+              p_min: "float | None" = None,
+              seed: "int | None" = None,
+              deadline_ms: "int | None" = None) -> "dict[str, Any]":
+        """Synchronous ``POST /v1/solve``; returns the response
+        document (its ``points`` list holds the solved rows)."""
+        body = solve_request_to_dict(problem, p_max=p_max,
+                                     p_min=p_min, seed=seed,
+                                     deadline_ms=deadline_ms)
+        return self.checked("POST", "/v1/solve", body)
+
+    def sweep(self, problem: SchedulingProblem,
+              budgets: "list[float] | None" = None,
+              levels: "list[float] | None" = None,
+              points: "list[tuple[float, float]] | None" = None,
+              seed: "int | None" = None,
+              deadline_ms: "int | None" = None) -> "dict[str, Any]":
+        """Asynchronous ``POST /v1/sweep``; returns the ``202``
+        acknowledgement (``{"job": "j-...", "status": "queued"}``)."""
+        body = solve_request_to_dict(problem, budgets=budgets,
+                                     levels=levels, points=points,
+                                     seed=seed,
+                                     deadline_ms=deadline_ms)
+        return self.checked("POST", "/v1/sweep", body)
+
+    def job(self, job_id: str) -> "dict[str, Any]":
+        """``GET /v1/jobs/{id}``: the job's status document."""
+        return self.checked("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> "dict[str, Any]":
+        """``DELETE /v1/jobs/{id}``: cancel; returns the status."""
+        return self.checked("DELETE", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str) -> "Iterator[dict[str, Any]]":
+        """``GET /v1/jobs/{id}/events``: yield NDJSON events live.
+
+        The first yielded record is the stream header
+        (``{"format": "repro-serve-events", "version": 1, ...}``);
+        the stream ends after the job's ``done`` event.
+        """
+        connection = self._connect()
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    document = json.loads(raw)
+                except ValueError:
+                    document = {}
+                error = document.get("error") or {}
+                raise ServingError(error.get("code", "internal"),
+                                   error.get("message", ""),
+                                   response.status)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str) -> "dict[str, Any]":
+        """Follow the event stream until the job resolves, then
+        return its final status document."""
+        for _event in self.events(job_id):
+            pass
+        return self.job(job_id)
+
+    def healthz(self) -> "dict[str, Any]":
+        """``GET /healthz``."""
+        return self.checked("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the raw Prometheus exposition text."""
+        return self.checked("GET", "/metrics")

@@ -1,0 +1,181 @@
+"""Minimal HTTP/1.1 over asyncio streams — the serving wire layer.
+
+The front-end speaks a deliberately small subset of HTTP/1.1, enough
+for the documented API (``docs/serving.md``) and nothing more:
+
+* request bodies must carry ``Content-Length`` (chunked uploads are
+  rejected as ``bad_request``);
+* every response closes the connection (``Connection: close``), so
+  there is no keep-alive or pipelining state to get wrong — clients
+  open one connection per request, which the stdlib ``http.client``
+  does naturally;
+* responses are either a complete JSON document (``Content-Length``
+  set) or an NDJSON stream (no length; the closing connection
+  delimits the stream).
+
+Parsing is size-capped everywhere (request line, header block, body)
+so a misbehaving client costs bounded memory.  All failures surface as
+:class:`~repro.io.requests.RequestError` values carrying the
+documented machine-readable error code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..io.requests import RequestError
+
+__all__ = ["HttpRequest", "read_request", "write_json",
+           "write_error", "start_ndjson", "send_ndjson_line",
+           "MAX_HEADER_BYTES", "DEFAULT_MAX_BODY"]
+
+#: Cap on the request line + header block, bytes.
+MAX_HEADER_BYTES = 16 * 1024
+#: Default cap on a request body, bytes (a problem document of
+#: thousands of tasks fits comfortably).
+DEFAULT_MAX_BODY = 4 * 1024 * 1024
+
+_STATUS_PHRASES = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, headers, raw body."""
+
+    method: str
+    path: str
+    headers: "dict[str, str]" = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body as JSON; ``bad_request`` on a parse failure."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RequestError("bad_request",
+                               f"body is not valid JSON: {exc}") \
+                from exc
+
+
+async def read_request(reader,
+                       max_body: int = DEFAULT_MAX_BODY) \
+        -> "HttpRequest | None":
+    """Parse one HTTP request off ``reader``.
+
+    Returns ``None`` when the client closed the connection before
+    sending anything; raises :class:`RequestError` for anything
+    malformed or over-size.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except Exception as exc:  # IncompleteRead, LimitOverrun, reset
+        name = type(exc).__name__
+        if name == "IncompleteReadError" and not exc.partial:
+            return None
+        if name == "LimitOverrunError":
+            raise RequestError("payload_too_large",
+                               "header block exceeds the size cap") \
+                from exc
+        return None
+    if len(head) > MAX_HEADER_BYTES:
+        raise RequestError("payload_too_large",
+                           "header block exceeds the size cap")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise RequestError("bad_request",
+                           f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    path = target.split("?", 1)[0]
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise RequestError("bad_request",
+                               f"malformed header line: {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding"):
+        raise RequestError(
+            "bad_request",
+            "chunked request bodies are not supported; "
+            "send Content-Length")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise RequestError(
+                "bad_request",
+                f"invalid Content-Length: {length_header!r}") from exc
+        if length < 0:
+            raise RequestError("bad_request",
+                               f"invalid Content-Length: {length}")
+        if length > max_body:
+            raise RequestError(
+                "payload_too_large",
+                f"body of {length} bytes exceeds the "
+                f"{max_body}-byte cap")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except Exception:  # noqa: BLE001 - client went away
+                return None
+    return HttpRequest(method=method, path=path, headers=headers,
+                       body=body)
+
+
+def _head(status: int, content_type: str,
+          length: "int | None") -> bytes:
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def write_json(writer, status: int,
+               document: "Mapping[str, Any]") -> None:
+    """Send a complete JSON response (does not close the writer)."""
+    payload = (json.dumps(document, sort_keys=False) + "\n") \
+        .encode("utf-8")
+    writer.write(_head(status, "application/json", len(payload)))
+    writer.write(payload)
+
+
+def write_text(writer, status: int, text: str,
+               content_type: str = "text/plain; version=0.0.4") \
+        -> None:
+    """Send a complete plain-text response (e.g. ``/metrics``)."""
+    payload = text.encode("utf-8")
+    writer.write(_head(status, content_type, len(payload)))
+    writer.write(payload)
+
+
+def write_error(writer, error: RequestError) -> None:
+    """Send the documented error envelope for ``error``."""
+    from ..io.requests import error_envelope
+    write_json(writer, error.http_status, error_envelope(error))
+
+
+def start_ndjson(writer, status: int = 200) -> None:
+    """Open an NDJSON stream (connection-close delimited)."""
+    writer.write(_head(status, "application/x-ndjson", None))
+
+
+def send_ndjson_line(writer, record: "Mapping[str, Any]") -> None:
+    """Append one NDJSON record to an open stream."""
+    writer.write((json.dumps(record, sort_keys=False) + "\n")
+                 .encode("utf-8"))

@@ -1,0 +1,353 @@
+"""The async solve server: JSON-over-HTTP front-end to the engine.
+
+One :class:`SolveServer` owns one event loop's worth of state: a
+listening socket (``asyncio.start_server`` — pure stdlib), a
+:class:`~repro.serving.batching.Batcher` feeding a shared
+:class:`~repro.engine.runner.BatchRunner` (result cache and, when
+enabled, validity-range schedule store attached), a bounded job
+registry, and a :class:`~repro.obs.metrics.MetricsRegistry` exported at
+``/metrics`` in Prometheus text form.
+
+Endpoints (the authoritative, conformance-tested reference is
+``docs/serving.md``):
+
+=========================== ========================================
+``POST /v1/solve``          synchronous: one problem, one (or a few)
+                            points; the response carries the solved
+                            rows
+``POST /v1/sweep``          asynchronous: returns ``202`` with a job
+                            id immediately
+``GET /v1/jobs/{id}``       job status / results document
+``GET /v1/jobs/{id}/events`` NDJSON progress stream
+                            (``repro-serve-events`` v1)
+``DELETE /v1/jobs/{id}``    cancel a queued or running job
+``GET /healthz``            liveness + queue depths
+``GET /metrics``            Prometheus text exposition
+=========================== ========================================
+
+Shutdown is a *drain*: :meth:`SolveServer.shutdown` stops admission
+(new solve/sweep requests get ``503 shutting_down``), runs every
+already-accepted job to completion, optionally writes the server trace
+document, and only then closes the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..engine import BatchRunner, RunnerConfig, ScheduleStore
+from ..io.requests import (RequestError, error_envelope,
+                           response_envelope, solve_request_from_dict)
+from ..io.requests import EVENTS_FORMAT, EVENTS_VERSION
+from ..obs import MetricsRegistry, prometheus_text, span
+from .batching import Batcher, BatchingConfig, Submission
+from .protocol import (DEFAULT_MAX_BODY, HttpRequest, read_request,
+                       send_ndjson_line, start_ndjson, write_error,
+                       write_json, write_text)
+
+__all__ = ["ServingConfig", "SolveServer"]
+
+#: Finished submissions kept in the job registry for later
+#: ``GET /v1/jobs/{id}`` lookups; the oldest are evicted beyond this.
+JOB_RETENTION = 1024
+
+
+@dataclass
+class ServingConfig:
+    """Everything an operator tunes on a solve server.
+
+    Attributes
+    ----------
+    host / port:
+        Listening address.  Port ``0`` binds an ephemeral port
+        (``SolveServer.port`` reports the actual one).
+    max_batch / max_wait_ms / queue_limit:
+        Micro-batching knobs — see
+        :class:`~repro.serving.batching.BatchingConfig`.
+    workers:
+        Worker processes for the underlying engine batch (``0`` =
+        solve in the server process).
+    reuse_schedules / reuse_policy / store_path:
+        Attach the validity-range schedule store (paper Section 5.3)
+        so covered points are served without re-solving;
+        ``store_path`` additionally loads the store at startup and
+        writes it back on shutdown.
+    max_body:
+        Request body cap, bytes (``payload_too_large`` beyond it).
+    trace_path:
+        When set, shutdown writes a ``repro-serve-trace`` JSON
+        document (metrics snapshot + per-job summaries) here.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch: int = 16
+    max_wait_ms: float = 10.0
+    queue_limit: int = 256
+    workers: int = 0
+    reuse_schedules: bool = False
+    reuse_policy: str = "identical"
+    store_path: "str | None" = None
+    max_body: int = DEFAULT_MAX_BODY
+    trace_path: "str | None" = None
+
+    def batching(self) -> BatchingConfig:
+        return BatchingConfig(max_batch=self.max_batch,
+                              max_wait_ms=self.max_wait_ms,
+                              queue_limit=self.queue_limit)
+
+
+class SolveServer:
+    """Serve solve requests over HTTP; see the module docstring."""
+
+    def __init__(self, config: "ServingConfig | None" = None,
+                 runner: "BatchRunner | None" = None):
+        self.config = config or ServingConfig()
+        if runner is not None:
+            self.runner = runner
+        else:
+            store = None
+            reuse = self.config.reuse_schedules \
+                or bool(self.config.store_path)
+            if self.config.store_path \
+                    and os.path.exists(self.config.store_path):
+                store = ScheduleStore.read(
+                    self.config.store_path,
+                    policy=self.config.reuse_policy)
+            self.runner = BatchRunner(
+                RunnerConfig(workers=self.config.workers,
+                             reuse_schedules=reuse,
+                             reuse_policy=self.config.reuse_policy),
+                store=store)
+        self.metrics = MetricsRegistry()
+        self.batcher = Batcher(self.runner, self.config.batching(),
+                               registry=self.metrics)
+        self.jobs: "dict[str, Submission]" = {}
+        self._job_counter = 0
+        self._server: "asyncio.AbstractServer | None" = None
+        self.port: "int | None" = None
+        self.started_unix = time.time()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the dispatch loop."""
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host,
+            self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Drain: finish accepted jobs, persist state, close."""
+        await self.batcher.drain()
+        if self.config.store_path and self.runner.store is not None:
+            self.runner.store.write(self.config.store_path)
+        if self.config.trace_path:
+            self.write_trace(self.config.trace_path)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def write_trace(self, path: str) -> None:
+        """The ``repro-serve-trace`` v1 document: metrics + jobs."""
+        doc = {
+            "format": "repro-serve-trace",
+            "version": 1,
+            "started_unix": round(self.started_unix, 3),
+            "batches": self.batcher.batches,
+            "metrics": self.metrics.snapshot(),
+            "jobs": [
+                {"job": submission.id, "status": submission.status,
+                 "points": len(submission.jobs),
+                 "elapsed_ms": submission.elapsed_ms()}
+                for submission in self.jobs.values()],
+        }
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(doc, indent=1, sort_keys=False)
+                         + "\n")
+
+    # -- submission plumbing -------------------------------------------
+
+    def _admit(self, request: HttpRequest) -> Submission:
+        """Parse, validate, and enqueue one solve/sweep request."""
+        parsed = solve_request_from_dict(request.json())
+        self._job_counter += 1
+        submission = Submission(f"j-{self._job_counter:06d}", parsed,
+                                asyncio.get_running_loop())
+        self.batcher.submit(submission)  # may raise 429/503
+        self.jobs[submission.id] = submission
+        self.metrics.counter("serving.jobs.accepted").inc()
+        self.metrics.histogram("serving.job.points") \
+            .observe(len(submission.jobs))
+        while len(self.jobs) > JOB_RETENTION:
+            oldest = next(iter(self.jobs))
+            if self.jobs[oldest].status in ("done", "cancelled",
+                                            "error"):
+                del self.jobs[oldest]
+            else:
+                break
+        return submission
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await read_request(reader,
+                                             self.config.max_body)
+            except RequestError as exc:
+                write_error(writer, exc)
+                return
+            if request is None:
+                return
+            self.metrics.counter("serving.http.requests").inc()
+            try:
+                with span("serving.request",
+                          method=request.method, path=request.path):
+                    await self._route(request, reader, writer)
+            except RequestError as exc:
+                self.metrics.counter("serving.http.errors").inc()
+                write_error(writer, exc)
+            except Exception as exc:  # noqa: BLE001 - 500, not a crash
+                self.metrics.counter("serving.http.errors").inc()
+                write_error(writer, RequestError(
+                    "internal", f"{type(exc).__name__}: {exc}"))
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - peer already gone
+                pass
+
+    async def _route(self, request: HttpRequest, reader,
+                     writer) -> None:
+        method, path = request.method, request.path
+        if path == "/healthz":
+            self._require(method, "GET")
+            write_json(writer, 200, self._health_doc())
+            return
+        if path == "/metrics":
+            self._require(method, "GET")
+            write_text(writer, 200,
+                       prometheus_text(self.metrics.snapshot()))
+            return
+        if path == "/v1/solve":
+            self._require(method, "POST")
+            await self._handle_solve(request, writer)
+            return
+        if path == "/v1/sweep":
+            self._require(method, "POST")
+            submission = self._admit(request)
+            write_json(writer, 202, submission.to_response())
+            return
+        if path.startswith("/v1/jobs/"):
+            await self._route_job(request, writer)
+            return
+        raise RequestError("not_found", f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise RequestError(
+                "method_not_allowed",
+                f"use {expected} for this endpoint, not {method}")
+
+    def _health_doc(self) -> "dict":
+        live = [s for s in self.jobs.values()
+                if s.status in ("queued", "running")]
+        return {
+            "status": "draining" if self.batcher.draining else "ok",
+            "draining": self.batcher.draining,
+            "queued_jobs": self.batcher.queued_jobs,
+            "live_submissions": len(live),
+            "batches": self.batcher.batches,
+        }
+
+    async def _handle_solve(self, request: HttpRequest,
+                            writer) -> None:
+        """``POST /v1/solve``: admit, await completion, answer."""
+        submission = self._admit(request)
+        timeout = None
+        if submission.deadline is not None:
+            timeout = max(0.0, submission.deadline
+                          - asyncio.get_running_loop().time())
+        try:
+            await asyncio.wait_for(submission.done.wait(), timeout)
+        except asyncio.TimeoutError:
+            submission.expire()
+        if submission.status == "done":
+            self.metrics.histogram("serving.solve.seconds").observe(
+                submission.elapsed_ms() / 1000.0)
+            write_json(writer, 200, submission.to_response())
+            return
+        error = submission.error or RequestError(
+            "internal", f"job ended as {submission.status}")
+        doc = error_envelope(error)
+        doc["job"] = submission.id
+        self.metrics.counter("serving.http.errors").inc()
+        write_json(writer, error.http_status, doc)
+
+    async def _route_job(self, request: HttpRequest, writer) -> None:
+        parts = request.path.strip("/").split("/")
+        # "/v1/jobs/{id}" -> [v1, jobs, id]; +"/events" -> 4 parts
+        if len(parts) < 3 or len(parts) > 4:
+            raise RequestError("not_found",
+                               f"no route for {request.path!r}")
+        submission = self.jobs.get(parts[2])
+        if submission is None:
+            raise RequestError("not_found",
+                               f"unknown job {parts[2]!r}")
+        if len(parts) == 4:
+            if parts[3] != "events":
+                raise RequestError("not_found",
+                                   f"no route for {request.path!r}")
+            self._require(request.method, "GET")
+            await self._stream_events(submission, writer)
+            return
+        if request.method == "DELETE":
+            was_live = submission.cancel()
+            if was_live:
+                self.metrics.counter("serving.jobs.cancelled").inc()
+            write_json(writer, 200, submission.to_response())
+            return
+        self._require(request.method, "GET")
+        write_json(writer, 200, submission.to_response())
+
+    async def _stream_events(self, submission: Submission,
+                             writer) -> None:
+        """``GET /v1/jobs/{id}/events``: replay + live-tail NDJSON."""
+        start_ndjson(writer, 200)
+        send_ndjson_line(writer, {
+            "format": EVENTS_FORMAT, "version": EVENTS_VERSION,
+            "job": submission.id, "status": submission.status,
+        })
+        cursor = 0
+        while True:
+            limit = await submission.wait_events(cursor)
+            for event in submission.events[cursor:limit]:
+                send_ndjson_line(writer, {"job": submission.id,
+                                          **event})
+            cursor = limit
+            try:
+                await writer.drain()
+            except Exception:  # noqa: BLE001 - client hung up
+                return
+            if submission.done.is_set() \
+                    and cursor >= len(submission.events):
+                return
