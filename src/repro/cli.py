@@ -13,7 +13,13 @@ Subcommands:
 * ``sweep FILE`` — batch-solve a (P_max, P_min) sweep, optionally
   across worker processes, with ``--trace`` / ``--instrument`` run
   traces and ``--reuse-schedules`` / ``--store`` validity-range
-  schedule reuse (Section 5.3).
+  schedule reuse (Section 5.3); ``--backend shards|remote`` fans the
+  grid out over worker subprocesses or running solve servers.
+* ``shard plan|run|merge`` — the sharded-sweep workflow piecewise:
+  partition a grid into ``repro-shard-manifest`` files, execute one
+  manifest into a self-contained ``repro-shard-artifact``, and fold
+  artifacts back into one merged result table / trace / store
+  (``docs/sharding.md``).
 * ``table show|export PATH`` — inspect a saved schedule store:
   Fig.-7-style validity-range lines, or JSON/CSV conversion.
 * ``trace summarize|export PATH`` — digest or convert a saved
@@ -131,6 +137,94 @@ def build_parser() -> argparse.ArgumentParser:
                        help="schedule-store JSON: loaded before the "
                             "sweep when it exists, written back after "
                             "(implies --reuse-schedules)")
+    sweep.add_argument("--backend",
+                       choices=["local", "shards", "remote"],
+                       default="local",
+                       help="where grid points solve: in this process "
+                            "or a pool (local, default), across N "
+                            "'shard run' subprocesses (shards), or on "
+                            "running solve servers (remote, needs "
+                            "--servers)")
+    sweep.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard count for --backend shards/remote "
+                            "(default: 2, or one per --servers URL)")
+    sweep.add_argument("--shard-strategy",
+                       choices=["tile", "round_robin"], default="tile",
+                       help="grid partition: contiguous power-plane "
+                            "tiles maximizing in-shard schedule reuse "
+                            "(default) or round-robin dealing")
+    sweep.add_argument("--servers", default="", metavar="URL[,URL...]",
+                       help="comma-separated solve-server base URLs "
+                            "for --backend remote")
+    sweep.add_argument("--lp-log-factor", type=int, default=None,
+                       metavar="K",
+                       help="override the constraint graph's add-log "
+                            "trim bound multiplier for every job "
+                            "(watch lp_cache_log_evictions in the "
+                            "trace to see when the window is too "
+                            "small)")
+
+    shard = sub.add_parser(
+        "shard",
+        help="plan, execute, and merge sharded sweeps "
+             "(docs/sharding.md)")
+    shard_sub = shard.add_subparsers(dest="shard_command",
+                                     required=True)
+    shard_plan = shard_sub.add_parser(
+        "plan", help="partition a (P_max, P_min) grid into shard "
+                     "manifest files")
+    shard_plan.add_argument("file", help="problem file path")
+    shard_plan.add_argument("--budgets", required=True,
+                            help="comma-separated P_max values")
+    shard_plan.add_argument("--levels", default="",
+                            help="comma-separated P_min values "
+                                 "(default: the problem's own P_min)")
+    shard_plan.add_argument("--shards", type=int, default=2,
+                            metavar="N",
+                            help="number of shards (default 2)")
+    shard_plan.add_argument("--strategy",
+                            choices=["tile", "round_robin"],
+                            default="tile",
+                            help="partition strategy (default tile)")
+    shard_plan.add_argument("--out-dir", required=True, metavar="DIR",
+                            help="directory for shard_<i>.json "
+                                 "manifests")
+    shard_plan.add_argument("--seed", type=int, default=None,
+                            help="heuristic seed baked into every "
+                                 "planned job")
+    shard_plan.add_argument("--reuse-schedules", action="store_true",
+                            help="shard workers run with a "
+                                 "validity-range schedule store")
+    shard_plan.add_argument("--reuse-policy",
+                            choices=["identical", "valid"],
+                            default="identical",
+                            help="store policy for the shard workers")
+    shard_plan.add_argument("--instrument", action="store_true",
+                            help="shard workers record spans + "
+                                 "metrics into their artifacts")
+    shard_plan.add_argument("--lp-log-factor", type=int, default=None,
+                            metavar="K",
+                            help="add-log trim bound override for the "
+                                 "shard workers")
+    shard_run = shard_sub.add_parser(
+        "run", help="execute one shard manifest into an artifact")
+    shard_run.add_argument("manifest", help="shard manifest JSON file")
+    shard_run.add_argument("--artifact", required=True, metavar="PATH",
+                           help="where to write the "
+                                "repro-shard-artifact JSON")
+    shard_merge = shard_sub.add_parser(
+        "merge", help="fold shard artifacts into one merged run")
+    shard_merge.add_argument("artifacts", nargs="+",
+                             help="shard artifact JSON files")
+    shard_merge.add_argument("--reuse-policy",
+                             choices=["identical", "valid"],
+                             default="identical",
+                             help="policy of the merged store")
+    shard_merge.add_argument("--trace", metavar="PATH",
+                             help="write the merged repro-trace v2 "
+                                  "document")
+    shard_merge.add_argument("--store", metavar="PATH",
+                             help="write the merged schedule store")
 
     table = sub.add_parser(
         "table",
@@ -246,6 +340,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_diagnose(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "shard":
+            return _cmd_shard(args)
         if args.command == "table":
             return _cmd_table(args)
         if args.command == "trace":
@@ -300,12 +396,28 @@ def _cmd_sweep(args) -> int:
     if args.store and os.path.exists(args.store):
         store = ScheduleStore.read(args.store,
                                    policy=args.reuse_policy)
+    backend = None
+    if args.backend == "shards":
+        from .engine.backends import SubprocessShardBackend
+        backend = SubprocessShardBackend(
+            shards=args.shards if args.shards else 2,
+            strategy=args.shard_strategy)
+    elif args.backend == "remote":
+        from .engine.backends import RemoteBackend
+        servers = [token.strip() for token in args.servers.split(",")
+                   if token.strip()]
+        if not servers:
+            raise ReproError("--backend remote requires "
+                             "--servers URL[,URL...]")
+        backend = RemoteBackend(servers, shards=args.shards,
+                                strategy=args.shard_strategy)
     runner = BatchRunner(RunnerConfig(workers=max(0, args.parallel),
                                       trace_path=args.trace,
                                       instrument=args.instrument,
                                       reuse_schedules=reuse,
-                                      reuse_policy=args.reuse_policy),
-                         store=store)
+                                      reuse_policy=args.reuse_policy,
+                                      lp_log_factor=args.lp_log_factor),
+                         store=store, backend=backend)
     if args.levels:
         levels = [float(token) for token in args.levels.split(",")]
         points = sweep_grid(problem, budgets, levels, runner=runner)
@@ -336,6 +448,93 @@ def _cmd_sweep(args) -> int:
         runner.store.write(args.store)
         print(f"wrote {args.store}")
     return 0
+
+
+def _cmd_shard(args) -> int:
+    if args.shard_command == "plan":
+        return _cmd_shard_plan(args)
+    if args.shard_command == "run":
+        return _cmd_shard_run(args)
+    return _cmd_shard_merge(args)
+
+
+def _cmd_shard_plan(args) -> int:
+    from .engine.planner import SweepSpec, plan_shards
+    from .io.shards import save_manifest
+    problem = _load(args.file)
+    budgets = [float(token) for token in args.budgets.split(",")]
+    levels = ([float(token) for token in args.levels.split(",")]
+              if args.levels else [problem.p_min])
+    options = (SchedulerOptions(seed=args.seed)
+               if args.seed is not None else None)
+    spec = SweepSpec.grid(problem, budgets, levels, options=options,
+                          name=problem.name)
+    jobs = spec.jobs()
+    runner_doc = {"retries": 1,
+                  "reuse_schedules": args.reuse_schedules,
+                  "reuse_policy": args.reuse_policy,
+                  "instrument": args.instrument,
+                  "lp_log_factor": args.lp_log_factor}
+    plan = plan_shards(jobs, max(1, args.shards), args.strategy,
+                       sweep=problem.name, runner=runner_doc)
+    os.makedirs(args.out_dir, exist_ok=True)
+    for manifest in plan:
+        path = os.path.join(args.out_dir,
+                            f"shard_{manifest.index}.json")
+        save_manifest(manifest, path)
+        print(f"wrote {path} ({len(manifest)} jobs)")
+    print(f"planned {len(jobs)} jobs "
+          f"({len(budgets)}x{len(levels)} grid) into "
+          f"{plan.shards} shards, strategy={plan.strategy}")
+    return 0
+
+
+def _cmd_shard_run(args) -> int:
+    from .engine.backends.shards import run_manifest
+    from .io.shards import load_manifest, save_artifact
+    manifest = load_manifest(args.manifest)
+    artifact = run_manifest(manifest)
+    save_artifact(artifact, args.artifact)
+    failed = sum(1 for result in artifact.results if not result.ok)
+    print(f"shard {manifest.index + 1}/{manifest.of}: "
+          f"{len(artifact.results)} jobs, {failed} failed, "
+          f"{len(artifact.store_delta)} new store entries")
+    print(f"wrote {args.artifact}")
+    return 0
+
+
+def _cmd_shard_merge(args) -> int:
+    from .engine.merge import merge_artifacts
+    from .io.shards import load_artifact
+    artifacts = [load_artifact(path) for path in args.artifacts]
+    merged = merge_artifacts(artifacts, policy=args.reuse_policy)
+    rows = []
+    failures = []
+    for result in merged.results:
+        if result.ok and result.value is not None \
+                and hasattr(result.value, "row"):
+            rows.append(result.value.row())
+        elif not result.ok:
+            failures.append(result)
+    if rows:
+        print(format_table(
+            rows, title=f"== merged results "
+                        f"({len(artifacts)} shards) =="))
+    run = merged.trace.run
+    print(f"merged: {run['jobs']} jobs from {run['shards']} shards, "
+          f"{run['unique_solved']} solved, "
+          f"{len(failures)} failed, {run['elapsed_s']:.2f}s slowest "
+          f"shard")
+    for result in failures:
+        print(f"  position {result.position} failed: {result.error}",
+              file=sys.stderr)
+    if args.trace:
+        merged.trace.write(args.trace)
+        print(f"wrote {args.trace}")
+    if args.store and merged.store is not None:
+        merged.store.write(args.store)
+        print(f"wrote {args.store}")
+    return 0 if not failures else 1
 
 
 def _cmd_table(args) -> int:

@@ -7,7 +7,8 @@ formulation.  The scheduling algorithms live in
 
 from .diagnose import (CycleExplanation, explain_infeasibility,
                        find_cycle)
-from .graph import ConstraintGraph, Edge
+from .graph import (ADD_LOG_FACTOR, ConstraintGraph, Edge,
+                    add_log_factor, set_add_log_factor)
 from .longest_path import (LongestPathResult, earliest_starts,
                            latest_starts, longest_paths)
 from .phased import (add_phased_task, is_phase_of, phase_names,
@@ -25,6 +26,7 @@ from .validation import (ValidationReport, Violation, assert_power_valid,
                          check_time_valid)
 
 __all__ = [
+    "ADD_LOG_FACTOR",
     "ANCHOR_NAME",
     "ConstraintGraph",
     "CycleExplanation",
@@ -41,6 +43,7 @@ __all__ = [
     "UNBOUNDED_SLACK",
     "ValidationReport",
     "Violation",
+    "add_log_factor",
     "add_phased_task",
     "assert_power_valid",
     "assert_time_valid",
@@ -59,6 +62,7 @@ __all__ = [
     "phase_names",
     "phased_start",
     "power_jitter",
+    "set_add_log_factor",
     "slack",
     "slack_table",
 ]

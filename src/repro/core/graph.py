@@ -31,10 +31,46 @@ from ..errors import GraphError
 from .resource import Resource, ResourcePool
 from .task import ANCHOR_NAME, Task
 
-__all__ = ["Edge", "ConstraintGraph"]
+__all__ = ["Edge", "ConstraintGraph", "ADD_LOG_FACTOR",
+           "add_log_factor", "set_add_log_factor"]
 
 #: Sentinel for "no constraint" when querying separations.
 _NO_EDGE = object()
+
+#: Default trim bound multiplier for the incremental-longest-path add
+#: log: ``add_edge`` trims ``_add_log`` once it exceeds
+#: ``factor * (tasks + 8)`` entries.  Larger factors keep more history
+#: (stale longest-path caches stay on the incremental fast path longer)
+#: at the cost of memory; trimming can only cost speed, never
+#: correctness.  Override per run with :func:`set_add_log_factor` or the
+#: ``lp_log_factor`` field of ``repro.engine.RunnerConfig``.
+ADD_LOG_FACTOR = 4
+
+_add_log_factor = ADD_LOG_FACTOR
+
+
+def add_log_factor() -> int:
+    """The process-wide add-log trim bound multiplier currently in force."""
+    return _add_log_factor
+
+
+def set_add_log_factor(factor: "int | None") -> int:
+    """Set the add-log trim bound multiplier; returns the previous value.
+
+    ``None`` restores the default (:data:`ADD_LOG_FACTOR`).  The factor
+    must be a positive integer.  Per-process state: worker processes
+    each set their own copy (see ``repro.engine.jobs.run_job``).
+    """
+    global _add_log_factor
+    if factor is None:
+        factor = ADD_LOG_FACTOR
+    if not isinstance(factor, int) or isinstance(factor, bool) \
+            or factor < 1:
+        raise GraphError(
+            f"add-log factor must be a positive integer, got {factor!r}")
+    previous = _add_log_factor
+    _add_log_factor = factor
+    return previous
 
 
 @dataclass(frozen=True)
@@ -211,7 +247,7 @@ class ConstraintGraph:
         self._in[dst].add(src)
         self._version += 1
         self._add_log.append((self._version, src, dst, weight))
-        if len(self._add_log) > 4 * (len(self._tasks) + 8):
+        if len(self._add_log) > _add_log_factor * (len(self._tasks) + 8):
             # Bounded log: drop the older half.  The longest-path solver
             # only takes its incremental fast path when the log covers
             # *every* version since its cache (it checks

@@ -38,7 +38,8 @@ __all__ = ["LongestPathResult", "longest_paths", "earliest_starts",
 # solver runs under the GIL.
 # ----------------------------------------------------------------------
 
-_COUNTERS = {"cache_hits": 0, "incremental_runs": 0, "full_runs": 0}
+_COUNTERS = {"cache_hits": 0, "incremental_runs": 0, "full_runs": 0,
+             "log_evictions": 0}
 
 
 def lp_counter_snapshot() -> "dict[str, int]":
@@ -138,6 +139,14 @@ def longest_paths(graph: ConstraintGraph) -> LongestPathResult:
                     return LongestPathResult(
                         distance=dict(result.distance),
                         predecessor=dict(result.predecessor))
+            else:
+                # Invariants 1 and 2 held but the add log no longer
+                # covers every version since the cache: the cache fell
+                # out of the trimmed log window (graph.py's bounded
+                # ``_add_log``).  Count it so workloads can tell these
+                # forced recomputes apart from genuinely invalidated
+                # caches (removals / rollbacks / new vertices).
+                _COUNTERS["log_evictions"] += 1
     try:
         _COUNTERS["full_runs"] += 1
         if OBS.enabled:

@@ -28,35 +28,72 @@ that exploration cheap and measurable at scale:
   :mod:`repro.obs` span tree and metric snapshot, with worker-process
   spans re-parented under their job spans.
 
+Since PR 5 the engine is layered as **plan → execute → merge**:
+:mod:`~repro.engine.planner` turns sweep specs into ordered job lists
+and partitions them into shard manifests (locality-aware ``tile`` or
+``round_robin``); :mod:`~repro.engine.backends` is the dispatch seam —
+the in-process :class:`~repro.engine.backends.LocalBackend` (default),
+the :class:`~repro.engine.backends.SubprocessShardBackend`, and the
+HTTP-driving :class:`~repro.engine.backends.RemoteBackend`; and
+:mod:`~repro.engine.merge` folds per-shard artifacts back into one
+run — results interleaved by position, traces re-rooted, store and
+cache deltas deduped.
+
 Determinism contract: for the same jobs and the same seeds, a parallel
 run returns results identical to a serial run — parallelism and caching
 only change *when* a point is solved, never *what* it resolves to.
+The differential tests extend this across backends: merged shard runs
+are indistinguishable from serial runs, point for point.
 """
 
+from .backends import (SNAPSHOT_MODES, BackendError, ExecutionBackend,
+                       LocalBackend, RemoteBackend,
+                       SubprocessShardBackend)
 from .cache import ResultCache
 from .hashing import (options_fingerprint, problem_base_key,
                       problem_key)
 from .jobs import (JobResult, SolveJob, derive_seed, register_kind,
                    run_job, solve_problems)
+from .merge import (MergedRun, canonical_store_doc, merge_artifacts,
+                    merge_results, merge_store_deltas, merge_traces)
+from .planner import (PARTITION_STRATEGIES, ShardManifest, ShardPlan,
+                      SweepSpec, plan_shards)
 from .runner import BatchRunner, RunnerConfig
 from .schedule_store import (REUSE_POLICIES, ScheduleStore,
                              StoredSchedule)
 from .trace import JobTrace, RunTrace, load_trace, read_trace
 
 __all__ = [
+    "BackendError",
     "BatchRunner",
+    "ExecutionBackend",
     "JobResult",
     "JobTrace",
+    "LocalBackend",
+    "MergedRun",
+    "PARTITION_STRATEGIES",
     "REUSE_POLICIES",
+    "RemoteBackend",
     "ResultCache",
     "RunTrace",
     "RunnerConfig",
+    "SNAPSHOT_MODES",
     "ScheduleStore",
+    "ShardManifest",
+    "ShardPlan",
     "SolveJob",
     "StoredSchedule",
+    "SubprocessShardBackend",
+    "SweepSpec",
+    "canonical_store_doc",
     "derive_seed",
     "load_trace",
+    "merge_artifacts",
+    "merge_results",
+    "merge_store_deltas",
+    "merge_traces",
     "options_fingerprint",
+    "plan_shards",
     "problem_base_key",
     "problem_key",
     "read_trace",

@@ -1,0 +1,27 @@
+"""Execution backends: where a :class:`BatchRunner`'s jobs run.
+
+The runner owns batch *policy* — keying, dedup, caching, schedule-store
+settlement, trace assembly; a backend owns *dispatch* — actually
+executing the deduplicated jobs.  The :class:`ExecutionBackend`
+protocol is the seam between the two:
+
+* :class:`LocalBackend` — the original in-process serial loop and
+  ``ProcessPoolExecutor`` path (with its silent serial fallback),
+* :class:`SubprocessShardBackend` — N ``repro shard run`` worker
+  processes, one per planner manifest, exchanging JSON artifacts,
+* :class:`RemoteBackend` — running ``repro serve`` instances driven
+  over the documented HTTP wire protocol.
+
+All three feed results through the same per-position contract, so the
+runner cannot tell them apart — which is exactly what the
+shard-count-invariance differential tests assert.
+"""
+
+from .base import SNAPSHOT_MODES, BackendError, ExecutionBackend
+from .local import LocalBackend
+from .remote import RemoteBackend
+from .shards import SubprocessShardBackend, run_manifest
+
+__all__ = ["ExecutionBackend", "BackendError", "SNAPSHOT_MODES",
+           "LocalBackend", "SubprocessShardBackend", "RemoteBackend",
+           "run_manifest"]

@@ -1,0 +1,80 @@
+"""The execution-backend seam: *where* the unique jobs of a batch run.
+
+:class:`~repro.engine.runner.BatchRunner` owns the policy around a
+batch — keying, dedup, the exact-key result cache, schedule-store
+priming and delta settlement, trace assembly.  An
+:class:`ExecutionBackend` owns only the mechanism in the middle: given
+the deduplicated ``(position, key, job)`` entries, produce one
+:class:`~repro.engine.jobs.JobResult` per entry.  Everything before and
+after the dispatch is backend-independent, which is what makes the
+sharded and remote execution paths drop-in: they fill the same
+``results`` dict and ship per-job reuse/obs payloads in the same
+``JobResult.stats`` slots the process-pool workers always used.
+
+Contract
+--------
+``run(entries, results, ...)`` must
+
+* put exactly one :class:`JobResult` into ``results`` for every entry,
+  keyed by the entry's *global* position (failures become ``ok=False``
+  results, never exceptions — one bad shard must not sink a batch);
+* call ``on_result`` (when given) once per produced result, in
+  completion order, from the calling thread;
+* return its *mode string* — recorded in the run trace and used by
+  ``BatchRunner._settle_reuse`` to decide whether schedule-store deltas
+  need merging: any mode in :data:`SNAPSHOT_MODES` means the jobs ran
+  against store *snapshots* (worker processes, shard subprocesses,
+  remote servers) whose new entries ship back through
+  ``stats["reuse"]["new_entries"]``; serial modes share the live store
+  and need no merge.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from ...errors import ReproError
+from ..jobs import JobResult, SolveJob
+
+__all__ = ["ExecutionBackend", "BackendError", "SNAPSHOT_MODES"]
+
+#: Mode strings indicating jobs ran against schedule-store snapshots
+#: (their new entries must be merged back into the parent store).
+SNAPSHOT_MODES = ("process", "shards", "remote")
+
+
+class BackendError(ReproError):
+    """A backend could not be set up or driven at all.
+
+    Per-job and per-shard failures are *results* (``ok=False``), not
+    exceptions; this error is reserved for configuration-level problems
+    — no servers given, a job mix the backend cannot express, a
+    partition request it cannot satisfy.
+    """
+
+
+class ExecutionBackend(ABC):
+    """Pluggable dispatch strategy for a batch's unique jobs."""
+
+    #: Short name, used as the default mode string and in CLI flags.
+    name = "backend"
+
+    @abstractmethod
+    def run(self, entries: "Sequence[tuple[int, str, SolveJob]]",
+            results: "dict[int, JobResult]", *,
+            config, store=None, instrument: bool = False,
+            on_result: "Callable[[JobResult], None] | None" = None) \
+            -> str:
+        """Execute ``entries``; fill ``results`` by global position.
+
+        ``config`` is the owning runner's
+        :class:`~repro.engine.runner.RunnerConfig`; ``store`` its live
+        :class:`~repro.engine.schedule_store.ScheduleStore` (already
+        primed for every entry), or ``None``.  Returns the mode string
+        (see the module docstring for the full contract).
+        """
+
+    def empty_mode(self, config) -> str:
+        """Mode string reported for a batch with no unique jobs."""
+        return self.name

@@ -1,0 +1,233 @@
+"""Remote execution: drive ``repro serve`` instances over HTTP.
+
+The batch's deduplicated jobs are partitioned exactly like the
+subprocess backend's (same planner, same strategies), but each shard is
+submitted to a running :class:`~repro.serving.server.SolveServer`
+through :class:`~repro.serving.client.ServingClient` instead of a
+worker process.  Within a shard, jobs sharing a workload collapse into
+one ``POST /v1/sweep`` request (one problem document, many points), so
+an N-point power sweep costs one upload of the problem, not N.
+
+Wire-protocol constraint: a solve request carries only the workload,
+the points, and an optional ``seed`` — not a full
+:class:`~repro.scheduling.base.SchedulerOptions`.  The backend
+therefore refuses (with :class:`BackendError`, before anything is
+submitted) any batch whose options do not reduce to
+``SchedulerOptions(seed=...)``: silently dropping options like
+``max_power_restarts`` would return answers a local run of the same
+jobs would not produce.
+
+Fault handling: a shard whose server dies mid-stream
+(:class:`~repro.serving.client.TruncatedStreamError`, connection
+errors) or sheds load (``queue_full``/HTTP 429,
+``shutting_down``/HTTP 503) is retried up to ``config.retries`` times,
+*reassigned* to the next server in the rotation on each retry; a shard
+that exhausts its retries degrades to per-job failed results, never an
+exception.  Hard request rejections (``bad_request`` and friends) fail
+the shard immediately — re-sending an invalid document is pointless.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from ...scheduling.base import SchedulerOptions
+from ..hashing import options_fingerprint, problem_base_key
+from ..jobs import JobResult, SolveJob
+from ..planner import PARTITION_STRATEGIES, ShardManifest, plan_shards
+from .base import BackendError, ExecutionBackend
+
+__all__ = ["RemoteBackend"]
+
+#: Error codes worth re-sending to another instance.  Everything else
+#: (``bad_request``, ``payload_too_large``, ...) would fail identically
+#: wherever it lands.
+RETRYABLE_CODES = ("queue_full", "shutting_down", "internal",
+                   "truncated_stream", "deadline_exceeded")
+
+
+class RemoteBackend(ExecutionBackend):
+    """Fan a batch out over running ``repro serve`` instances."""
+
+    name = "remote"
+
+    def __init__(self, servers: "Sequence[Any]",
+                 shards: "int | None" = None, strategy: str = "tile",
+                 timeout: float = 300.0):
+        from ...serving.client import ServingClient
+
+        if not servers:
+            raise BackendError("remote backend needs at least one "
+                               "server URL or client")
+        self.clients = [server if isinstance(server, ServingClient)
+                        else ServingClient(str(server), timeout=timeout)
+                        for server in servers]
+        self.shards = shards if shards is not None else len(self.clients)
+        if self.shards < 1:
+            raise BackendError(
+                f"shards must be >= 1, got {self.shards}")
+        if strategy not in PARTITION_STRATEGIES:
+            raise BackendError(
+                f"unknown partition strategy {strategy!r}; "
+                f"pick from {PARTITION_STRATEGIES}")
+        self.strategy = strategy
+        #: The plan of the most recent :meth:`run`.
+        self.last_plan = None
+
+    def run(self, entries: "Sequence[tuple[int, str, SolveJob]]",
+            results: "dict[int, JobResult]", *,
+            config, store=None, instrument: bool = False,
+            on_result: "Callable[[JobResult], None] | None" = None) \
+            -> str:
+        for _position, _key, job in entries:
+            self._check_wire_representable(job)
+        plan = plan_shards([(position, job)
+                            for position, _key, job in entries],
+                           self.shards, self.strategy)
+        self.last_plan = plan
+        key_of = {position: key for position, key, _job in entries}
+        busy = [manifest for manifest in plan if manifest.jobs]
+        if not busy:
+            return "remote"
+        with ThreadPoolExecutor(max_workers=len(busy)) as pool:
+            futures = [
+                pool.submit(self._run_shard, manifest, config,
+                            key_of, store is not None)
+                for manifest in busy]
+            for future in futures:
+                for result in future.result():
+                    results[result.position] = result
+                    if on_result is not None:
+                        on_result(result)
+        return "remote"
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_wire_representable(job: SolveJob) -> None:
+        """Refuse options the solve-request wire format cannot carry."""
+        if job.kind != "sweep_point":
+            raise BackendError(
+                f"remote backend only serves 'sweep_point' jobs, "
+                f"got kind {job.kind!r}")
+        if job.options is None:
+            return
+        seed = job.options.seed
+        reference = SchedulerOptions() if seed is None \
+            else SchedulerOptions(seed=seed)
+        if options_fingerprint(job.options) \
+                != options_fingerprint(reference):
+            raise BackendError(
+                "remote backend cannot represent these scheduler "
+                "options on the wire: solve requests carry only a "
+                "seed, and this batch sets non-default options "
+                "beyond it — run it with the local or shards backend "
+                "instead")
+
+    def _run_shard(self, manifest: ShardManifest, config, key_of,
+                   track_reuse: bool) -> "list[JobResult]":
+        """One shard: per-workload sweeps with retry-and-reassign."""
+        from ...serving.client import ServingError
+
+        attempts = 0
+        error = ""
+        while True:
+            client = self.clients[
+                (manifest.index + attempts) % len(self.clients)]
+            try:
+                return self._submit_shard(client, manifest, key_of,
+                                          track_reuse,
+                                          attempts=attempts + 1)
+            except ServingError as exc:
+                error = str(exc)
+                if exc.code not in RETRYABLE_CODES:
+                    break
+            except OSError as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            attempts += 1
+            if attempts > config.retries:
+                break
+        return [JobResult(position=position,
+                          key=key_of.get(position, ""),
+                          ok=False,
+                          error=f"remote shard {manifest.index} "
+                                f"failed: {error}",
+                          attempts=attempts + 1)
+                for position, _job in manifest.jobs]
+
+    def _submit_shard(self, client, manifest: ShardManifest, key_of,
+                      track_reuse: bool, attempts: int) \
+            -> "list[JobResult]":
+        """Submit one shard to one server; raises to trigger retry."""
+        groups: "dict[str, list[tuple[int, SolveJob]]]" = {}
+        for position, job in manifest.jobs:
+            base = problem_base_key(job.problem, job.options,
+                                    kind=job.kind)
+            groups.setdefault(base, []).append((position, job))
+        out: "list[JobResult]" = []
+        for members in groups.values():
+            _pos0, first = members[0]
+            seed = first.options.seed if first.options is not None \
+                else None
+            acknowledgement = client.sweep(
+                first.problem,
+                points=[(job.problem.p_max, job.problem.p_min)
+                        for _position, job in members],
+                seed=seed)
+            status = client.wait(acknowledgement["job"])
+            out.extend(self._collect(status, members, key_of,
+                                     track_reuse, attempts))
+        return out
+
+    def _collect(self, status, members, key_of, track_reuse,
+                 attempts) -> "list[JobResult]":
+        from ...analysis.sweep import SweepPoint
+        from ...serving.client import ServingError
+
+        if status.get("status") != "done":
+            error = status.get("error") or {}
+            raise ServingError(error.get("code", "internal"),
+                               error.get("message",
+                                         f"job ended with status "
+                                         f"{status.get('status')!r}"),
+                               0)
+        rows = status.get("points") or []
+        if len(rows) != len(members):
+            raise ServingError(
+                "internal",
+                f"server returned {len(rows)} points for "
+                f"{len(members)} requested", 0)
+        out = []
+        for row, (position, job) in zip(rows, members):
+            if (row.get("p_max") != job.problem.p_max
+                    or row.get("p_min") != job.problem.p_min):
+                raise ServingError(
+                    "internal",
+                    f"point order mismatch at position {position}: "
+                    f"asked ({job.problem.p_max}, "
+                    f"{job.problem.p_min}), got ({row.get('p_max')}, "
+                    f"{row.get('p_min')})", 0)
+            # Rebuild the payload on the *request's* exact power pair:
+            # the wire normalizes points to float, and bit-for-bit
+            # parity with a local run matters more than echoing the
+            # server's representation.
+            value = SweepPoint(
+                p_max=job.problem.p_max, p_min=job.problem.p_min,
+                feasible=bool(row.get("feasible")),
+                finish_time=row.get("finish_time"),
+                energy_cost=row.get("energy_cost"),
+                utilization=row.get("utilization"),
+                peak_power=row.get("peak_power"))
+            stats: "dict[str, Any]" = {}
+            if track_reuse:
+                # The server ran against its own store; mirror its
+                # reuse verdict so the parent's trace and counters
+                # reflect what actually happened remotely.
+                stats["reuse"] = {"hit": bool(row.get("reused"))}
+            out.append(JobResult(position=position,
+                                 key=key_of.get(position, ""),
+                                 value=value, ok=True,
+                                 attempts=attempts,
+                                 stats=stats))
+        return out

@@ -189,7 +189,7 @@ register_kind("sweep_point", _solve_sweep_point)
 
 def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
             retries: int = 0, instrument: bool = False,
-            store=None) -> JobResult:
+            store=None, lp_log_factor: "int | None" = None) -> JobResult:
     """Execute one job with capped in-place retry.
 
     Scheduler-level infeasibility is a *result* (the kind functions
@@ -212,6 +212,11 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
     ``result.stats["reuse"]["new_entries"]`` so pool workers ship them
     back to the parent (the serial path shares the live store, where the
     drained delta is simply redundant with what is already in it).
+
+    ``lp_log_factor`` overrides the constraint graph's add-log trim
+    bound multiplier (:data:`repro.core.graph.ADD_LOG_FACTOR`) for the
+    duration of the job — the ``RunnerConfig.lp_log_factor``
+    passthrough.  The previous factor is restored on exit.
     """
     fn = _KINDS.get(job.kind)
     key = key if key is not None else job.key()
@@ -221,6 +226,10 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
     use_store = store is not None and job.kind in _STORE_AWARE
     last_error = ""
     capture_ctx = None
+    restore_factor: "int | None" = None
+    if lp_log_factor is not None:
+        from ..core.graph import set_add_log_factor
+        restore_factor = set_add_log_factor(lp_log_factor)
     if instrument:
         from ..obs import capture
         capture_ctx = capture()
@@ -250,6 +259,9 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
     finally:
         if capture_ctx is not None:
             capture_ctx.__exit__(None, None, None)
+        if restore_factor is not None:
+            from ..core.graph import set_add_log_factor
+            set_add_log_factor(restore_factor)
     if capture_ctx is not None:
         result.stats = dict(result.stats)
         result.stats["obs"] = {
@@ -270,16 +282,20 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
 def run_chunk(jobs: "list[tuple[int, str, SolveJob]]",
               retries: int = 0,
               instrument: bool = False,
-              store=None) -> "list[JobResult]":
+              store=None,
+              lp_log_factor: "int | None" = None) -> "list[JobResult]":
     """Worker entry point: execute a chunk of keyed jobs in order.
 
     ``store`` is the worker's private snapshot of the parent's schedule
     store: jobs in the chunk build on each other's entries locally, and
     each job's freshly-inserted entries travel back to the parent in its
-    result's ``stats["reuse"]["new_entries"]``.
+    result's ``stats["reuse"]["new_entries"]``.  ``lp_log_factor`` is
+    the add-log trim bound passthrough (see :func:`run_job`) — applied
+    here per job so worker processes honour it too.
     """
     return [run_job(job, position=position, key=key, retries=retries,
-                    instrument=instrument, store=store)
+                    instrument=instrument, store=store,
+                    lp_log_factor=lp_log_factor)
             for position, key, job in jobs]
 
 

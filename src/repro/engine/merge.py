@@ -1,0 +1,239 @@
+"""Merging per-shard artifacts back into one run.
+
+The third engine layer (plan → execute → merge): given the
+:class:`~repro.io.shards.ShardArtifact` each ``repro shard run``
+produced, rebuild what a single unsharded
+:class:`~repro.engine.runner.BatchRunner` run would have reported —
+
+* one position-ordered :class:`~repro.engine.jobs.JobResult` list
+  (strict: a position claimed by two shards is a planner/merge bug and
+  raises),
+* one re-rooted ``repro-trace`` v2 document: a fresh ``engine.run``
+  root with one ``engine.shard`` child per shard wrapping that shard's
+  own span forest, job records interleaved back into submission order,
+  cache counters and metric counters summed,
+* one merged :class:`~repro.engine.schedule_store.ScheduleStore` built
+  by folding every shard's journal delta through the store's existing
+  :meth:`~repro.engine.schedule_store.ScheduleStore.merge_delta`
+  dedupe path, and one merged :class:`~repro.engine.cache.ResultCache`
+  from the shard caches (dedup ran before sharding, so shard key sets
+  are disjoint and insertion order cannot conflict).
+
+Metric merging note: shard artifacts carry the *snapshot* form of the
+metrics registry, so counters merge exactly (summed — the
+"reconciled" totals the run trace reports) and gauges take the last
+shard's value, but histogram quantiles cannot be recombined from
+summaries; merged histograms keep exact ``count``/``sum``/``min``/
+``max`` and report each quantile as the maximum across shards (a
+conservative upper bound).  The ``sweep --backend shards`` path does
+not pay this approximation: there the parent runner rebuilds its
+metrics from the per-job observations the artifacts ship, exactly as
+it does for process-pool workers.
+
+Store equality across shard counts is checked with
+:func:`canonical_store_doc`: shards discover entries in
+partition-dependent *order*, so the canonical form sorts each bucket's
+entries and drops run counters — two stores holding the same schedules
+compare equal regardless of how the sweep was partitioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..errors import ReproError
+from ..obs import Span
+from .cache import ResultCache
+from .jobs import JobResult
+from .schedule_store import ScheduleStore
+from .trace import RunTrace
+
+__all__ = ["MergedRun", "merge_artifacts", "merge_results",
+           "merge_traces", "merge_store_deltas", "canonical_store_doc"]
+
+
+@dataclass
+class MergedRun:
+    """The single-run view assembled from per-shard artifacts."""
+
+    results: "list[JobResult]"
+    trace: RunTrace
+    store: "ScheduleStore | None" = None
+    cache: "ResultCache | None" = None
+    metrics: "dict[str, Any]" = field(default_factory=dict)
+
+
+def merge_results(artifacts: "Sequence[Any]") -> "list[JobResult]":
+    """Interleave shard results back into global submission order.
+
+    Positions must partition cleanly: any position reported by two
+    shards raises (the planner guarantees disjointness, so a collision
+    means mismatched artifacts were mixed).
+    """
+    by_position: "dict[int, JobResult]" = {}
+    for artifact in artifacts:
+        for result in artifact.results:
+            if result.position in by_position:
+                raise ReproError(
+                    f"shard artifacts overlap at position "
+                    f"{result.position} (shard {artifact.index} "
+                    "duplicates an already-merged result)")
+            by_position[result.position] = result
+    return [by_position[position]
+            for position in sorted(by_position)]
+
+
+def merge_traces(artifacts: "Sequence[Any]",
+                 strategy: "str | None" = None) -> RunTrace:
+    """One re-rooted trace v2 document covering every shard.
+
+    The merged span forest is a single ``engine.run`` root (mode
+    ``"shards"``) with one ``engine.shard`` child per shard; each
+    shard's own span forest (its ``engine.run`` and everything below)
+    hangs unmodified beneath its shard span, so per-stage flamegraphs
+    still work — they are simply grouped by shard.  Wall-clock spans of
+    different shards overlap (they ran concurrently); the merged run's
+    ``elapsed_s`` is therefore the *maximum* shard elapsed, while cache
+    counters and job totals are sums.
+    """
+    jobs_total = 0
+    unique_total = 0
+    elapsed = 0.0
+    cache_totals: "dict[str, int]" = {}
+    reuse_totals: "dict[str, Any] | None" = None
+    shard_spans: "list[Span]" = []
+    job_traces = []
+    instrumented = False
+    for artifact in artifacts:
+        trace = artifact.trace
+        if trace is None:
+            continue
+        run = trace.run
+        jobs_total += run.get("jobs", 0)
+        unique_total += run.get("unique_solved", 0)
+        elapsed = max(elapsed, run.get("elapsed_s", 0.0))
+        instrumented = instrumented or bool(run.get("instrumented"))
+        for key, count in trace.cache.items():
+            cache_totals[key] = cache_totals.get(key, 0) + count
+        if trace.reuse is not None:
+            if reuse_totals is None:
+                reuse_totals = {"policy": trace.reuse.get("policy")}
+            for key, value in trace.reuse.items():
+                if key == "policy":
+                    continue
+                reuse_totals[key] = reuse_totals.get(key, 0) + value
+        job_traces.extend(trace.jobs)
+        shard_span = Span("engine.shard", 0.0,
+                          run.get("elapsed_s", 0.0),
+                          attrs={"shard": artifact.index,
+                                 "of": artifact.of,
+                                 "jobs": run.get("jobs", 0)})
+        shard_span.children = [Span.from_dict(span_doc)
+                               for span_doc in trace.spans]
+        shard_spans.append(shard_span)
+    run_span = Span("engine.run", 0.0, elapsed,
+                    attrs={"jobs": jobs_total, "mode": "shards",
+                           "shards": len(list(artifacts))})
+    run_span.children = shard_spans
+    merged = RunTrace(
+        run={"jobs": jobs_total,
+             "unique_solved": unique_total,
+             "workers": len(list(artifacts)),
+             "mode": "shards",
+             "shards": len(list(artifacts)),
+             **({"strategy": strategy} if strategy else {}),
+             "instrumented": instrumented,
+             "elapsed_s": round(elapsed, 6)},
+        cache=cache_totals,
+        spans=[run_span.to_dict()] if instrumented or shard_spans
+        else [],
+        metrics=_merge_metric_snapshots(
+            [artifact.metrics for artifact in artifacts]),
+        reuse=reuse_totals)
+    for job in sorted(job_traces, key=lambda job: job.position):
+        merged.add_job(job)
+    return merged
+
+
+def merge_store_deltas(artifacts: "Sequence[Any]",
+                       policy: str = "identical",
+                       base: "ScheduleStore | None" = None) \
+        -> ScheduleStore:
+    """Fold every shard's journal delta into one store.
+
+    Reuses :meth:`ScheduleStore.merge_delta`, so duplicate schedules
+    (the certified timing entry every shard re-primes, identical
+    solves at shared tile borders) are suppressed exactly as pool
+    worker deltas always were.
+    """
+    store = base if base is not None else ScheduleStore(policy=policy)
+    for artifact in artifacts:
+        store.merge_delta(artifact.store_delta)
+    return store
+
+
+def merge_artifacts(artifacts: "Iterable[Any]",
+                    policy: str = "identical",
+                    strategy: "str | None" = None) -> MergedRun:
+    """The full merge: results + trace + store + cache in one pass."""
+    artifacts = list(artifacts)
+    results = merge_results(artifacts)
+    trace = merge_traces(artifacts, strategy=strategy)
+    store = merge_store_deltas(artifacts, policy=policy)
+    cache = ResultCache(max_entries=None)
+    for artifact in artifacts:
+        for key, value in artifact.cache_entries:
+            cache.put(key, value)
+    return MergedRun(results=results, trace=trace, store=store,
+                     cache=cache, metrics=trace.metrics)
+
+
+def canonical_store_doc(store: ScheduleStore) -> "dict[str, Any]":
+    """A partition-order-independent view of a store's contents.
+
+    Counters are dropped (they describe a run, not the stored data)
+    and each bucket's entries are sorted by their full serialized
+    form, so stores assembled in different insertion orders — one
+    shard vs four — compare equal iff they hold the same schedules.
+    """
+    doc = store.to_dict()
+    doc.pop("counters", None)
+    for bucket in doc.get("problems", {}).values():
+        bucket["entries"] = sorted(
+            bucket["entries"],
+            key=lambda entry: (entry["stage"], entry["label"],
+                               sorted(entry["starts"].items())))
+    return doc
+
+
+def _merge_metric_snapshots(snapshots: "Sequence[dict[str, Any]]") \
+        -> "dict[str, Any]":
+    """Combine metric *snapshot* documents (see module docstring)."""
+    merged: "dict[str, dict[str, Any]]" = {}
+    for snapshot in snapshots:
+        for name, summary in (snapshot or {}).items():
+            current = merged.get(name)
+            if current is None:
+                merged[name] = dict(summary)
+                continue
+            kind = summary.get("type")
+            if kind == "counter":
+                current["value"] = current.get("value", 0) \
+                    + summary.get("value", 0)
+            elif kind == "gauge":
+                current["value"] = summary.get("value", 0.0)
+            elif kind == "histogram":
+                current["count"] = current.get("count", 0) \
+                    + summary.get("count", 0)
+                current["sum"] = round(current.get("sum", 0.0)
+                                       + summary.get("sum", 0.0), 6)
+                current["min"] = min(current.get("min", 0.0),
+                                     summary.get("min", 0.0))
+                current["max"] = max(current.get("max", 0.0),
+                                     summary.get("max", 0.0))
+                for quantile_key in ("p50", "p95", "p99"):
+                    current[quantile_key] = max(
+                        current.get(quantile_key, 0.0),
+                        summary.get(quantile_key, 0.0))
+    return dict(sorted(merged.items()))

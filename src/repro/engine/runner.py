@@ -32,8 +32,10 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..obs import (OBS, MetricsRegistry, Span, absorb_cache_stats,
                    absorb_scheduler_stats, absorb_store_stats)
+from .backends.base import SNAPSHOT_MODES, ExecutionBackend
+from .backends.local import LocalBackend
 from .cache import ResultCache
-from .jobs import JobResult, SolveJob, run_chunk, run_job
+from .jobs import JobResult, SolveJob
 from .schedule_store import REUSE_POLICIES, ScheduleStore
 from .trace import JobTrace, RunTrace
 
@@ -82,6 +84,15 @@ class RunnerConfig:
         provably reproduce a fresh solve bit-for-bit;``"valid"`` serves
         any covering entry (power-valid, full utilization — the paper's
         Fig. 7 semantics) even when a fresh solve might beat it.
+    lp_log_factor:
+        When set, overrides the constraint graph's add-log trim bound
+        multiplier (:data:`repro.core.graph.ADD_LOG_FACTOR`) for every
+        job of the batch — serial, pooled, and sharded workers alike.
+        Larger factors keep stale longest-path caches on the
+        incremental fast path longer on big synthetic workloads (watch
+        the ``lp_cache_log_evictions`` counter to see whether the
+        window is the bottleneck); ``None`` (default) keeps the
+        process-wide setting.
     trace_path:
         When set, every run writes its JSON :class:`RunTrace` here.
     instrument:
@@ -105,12 +116,17 @@ class RunnerConfig:
     reseed_base: "int | None" = None
     reuse_schedules: bool = False
     reuse_policy: str = "identical"
+    lp_log_factor: "int | None" = None
     trace_path: "str | None" = None
     instrument: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.lp_log_factor is not None and self.lp_log_factor < 1:
+            raise ValueError(
+                f"lp_log_factor must be >= 1 or None, "
+                f"got {self.lp_log_factor}")
         if self.chunksize < 1:
             raise ValueError(
                 f"chunksize must be >= 1, got {self.chunksize}")
@@ -126,12 +142,22 @@ class RunnerConfig:
 
 
 class BatchRunner:
-    """Execute independent solve jobs, in parallel when asked to."""
+    """Execute independent solve jobs, in parallel when asked to.
+
+    ``backend`` selects *where* the deduplicated jobs run (see
+    :mod:`repro.engine.backends`): the default
+    :class:`~repro.engine.backends.LocalBackend` reproduces the
+    original serial/process-pool behaviour; sharded and remote backends
+    plug into the same seam without changing keying, dedup, caching,
+    store settlement, or trace assembly.
+    """
 
     def __init__(self, config: "RunnerConfig | None" = None,
                  cache: "ResultCache | None" = None,
-                 store: "ScheduleStore | None" = None):
+                 store: "ScheduleStore | None" = None,
+                 backend: "ExecutionBackend | None" = None):
         self.config = config or RunnerConfig()
+        self.backend: ExecutionBackend = backend or LocalBackend()
         if cache is not None:
             self.cache: "ResultCache | None" = cache
         elif self.config.use_cache:
@@ -284,9 +310,11 @@ class BatchRunner:
                 self.store.range_hits += 1
             else:
                 self.store.misses += 1
-            if mode == "process" and reuse.get("new_entries"):
+            if mode in SNAPSHOT_MODES and reuse.get("new_entries"):
                 # Serial runs insert into the live store directly; only
-                # worker snapshots need their deltas folded back.
+                # snapshot-running modes (pool workers, shard
+                # subprocesses, remote servers) need their deltas
+                # folded back.
                 self.store.merge_delta(reuse["new_entries"])
         return range_hits
 
@@ -319,106 +347,17 @@ class BatchRunner:
                  results: "dict[int, JobResult]",
                  instrument: bool = False,
                  on_result=None) -> str:
-        """Solve the unique jobs; fills ``results`` keyed by position."""
-        cfg = self.config
-        if not entries:
-            return "serial" if cfg.workers <= 1 else "process"
-        if cfg.workers <= 1:
-            self._run_serial(entries, results, instrument, on_result)
-            return "serial"
-        try:
-            self._run_pool(entries, results, instrument, on_result)
-            return "process"
-        except _PoolUnavailable:
-            self._run_serial(entries, results, instrument, on_result)
-            return "serial-fallback"
+        """Solve the unique jobs; fills ``results`` keyed by position.
 
-    def _run_serial(self, entries, results, instrument=False,
-                    on_result=None) -> None:
-        for position, key, job in entries:
-            results[position] = run_job(job, position=position, key=key,
-                                        retries=self.config.retries,
-                                        instrument=instrument,
-                                        store=self.store)
-            if on_result is not None:
-                on_result(results[position])
-
-    def _run_pool(self, entries, results, instrument=False,
-                  on_result=None) -> None:
-        """Chunked dispatch over a process pool with timeout + retry.
-
-        Raises :class:`_PoolUnavailable` only when the pool cannot be
-        *created* — once dispatch has begun, failures are retried and
-        finally reported per-job, never raised.
+        Delegates to the configured :class:`ExecutionBackend` — the
+        seam between batch policy (this class) and dispatch mechanism
+        (serial/pool/shards/remote).
         """
-        cfg = self.config
-        try:
-            from concurrent.futures import (ProcessPoolExecutor,
-                                            TimeoutError as FutureTimeout)
-            from concurrent.futures.process import BrokenProcessPool
-            pool = ProcessPoolExecutor(max_workers=cfg.workers)
-        except Exception as exc:  # noqa: BLE001 - degrade to serial
-            raise _PoolUnavailable(str(exc)) from exc
-
-        # Workers get a snapshot of the schedule store (pre-primed by
-        # run()); their new entries return via the job results and are
-        # merged by _settle_reuse.
-        snapshot = self.store.snapshot() if self.store is not None \
-            else None
-        chunks = [list(entries[i:i + cfg.chunksize])
-                  for i in range(0, len(entries), cfg.chunksize)]
-        pending = [(chunk, 0) for chunk in chunks]
-        clean = True
-        try:
-            while pending:
-                submitted = []
-                for chunk, attempt in pending:
-                    try:
-                        future = pool.submit(run_chunk, chunk,
-                                             cfg.retries, instrument,
-                                             snapshot)
-                    except Exception:  # noqa: BLE001 - pool is gone
-                        future = None
-                    submitted.append((future, chunk, attempt))
-                pending = []
-                for future, chunk, attempt in submitted:
-                    error = None
-                    if future is None:
-                        error = "worker pool rejected the chunk"
-                    else:
-                        budget = None if cfg.timeout_s is None \
-                            else cfg.timeout_s * len(chunk)
-                        try:
-                            for job_result in future.result(budget):
-                                results[job_result.position] = job_result
-                                if on_result is not None:
-                                    on_result(job_result)
-                        except FutureTimeout:
-                            future.cancel()
-                            clean = False
-                            error = (f"timed out after {budget:g}s "
-                                     f"(chunk of {len(chunk)})")
-                        except BrokenProcessPool:
-                            clean = False
-                            error = "worker process died"
-                        except Exception as exc:  # noqa: BLE001
-                            error = f"{type(exc).__name__}: {exc}"
-                    if error is None:
-                        continue
-                    if attempt < cfg.retries:
-                        pending.append((chunk, attempt + 1))
-                    else:
-                        for position, key, _job in chunk:
-                            results[position] = JobResult(
-                                position=position, key=key, ok=False,
-                                error=error, attempts=attempt + 1)
-                            if on_result is not None:
-                                on_result(results[position])
-        finally:
-            # A timed-out worker may still be running its job; waiting
-            # for it would defeat the timeout, so release the pool
-            # without joining in that case.
-            pool.shutdown(wait=clean, cancel_futures=True)
+        if not entries:
+            return self.backend.empty_mode(self.config)
+        return self.backend.run(entries, results, config=self.config,
+                                store=self.store, instrument=instrument,
+                                on_result=on_result)
 
     # ------------------------------------------------------------------
     # observability assembly
@@ -544,7 +483,3 @@ class BatchRunner:
                 counters=dict(stats.get("counters", {})),
                 reused=bool(reuse.get("hit"))))
         return trace
-
-
-class _PoolUnavailable(RuntimeError):
-    """Worker processes could not be created; fall back to serial."""

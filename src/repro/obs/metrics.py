@@ -55,6 +55,7 @@ STATS_METRIC_NAMES: "dict[str, str]" = {
     "lp_cache_hits": "sched.lp.cache_hits",
     "lp_incremental_runs": "sched.lp.incremental_runs",
     "lp_full_runs": "sched.lp.full_runs",
+    "lp_cache_log_evictions": "sched.lp.log_evictions",
 }
 
 

@@ -131,6 +131,7 @@ class SchedulerStats:
     lp_cache_hits: int = 0
     lp_incremental_runs: int = 0
     lp_full_runs: int = 0
+    lp_cache_log_evictions: int = 0
     stage_seconds: "dict[str, float]" = field(default_factory=dict)
 
     def merge(self, other: "SchedulerStats") -> None:

@@ -41,13 +41,15 @@ def _timed_stage(label: str, run) -> ScheduleResult:
         delta = lp_counters_delta(snapshot)
         stage_span.set(lp_cache_hits=delta["cache_hits"],
                        lp_incremental_runs=delta["incremental_runs"],
-                       lp_full_runs=delta["full_runs"])
+                       lp_full_runs=delta["full_runs"],
+                       lp_log_evictions=delta["log_evictions"])
     stats = result.stats
     stats.stage_seconds[label] = \
         stats.stage_seconds.get(label, 0.0) + elapsed
     stats.lp_cache_hits += delta["cache_hits"]
     stats.lp_incremental_runs += delta["incremental_runs"]
     stats.lp_full_runs += delta["full_runs"]
+    stats.lp_cache_log_evictions += delta["log_evictions"]
     return result
 
 

@@ -47,7 +47,7 @@ Run one::
 """
 
 from .batching import Batcher, BatchingConfig, Submission
-from .client import ServingClient, ServingError
+from .client import ServingClient, ServingError, TruncatedStreamError
 from .protocol import HttpRequest
 from .server import ServingConfig, SolveServer
 
@@ -60,4 +60,5 @@ __all__ = [
     "ServingError",
     "SolveServer",
     "Submission",
+    "TruncatedStreamError",
 ]

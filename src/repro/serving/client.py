@@ -32,7 +32,7 @@ from ..core.problem import SchedulingProblem
 from ..errors import ReproError
 from ..io.requests import solve_request_to_dict
 
-__all__ = ["ServingClient", "ServingError"]
+__all__ = ["ServingClient", "ServingError", "TruncatedStreamError"]
 
 
 class ServingError(ReproError):
@@ -42,6 +42,31 @@ class ServingError(ReproError):
         super().__init__(f"[{code}] {message} (HTTP {http_status})")
         self.code = code
         self.http_status = http_status
+
+
+class TruncatedStreamError(ServingError):
+    """The NDJSON event stream ended without a terminal event.
+
+    Every well-formed ``/v1/jobs/{id}/events`` stream closes with a
+    ``{"event": "done", ...}`` record; a stream that ends without one
+    (server killed mid-job, connection dropped, a record cut off
+    mid-line) used to make :meth:`ServingClient.wait` fall through to
+    a job lookup that could hang or ``KeyError``.  It now raises this
+    typed error instead.  ``http_status`` is ``None`` — the failure is
+    at the connection level, not an HTTP error envelope.
+    """
+
+    def __init__(self, job_id: str, events_seen: int,
+                 reason: str = "stream closed"):
+        ReproError.__init__(
+            self,
+            f"[truncated_stream] event stream for job {job_id} ended "
+            f"without a terminal 'done' event after {events_seen} "
+            f"event(s): {reason}")
+        self.code = "truncated_stream"
+        self.http_status = None
+        self.job_id = job_id
+        self.events_seen = events_seen
 
 
 class ServingClient:
@@ -145,9 +170,15 @@ class ServingClient:
 
         The first yielded record is the stream header
         (``{"format": "repro-serve-events", "version": 1, ...}``);
-        the stream ends after the job's ``done`` event.
+        the stream ends after the job's ``done`` event.  A stream that
+        closes *without* a ``done`` record — or that ends in a record
+        cut off mid-line — raises :class:`TruncatedStreamError` after
+        yielding every complete event, so callers never mistake a dead
+        server for a finished job.
         """
         connection = self._connect()
+        events_seen = 0
+        terminal = False
         try:
             connection.request("GET", f"/v1/jobs/{job_id}/events")
             response = connection.getresponse()
@@ -163,8 +194,21 @@ class ServingClient:
                                    response.status)
             for line in response:
                 line = line.strip()
-                if line:
-                    yield json.loads(line)
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    raise TruncatedStreamError(
+                        job_id, events_seen,
+                        "last record cut off mid-line") from None
+                events_seen += 1
+                if isinstance(event, dict) \
+                        and event.get("event") == "done":
+                    terminal = True
+                yield event
+            if not terminal:
+                raise TruncatedStreamError(job_id, events_seen)
         finally:
             connection.close()
 

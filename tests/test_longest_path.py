@@ -107,3 +107,103 @@ class TestAsapAlap:
         g.add_release("a", 25)
         with pytest.raises(InfeasibleError):
             latest_starts(g, horizon=10)
+
+
+class TestAddLogTrim:
+    """The bounded add log: configurable trim factor + eviction counter."""
+
+    def _seeded_graph(self) -> ConstraintGraph:
+        g = ConstraintGraph("trim")
+        for index in range(4):
+            g.new_task(f"t{index}", duration=2)
+        g.add_precedence("t0", "t1")
+        longest_paths(g)  # populate the incremental cache
+        return g
+
+    def test_set_add_log_factor_returns_previous(self):
+        from repro.core import (ADD_LOG_FACTOR, add_log_factor,
+                                set_add_log_factor)
+        previous = set_add_log_factor(7)
+        try:
+            assert previous == ADD_LOG_FACTOR
+            assert add_log_factor() == 7
+            assert set_add_log_factor(None) == 7
+            assert add_log_factor() == ADD_LOG_FACTOR
+        finally:
+            set_add_log_factor(None)
+
+    def test_set_add_log_factor_validates(self):
+        from repro.core import set_add_log_factor
+        from repro.errors import GraphError
+        for bad in (0, -1, True, 2.5, "4"):
+            with pytest.raises(GraphError):
+                set_add_log_factor(bad)
+
+    def test_trim_bound_respects_factor(self):
+        from repro.core import set_add_log_factor
+        set_add_log_factor(1)
+        try:
+            g = self._seeded_graph()
+            bound = 1 * (len(g._tasks) + 8)
+            for index in range(3 * bound):
+                g.add_edge("t2", "t3", index - 100)
+                assert len(g._add_log) <= bound
+        finally:
+            set_add_log_factor(None)
+
+    def test_stale_cache_eviction_is_counted_not_wrong(self):
+        from repro.core import set_add_log_factor
+        from repro.core.longest_path import (lp_counter_snapshot,
+                                             lp_counters_delta)
+        set_add_log_factor(1)
+        try:
+            g = self._seeded_graph()
+            bound = 1 * (len(g._tasks) + 8)
+            # push enough additions past the cached version that the
+            # trimmed log no longer covers it
+            for index in range(bound + 4):
+                g.add_edge("t2", "t3", index - 100)
+            snapshot = lp_counter_snapshot()
+            result = longest_paths(g)
+            delta = lp_counters_delta(snapshot)
+            # the fast path was declined (log window lost), counted,
+            # and answered by a full recompute instead
+            assert delta["log_evictions"] == 1
+            assert delta["full_runs"] == 1
+            assert delta["incremental_runs"] == 0
+            # correctness unaffected: distances match a cold graph
+            fresh = ConstraintGraph("fresh")
+            for index in range(4):
+                fresh.new_task(f"t{index}", duration=2)
+            fresh.add_precedence("t0", "t1")
+            for index in range(bound + 4):
+                fresh.add_edge("t2", "t3", index - 100)
+            assert result.distance == longest_paths(fresh).distance
+        finally:
+            set_add_log_factor(None)
+
+    def test_default_factor_keeps_incremental_path(self):
+        from repro.core.longest_path import (lp_counter_snapshot,
+                                             lp_counters_delta)
+        g = self._seeded_graph()
+        g.add_edge("t2", "t3", 1)
+        snapshot = lp_counter_snapshot()
+        longest_paths(g)
+        delta = lp_counters_delta(snapshot)
+        assert delta["incremental_runs"] == 1
+        assert delta["log_evictions"] == 0
+
+    def test_runner_config_passthrough_sets_and_restores(self):
+        from repro.core import add_log_factor
+        from repro.engine import BatchRunner, RunnerConfig, SweepSpec
+        from repro.examples_data import fig1_problem
+
+        before = add_log_factor()
+        runner = BatchRunner(RunnerConfig(lp_log_factor=2))
+        results = runner.run(
+            SweepSpec.grid(fig1_problem(), [10, 12], [4]).jobs())
+        assert all(result.ok for result in results)
+        # the override is scoped to each job, not leaked process-wide
+        assert add_log_factor() == before
+        counters = (results[0].stats or {})["counters"]
+        assert "lp_cache_log_evictions" in counters

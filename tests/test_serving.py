@@ -572,3 +572,108 @@ def test_doc_demo_problem_parses():
             problem = problem_from_dict(body["problem"])
             assert problem_to_dict(problem)["name"] == \
                 body["problem"]["name"]
+
+
+# ---------------------------------------------------------------------
+# truncated event streams
+# ---------------------------------------------------------------------
+
+class _OneShotStreamServer:
+    """A raw socket server that sends a canned HTTP response and hangs up.
+
+    Stands in for a solve server that dies mid-stream: the status line
+    and headers are well-formed, the body is whatever the test wants —
+    typically an NDJSON prefix with no terminal ``done`` record.
+    """
+
+    def __init__(self, body: bytes):
+        import socket
+
+        self._body = body
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self) -> None:
+        connection, _addr = self._sock.accept()
+        connection.recv(65536)  # drain the request; content is irrelevant
+        head = (b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(self._body))
+        connection.sendall(head + self._body)
+        connection.close()
+
+    def __enter__(self) -> "_OneShotStreamServer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._sock.close()
+        self._thread.join(10)
+
+
+def _stream_lines(*records: dict) -> bytes:
+    return b"".join(json.dumps(record).encode() + b"\n"
+                    for record in records)
+
+
+def test_stream_without_terminal_event_raises_typed_error():
+    from repro.serving import TruncatedStreamError
+
+    body = _stream_lines(
+        {"format": "repro-serve-events", "version": 1, "job": "j1"},
+        {"event": "queued", "job": "j1"},
+        {"event": "running", "job": "j1"})
+    with _OneShotStreamServer(body) as fake:
+        client = ServingClient(f"http://127.0.0.1:{fake.port}")
+        with pytest.raises(TruncatedStreamError) as excinfo:
+            for _event in client.events("j1"):
+                pass
+    error = excinfo.value
+    assert error.code == "truncated_stream"
+    assert error.job_id == "j1"
+    assert error.events_seen == 3
+    assert error.http_status is None
+    assert isinstance(error, ServingError)
+    assert "without a terminal 'done' event" in str(error)
+
+
+def test_stream_cut_mid_record_raises_typed_error():
+    from repro.serving import TruncatedStreamError
+
+    body = _stream_lines(
+        {"format": "repro-serve-events", "version": 1, "job": "j2"},
+        {"event": "queued", "job": "j2"})
+    body += b'{"event": "running", "jo'  # dies mid-record, no newline
+    with _OneShotStreamServer(body) as fake:
+        client = ServingClient(f"http://127.0.0.1:{fake.port}")
+        seen = []
+        with pytest.raises(TruncatedStreamError) as excinfo:
+            for event in client.events("j2"):
+                seen.append(event)
+    # every complete event was still delivered before the error
+    assert [record.get("event") for record in seen] == [None, "queued"]
+    assert excinfo.value.events_seen == 2
+    assert "cut off mid-line" in str(excinfo.value)
+
+
+def test_wait_surfaces_truncated_stream():
+    from repro.serving import TruncatedStreamError
+
+    body = _stream_lines(
+        {"format": "repro-serve-events", "version": 1, "job": "j3"},
+        {"event": "queued", "job": "j3"})
+    with _OneShotStreamServer(body) as fake:
+        client = ServingClient(f"http://127.0.0.1:{fake.port}")
+        with pytest.raises(TruncatedStreamError):
+            client.wait("j3")
+
+
+def test_live_stream_with_terminal_event_does_not_raise():
+    problem = fig1_problem()
+    with LiveServer() as live:
+        ack = live.client.sweep(problem, points=[(10.0, 4.0)])
+        events = list(live.client.events(ack["job"]))
+    assert events[-1]["event"] == "done"
