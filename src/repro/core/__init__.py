@@ -5,10 +5,13 @@ formulation.  The scheduling algorithms live in
 :mod:`repro.scheduling`; everything here is algorithm-agnostic.
 """
 
+from .arrays import HAVE_NUMPY, GraphArrays, ProfileArrays
 from .diagnose import (CycleExplanation, explain_infeasibility,
                        find_cycle)
 from .graph import (ADD_LOG_FACTOR, ConstraintGraph, Edge,
                     add_log_factor, set_add_log_factor)
+from .kernel import (KERNEL_MODES, clear_warm_pool, kernel_mode,
+                     set_kernel, set_warm, warm_enabled)
 from .longest_path import (LongestPathResult, earliest_starts,
                            latest_starts, longest_paths)
 from .phased import (add_phased_task, is_phase_of, phase_names,
@@ -31,9 +34,13 @@ __all__ = [
     "ConstraintGraph",
     "CycleExplanation",
     "Edge",
+    "GraphArrays",
+    "HAVE_NUMPY",
     "Interval",
+    "KERNEL_MODES",
     "LongestPathResult",
     "PowerProfile",
+    "ProfileArrays",
     "Resource",
     "ResourcePool",
     "Schedule",
@@ -49,12 +56,14 @@ __all__ = [
     "assert_time_valid",
     "check_power_valid",
     "check_time_valid",
+    "clear_warm_pool",
     "earliest_starts",
     "energy_cost",
     "evaluate",
     "explain_infeasibility",
     "find_cycle",
     "is_phase_of",
+    "kernel_mode",
     "latest_starts",
     "longest_paths",
     "min_power_utilization",
@@ -63,6 +72,9 @@ __all__ = [
     "phased_start",
     "power_jitter",
     "set_add_log_factor",
+    "set_kernel",
+    "set_warm",
     "slack",
     "slack_table",
+    "warm_enabled",
 ]

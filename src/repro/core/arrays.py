@@ -1,0 +1,138 @@
+"""Struct-of-arrays views of the constraint graph and power profile.
+
+The pure-Python solver core walks dict-of-tuples object graphs; at
+paper scale (tens of tasks) that is instantaneous, but the synthetic
+benchmarks and dense sweep grids spend most of their time re-walking
+the same structures.  This module flattens both hot structures into
+parallel arrays once per version and caches the result:
+
+* :class:`GraphArrays` — vertex names interned to dense integer ids
+  plus parallel ``src``/``dst``/``weight`` edge arrays, pre-grouped by
+  destination so a whole Bellman–Ford relaxation pass is one
+  ``np.maximum.reduceat`` instead of an edge-at-a-time Python loop.
+* :class:`ProfileArrays` — the profile's ``(t0, t1, power)`` segments
+  as three arrays, so energy integrals and level scans vectorize.
+
+Numpy is optional: when it is missing, :data:`HAVE_NUMPY` is False and
+the kernel layer (:mod:`repro.core.kernel`) keeps everything on the
+pure-Python reference oracle.  Nothing here imports the graph or
+profile modules — builders take the objects duck-typed, which keeps
+the core import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+try:  # soft dependency: the container image ships numpy, but the
+    # package must keep importing (and solving, on the oracle path)
+    # without it.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: True when numpy imported; gates every vectorized fast path.
+HAVE_NUMPY = _np is not None
+
+__all__ = ["HAVE_NUMPY", "GraphArrays", "ProfileArrays",
+           "graph_arrays", "profile_arrays"]
+
+
+@dataclass(frozen=True)
+class GraphArrays:
+    """Interned, destination-grouped edge arrays of one graph version.
+
+    ``names[i]`` is the vertex with dense id ``i`` (insertion order,
+    anchor included); ``index`` is the inverse mapping.  The edge
+    arrays are sorted by destination id: ``group_starts[k]`` is the
+    offset of destination ``group_dst[k]``'s run inside
+    ``src``/``weight``, so one relaxation pass is
+
+        ``np.maximum.reduceat(dist[src] + weight, group_starts)``
+
+    scattered back onto ``group_dst``.
+    """
+
+    names: "tuple[str, ...]"
+    index: "dict[str, int]"
+    src: Any        # int64[E], sorted by destination id
+    dst: Any        # int64[E], sorted (the grouping key)
+    weight: Any     # int64[E], aligned with src
+    group_starts: Any  # int64[G] run offsets into src/weight
+    group_dst: Any     # int64[G] unique destination ids
+
+    @property
+    def edge_count(self) -> int:
+        return int(self.src.shape[0])
+
+
+def graph_arrays(graph) -> GraphArrays:
+    """The :class:`GraphArrays` of ``graph``'s current edge set.
+
+    Cached on the graph keyed by its mutation version, so repeated
+    solves of an unchanged graph rebuild nothing.  Requires numpy.
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - guarded by callers
+        raise RuntimeError("graph_arrays requires numpy")
+    cache = getattr(graph, "_arrays_cache", None)
+    if cache is not None and cache[0] == graph._version:
+        return cache[1]
+    names = tuple(graph.task_names(include_anchor=True))
+    index = {name: i for i, name in enumerate(names)}
+    triples = graph.edge_triples()
+    if triples:
+        src = _np.fromiter((index[t[0]] for t in triples),
+                           dtype=_np.int64, count=len(triples))
+        dst = _np.fromiter((index[t[1]] for t in triples),
+                           dtype=_np.int64, count=len(triples))
+        weight = _np.fromiter((t[2] for t in triples),
+                              dtype=_np.int64, count=len(triples))
+        order = _np.argsort(dst, kind="stable")
+        src, dst, weight = src[order], dst[order], weight[order]
+        group_dst, group_starts = _np.unique(dst, return_index=True)
+    else:
+        src = dst = weight = _np.empty(0, dtype=_np.int64)
+        group_dst = group_starts = _np.empty(0, dtype=_np.int64)
+    arrays = GraphArrays(names=names, index=index, src=src, dst=dst,
+                         weight=weight, group_starts=group_starts,
+                         group_dst=group_dst)
+    graph._arrays_cache = (graph._version, arrays)
+    return arrays
+
+
+@dataclass(frozen=True)
+class ProfileArrays:
+    """A profile's segments as three parallel arrays."""
+
+    t0: Any      # int64[S]
+    t1: Any      # int64[S]
+    power: Any   # float64[S]
+
+    @property
+    def segment_count(self) -> int:
+        return int(self.power.shape[0])
+
+
+def profile_arrays(profile) -> ProfileArrays:
+    """The :class:`ProfileArrays` of a :class:`PowerProfile`.
+
+    Profiles are immutable after construction, so the arrays are built
+    once and cached on the instance.  Requires numpy.
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - guarded by callers
+        raise RuntimeError("profile_arrays requires numpy")
+    cache = getattr(profile, "_arrays_cache", None)
+    if cache is not None:
+        return cache
+    segments = profile._segments
+    count = len(segments)
+    arrays = ProfileArrays(
+        t0=_np.fromiter((s[0] for s in segments), dtype=_np.int64,
+                        count=count),
+        t1=_np.fromiter((s[1] for s in segments), dtype=_np.int64,
+                        count=count),
+        power=_np.fromiter((s[2] for s in segments), dtype=_np.float64,
+                           count=count))
+    profile._arrays_cache = arrays
+    return arrays

@@ -24,6 +24,8 @@ and undo them cheaply when a branch fails.
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -47,6 +49,12 @@ _NO_EDGE = object()
 ADD_LOG_FACTOR = 4
 
 _add_log_factor = ADD_LOG_FACTOR
+
+# Per-process counter for graph identities.  Combined with the pid it
+# forms a warm-pool key that cannot collide across processes — an
+# unpickled graph regenerates its uid (see ``__setstate__``), so two
+# workers can never serve each other stale fixpoints.
+_uid_counter = itertools.count()
 
 
 def add_log_factor() -> int:
@@ -128,6 +136,17 @@ class ConstraintGraph:
         self._last_non_add_version = 0
         self._add_log: "list[tuple[int, str, str, int]]" = []
         self._lp_cache = None
+        # struct-of-arrays view cache (repro.core.arrays) — version-keyed
+        self._arrays_cache = None
+        # warm-start support (repro.core.longest_path): memoized
+        # fixpoints keyed by journal length so rollback lands on an
+        # already-solved state, plus the identity of the graph this one
+        # was copied from (and our version right after the copy) so
+        # sibling copies share fixpoints through the kernel warm pool.
+        self._state_cache: "dict[int, tuple[int, dict, dict]]" = {}
+        self._uid = (os.getpid(), next(_uid_counter))
+        self._warm_src: "tuple[tuple[int, int], int] | None" = None
+        self._warm_at_version = 0
         self.add_task(Task.anchor())
 
     # ------------------------------------------------------------------
@@ -288,6 +307,43 @@ class ConstraintGraph:
         self._last_non_add_version = self._version
         return True
 
+    def weaken_edge(self, src: str, dst: str) -> bool:
+        """Undo every journaled tightening of ``src -> dst`` (journaled).
+
+        Because the graph keeps only the tightest separation per ordered
+        pair, a scheduler edge (``delay``/``lock``/...) that lands on a
+        pair already carrying a *user* constraint silently **overwrites**
+        it — and the compaction/unlock passes used to ``remove_edge`` the
+        pair outright, dropping the user's release or deadline with it.
+        This restores the value the pair had *before the first journaled
+        mutation* instead: the user constraint survives, while an edge
+        the scheduler created from nothing (oldest journaled prior is
+        ``None``) is removed exactly as before.  Falls back to plain
+        removal when the journal holds no history for the pair.
+
+        Returns True if the edge set changed.
+        """
+        key = (src, dst)
+        current = self._edges.get(key)
+        if current is None:
+            return False
+        original = _NO_EDGE
+        for entry_key, prev in self._journal:
+            if entry_key == key:
+                original = prev
+                break
+        if original is _NO_EDGE or original is None:
+            # No journaled history (pair predates this episode's journal)
+            # or the pair genuinely had no edge before: drop it.
+            return self.remove_edge(src, dst)
+        if original == current:
+            return False
+        self._journal.append((key, current))
+        self._edges[key] = original
+        self._version += 1
+        self._last_non_add_version = self._version
+        return True
+
     def edges(self) -> "list[Edge]":
         """All edges as :class:`Edge` records."""
         return [Edge(src=k[0], dst=k[1], weight=v[0], tag=v[1])
@@ -437,6 +493,13 @@ class ConstraintGraph:
                 self._in[key[1]].add(key[0])
             self._version += 1
             self._last_non_add_version = self._version
+        if self._state_cache:
+            # The edge set is a pure function of the journal prefix, so
+            # memoized fixpoints at or below the restored token are still
+            # exact; anything above describes an edge set that no longer
+            # exists and must go.
+            for key in [k for k in self._state_cache if k > token]:
+                del self._state_cache[key]
 
     # ------------------------------------------------------------------
     # copying / composition
@@ -457,6 +520,22 @@ class ConstraintGraph:
         for (src, dst), (weight, tag) in self._edges.items():
             clone.add_edge(src, dst, weight, tag=tag)
         clone._journal.clear()
+        from . import kernel as _kernel
+        if _kernel.warm_enabled():
+            # Warm-origin tag: the clone remembers which graph (and
+            # version) it reproduces, so as long as it stays unmutated
+            # its first longest-path solve can come from the warm pool
+            # — the cross-sweep-point re-solve seeding of the ISSUE.
+            clone._warm_src = (self._uid, self._version)
+            clone._warm_at_version = clone._version
+            cache = self._lp_cache
+            if cache is not None and cache[0] == self._version \
+                    and len(cache[1]) == len(self._tasks):
+                # Identical edge set => identical unique fixpoint, so
+                # the solved distances carry over directly.  The dicts
+                # are shared, never mutated in place (the incremental
+                # path copies first).
+                clone._lp_cache = (clone._version, cache[1], cache[2])
         return clone
 
     def merge(self, other: "ConstraintGraph", prefix: str = "") -> None:
@@ -487,7 +566,35 @@ class ConstraintGraph:
         self._journal.clear()
         self._version += 1
         self._last_non_add_version = self._version
+        self._state_cache.clear()
         return len(doomed)
+
+    # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        """Lean pickles: caches are rebuildable, memos are per-process.
+
+        The arrays cache holds numpy arrays and the state cache can hold
+        hundreds of solved fixpoints — both are derived data the
+        receiving process can recreate.  The warm-origin tag is dropped
+        because the warm pool is per-process memory: a probe in another
+        process could never hit.  The plain ``_lp_cache`` dicts *are*
+        shipped — they give the receiving worker a warm first solve.
+        """
+        state = self.__dict__.copy()
+        state["_arrays_cache"] = None
+        state["_state_cache"] = {}
+        state["_warm_src"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Fresh identity in the receiving process: two unpickled copies
+        # of the same parent could otherwise mutate apart while sharing
+        # a uid, poisoning the warm pool with colliding keys.
+        self._uid = (os.getpid(), next(_uid_counter))
 
     def __repr__(self) -> str:
         return (f"ConstraintGraph({self.name!r}, tasks={len(self)}, "

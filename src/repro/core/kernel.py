@@ -1,0 +1,352 @@
+"""Solver-core kernel selection: reference oracle vs numpy fast path.
+
+The longest-path solver and the power-profile integrals each exist in
+two implementations:
+
+* the **oracle** — the original pure-Python code, kept verbatim as the
+  reference semantics (and as the only implementation when numpy is
+  unavailable);
+* the **numpy kernel** — vectorized passes over the struct-of-arrays
+  views of :mod:`repro.core.arrays`.
+
+The kernel is *certified against* the oracle, not trusted: the
+differential suite (``tests/test_core_kernel.py``) asserts bit-identical
+distances, spikes/gaps, energy integrals, and exceptions on the Fig. 1
+grid and randomized workloads.  Two design rules make bit-identity
+attainable rather than approximate:
+
+1. longest-path distances are integers, and Bellman–Ford's least
+   fixpoint is unique — so *any* relaxation order (the oracle's
+   sequential sweep, the kernel's Jacobi ``reduceat`` passes) converges
+   to the same numbers;
+2. float reductions replay the oracle's left-to-right summation order
+   (``sum(terms.tolist())``) instead of pairwise/compensated schemes,
+   so every energy integral is the same IEEE-754 result.
+
+On instances the kernel finds infeasible it raises
+:class:`KernelInfeasible`, and the caller re-runs the oracle to produce
+the *exact* reference exception (message and traced cycle included) —
+fast path and oracle are indistinguishable to exception handlers.
+
+Selection is per process: :func:`set_kernel` / the ``REPRO_CORE_KERNEL``
+environment variable (``oracle`` | ``numpy`` | ``auto``; ``auto``
+resolves to numpy when importable).  The warm-start machinery —
+rollback state restores, copy-carried caches, and the cross-point warm
+pool below — is gated separately by :func:`set_warm` /
+``REPRO_CORE_WARM`` so benchmarks can measure either lever alone.
+Both knobs flow through ``repro.engine.RunnerConfig`` to serial,
+pooled, and sharded workers alike.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict, deque
+from typing import Any
+
+from .arrays import HAVE_NUMPY, graph_arrays, profile_arrays
+from .task import ANCHOR_NAME
+
+if HAVE_NUMPY:
+    import numpy as _np
+
+__all__ = ["KERNEL_MODES", "KernelInfeasible", "kernel_mode",
+           "set_kernel", "use_numpy", "warm_enabled", "set_warm",
+           "np_longest_paths", "np_energy", "np_energy_above",
+           "np_energy_capped", "np_is_power_valid", "np_peak",
+           "np_floor", "np_spike_runs", "np_gap_runs",
+           "warm_probe", "warm_store", "clear_warm_pool"]
+
+#: Valid kernel selections.  ``auto`` resolves to ``numpy`` when numpy
+#: imports, ``oracle`` otherwise.
+KERNEL_MODES = ("auto", "oracle", "numpy")
+
+#: ``auto`` crossover sizes: below these the pure-Python oracle beats
+#: the numpy kernel (fixed per-call array overhead dominates tiny
+#: instances), so ``auto`` only engages the kernel above them.  The
+#: ``numpy`` mode ignores the floors — the differential suite forces it
+#: to certify the kernel on small instances too.
+AUTO_MIN_VERTICES = 48
+AUTO_MIN_SEGMENTS = 128
+
+
+class KernelInfeasible(Exception):
+    """Internal: the numpy kernel detected a positive cycle.
+
+    Never escapes :func:`repro.core.longest_path.longest_paths` — the
+    caller re-runs the pure-Python oracle, which raises the canonical
+    :class:`~repro.errors.PositiveCycleError` with the reference
+    message and traced cycle.
+    """
+
+
+def _env_mode() -> str:
+    raw = os.environ.get("REPRO_CORE_KERNEL", "auto").strip().lower()
+    return raw if raw in KERNEL_MODES else "auto"
+
+
+def _env_warm() -> bool:
+    raw = os.environ.get("REPRO_CORE_WARM", "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+_mode = _env_mode()
+_warm = _env_warm()
+
+
+def kernel_mode() -> str:
+    """The raw kernel selection currently in force (may be ``auto``)."""
+    return _mode
+
+
+def set_kernel(mode: "str | None") -> str:
+    """Select the solver kernel; returns the previous selection.
+
+    ``None`` restores the environment default.  Per-process state:
+    worker processes each set their own copy (see
+    ``repro.engine.jobs.run_job``).
+    """
+    global _mode
+    if mode is None:
+        mode = _env_mode()
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"kernel mode must be one of {KERNEL_MODES}, got {mode!r}")
+    previous = _mode
+    _mode = mode
+    return previous
+
+
+def use_numpy(size: "int | None" = None,
+              floor: "int | None" = None) -> bool:
+    """True when this call should take the numpy fast path.
+
+    ``numpy`` mode forces the kernel whenever numpy imports; ``auto``
+    additionally requires the instance size (``size`` elements against
+    the ``floor`` crossover, when both are given) to be large enough
+    that the kernel actually wins.
+    """
+    if _mode == "numpy":
+        return HAVE_NUMPY
+    if _mode == "auto":
+        if not HAVE_NUMPY:
+            return False
+        if size is None or floor is None:
+            return True
+        return size >= floor
+    return False
+
+
+def warm_enabled() -> bool:
+    """True when warm-started re-solves are enabled."""
+    return _warm
+
+
+def set_warm(enabled: "bool | None") -> bool:
+    """Enable/disable warm-started re-solves; returns previous state.
+
+    ``None`` restores the environment default.
+    """
+    global _warm
+    previous = _warm
+    _warm = _env_warm() if enabled is None else bool(enabled)
+    return previous
+
+
+# ----------------------------------------------------------------------
+# cross-point warm pool
+#
+# Sweep grids re-solve the *same* user graph under different power
+# constraints: every (P_max, P_min) point copies the problem graph and
+# starts with an identical full longest-path solve.  The pool memoizes
+# that fixpoint keyed by the source graph's identity and version (the
+# copy records where it came from), so every point after the first
+# starts from the previous point's distances — the warm-started
+# re-solve of the ISSUE, exact rather than approximate because the
+# fixpoint of an identical edge set is identical.
+# ----------------------------------------------------------------------
+
+#: Bound on memoized source-graph states (FIFO eviction).
+WARM_POOL_LIMIT = 64
+
+_WARM_POOL: "OrderedDict[Any, tuple[int, dict, dict]]" = OrderedDict()
+
+
+def warm_probe(key: Any, n_vertices: int) \
+        -> "tuple[dict, dict] | None":
+    """Stored ``(distance, predecessor)`` fixpoint for ``key``, if any.
+
+    ``n_vertices`` re-checks the vertex count: tasks are append-only,
+    so an equal count under an identical source version implies an
+    identical vertex set.
+    """
+    entry = _WARM_POOL.get(key)
+    if entry is None or entry[0] != n_vertices:
+        return None
+    _WARM_POOL.move_to_end(key)
+    return entry[1], entry[2]
+
+
+def warm_store(key: Any, n_vertices: int, dist: dict,
+               pred: dict) -> None:
+    """Memoize a solved fixpoint under a source-graph key."""
+    _WARM_POOL[key] = (n_vertices, dist, pred)
+    _WARM_POOL.move_to_end(key)
+    while len(_WARM_POOL) > WARM_POOL_LIMIT:
+        _WARM_POOL.popitem(last=False)
+
+
+def clear_warm_pool() -> None:
+    """Drop every memoized fixpoint (tests and benchmarks)."""
+    _WARM_POOL.clear()
+
+
+# ----------------------------------------------------------------------
+# longest paths: Jacobi relaxation over destination-grouped arrays
+# ----------------------------------------------------------------------
+
+def np_longest_paths(graph) -> "tuple[dict, dict]":
+    """Vectorized longest-path fixpoint of ``graph``.
+
+    One pass relaxes *every* edge simultaneously (Jacobi iteration):
+    after ``k`` passes each distance is the best walk of at most ``k``
+    edges, so with ``n`` vertices and no positive cycle the unique
+    least fixpoint is reached within ``n - 1`` passes — the same
+    integer distances the oracle's sequential sweep produces, whatever
+    the relaxation order.  A distance still improvable after ``n``
+    passes, or an anchor pushed past time 0, certifies a positive
+    cycle: :class:`KernelInfeasible` is raised and the caller re-runs
+    the oracle for the canonical exception.
+
+    Returns plain-Python ``({name: int}, {name: str | None})`` dicts.
+    The predecessor of each vertex is the source of one *tight* edge on
+    a breadth-first walk from the distance-0 vertices, so every
+    ``critical_path`` chain is a genuine witness path (the oracle may
+    pick a different — equally valid — witness).
+    """
+    arr = graph_arrays(graph)
+    n = len(arr.names)
+    dist = _np.zeros(n, dtype=_np.int64)
+    anchor = arr.index[ANCHOR_NAME]
+    if arr.edge_count:
+        src, weight = arr.src, arr.weight
+        starts, targets = arr.group_starts, arr.group_dst
+        for _ in range(n):
+            best = _np.maximum.reduceat(dist[src] + weight, starts)
+            current = dist[targets]
+            if not (best > current).any():
+                break
+            dist[targets] = _np.maximum(current, best)
+            if dist[anchor] > 0:
+                raise KernelInfeasible("anchor pushed past time 0")
+        else:
+            if (dist[src] + weight > dist[arr.dst]).any():
+                raise KernelInfeasible("still relaxable after n passes")
+    distance = dict(zip(arr.names, dist.tolist()))
+    return distance, _np_predecessors(arr, dist)
+
+
+def _np_predecessors(arr, dist) -> "dict[str, str | None]":
+    """Witness predecessors via tight-edge BFS from distance-0 roots.
+
+    At the fixpoint every vertex with a positive distance lies on a
+    witness path from the anchor whose edges are all *tight*
+    (``dist[src] + w == dist[dst]`` — were a prefix slack, the endpoint
+    could improve).  A BFS over tight edges from the distance-0 set
+    therefore reaches every vertex, and its tree is acyclic by
+    construction, so predecessor chains always terminate.
+    """
+    pred: "dict[str, str | None]" = {name: None for name in arr.names}
+    if not arr.edge_count:
+        return pred
+    tight = dist[arr.src] + arr.weight == dist[arr.dst]
+    t_src = arr.src[tight].tolist()
+    t_dst = arr.dst[tight].tolist()
+    out: "dict[int, list[int]]" = {}
+    for s, d in zip(t_src, t_dst):
+        out.setdefault(s, []).append(d)
+    settled = (dist == 0)
+    frontier = deque(_np.flatnonzero(settled).tolist())
+    names = arr.names
+    while frontier:
+        s = frontier.popleft()
+        for d in out.get(s, ()):
+            if not settled[d]:
+                settled[d] = True
+                pred[names[d]] = names[s]
+                frontier.append(d)
+    return pred
+
+
+# ----------------------------------------------------------------------
+# profile integrals and level scans
+#
+# Bit-identity rule: vectorize the *elementwise* arithmetic (identical
+# IEEE-754 operations in either implementation) but replay the oracle's
+# left-to-right ``sum`` over the resulting Python floats — never a
+# pairwise or compensated reduction, which would change low-order bits.
+# ----------------------------------------------------------------------
+
+def np_energy(profile) -> float:
+    a = profile_arrays(profile)
+    if not a.segment_count:
+        return sum(())
+    return sum(((a.t1 - a.t0) * a.power).tolist())
+
+
+def np_energy_above(profile, level: float) -> float:
+    a = profile_arrays(profile)
+    if not a.segment_count:
+        return sum(())
+    terms = (a.t1 - a.t0) * (a.power - level)
+    return sum(terms[a.power > level].tolist())
+
+
+def np_energy_capped(profile, level: float) -> float:
+    a = profile_arrays(profile)
+    if not a.segment_count:
+        return sum(())
+    return sum(((a.t1 - a.t0)
+                * _np.minimum(a.power, level)).tolist())
+
+
+def np_is_power_valid(profile, p_max: float, tol: float) -> bool:
+    a = profile_arrays(profile)
+    return bool((a.power <= p_max + tol).all())
+
+
+def np_peak(profile) -> float:
+    a = profile_arrays(profile)
+    return float(a.power.max()) if a.segment_count else 0.0
+
+
+def np_floor(profile) -> float:
+    a = profile_arrays(profile)
+    return float(a.power.min()) if a.segment_count else 0.0
+
+
+def _np_runs(mask) -> "list":
+    """Maximal runs of consecutive True segments, as index arrays."""
+    idx = _np.flatnonzero(mask)
+    if not idx.size:
+        return []
+    splits = _np.flatnonzero(_np.diff(idx) > 1) + 1
+    return _np.split(idx, splits)
+
+
+def np_spike_runs(profile, p_max: float, tol: float) \
+        -> "list[tuple[int, int, float]]":
+    """``(start, end, peak)`` of every maximal above-budget run."""
+    a = profile_arrays(profile)
+    return [(int(a.t0[run[0]]), int(a.t1[run[-1]]),
+             float(a.power[run].max()))
+            for run in _np_runs(a.power > p_max + tol)]
+
+
+def np_gap_runs(profile, p_min: float, tol: float) \
+        -> "list[tuple[int, int, float]]":
+    """``(start, end, floor)`` of every maximal below-level run."""
+    a = profile_arrays(profile)
+    return [(int(a.t0[run[0]]), int(a.t1[run[-1]]),
+             float(a.power[run].min()))
+            for run in _np_runs(a.power < p_min - tol)]

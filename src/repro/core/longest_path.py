@@ -11,19 +11,38 @@ Every vertex also has an implicit ``anchor -> v`` edge of weight 0
 (nothing starts before time 0), which doubles as the source of
 reachability, so distances are always finite.
 
-Complexity: O(V * E).  The schedulers call this after each batch of edge
-insertions; for the paper-scale instances (tens of tasks) this is
-instantaneous, and for the synthetic benchmarks (hundreds of tasks) it
-remains comfortably fast.
+Complexity: O(V * E) for a cold solve.  The schedulers call this after
+each batch of edge insertions, and most calls are answered far cheaper
+than a cold solve, in order of preference:
+
+1. **exact cache hit** — the graph version is unchanged;
+2. **incremental propagation** — every mutation since the cache was an
+   edge addition, so only the delta is relaxed with a worklist;
+3. **state restore** — the graph just rolled back to a
+   previously-solved journal state whose fixpoint was memoized;
+4. **warm-pool hit** — the graph is a fresh copy of a source graph
+   whose fixpoint another solve (e.g. the neighboring sweep point)
+   already computed;
+5. **full solve** — the numpy kernel (:mod:`repro.core.kernel`) when
+   selected, the pure-Python oracle otherwise.
+
+Layers 3–5's fast variants are gated by :func:`repro.core.kernel`'s
+``warm``/kernel switches; with both off, behaviour is exactly the
+original two-layer cache.  All layers return the same integer
+distances — the Bellman–Ford least fixpoint of an edge set is unique —
+which the differential suite certifies bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from ..errors import InfeasibleError, PositiveCycleError
 from ..obs import OBS
+from . import kernel as _kernel
 from .graph import ConstraintGraph
+from .kernel import KernelInfeasible
 from .task import ANCHOR_NAME
 
 __all__ = ["LongestPathResult", "longest_paths", "earliest_starts",
@@ -39,7 +58,11 @@ __all__ = ["LongestPathResult", "longest_paths", "earliest_starts",
 # ----------------------------------------------------------------------
 
 _COUNTERS = {"cache_hits": 0, "incremental_runs": 0, "full_runs": 0,
-             "log_evictions": 0}
+             "log_evictions": 0, "kernel_runs": 0, "state_restores": 0,
+             "warm_hits": 0, "probe_prunes": 0}
+
+#: Bound on memoized journal states per graph (oldest half evicted).
+_STATE_CACHE_LIMIT = 256
 
 
 def lp_counter_snapshot() -> "dict[str, int]":
@@ -63,6 +86,14 @@ class LongestPathResult:
     as early as possible.  ``predecessor[v]`` is the vertex preceding
     ``v`` on one such path (``None`` for the anchor itself or for
     vertices pinned only by the implicit time-0 edge).
+
+    Both mappings are **read-only views** over the solver's cache
+    (:class:`types.MappingProxyType`): lookups and iteration behave
+    like dicts, mutation raises ``TypeError``.  The solver used to copy
+    both dicts on every cache hit — thousands of O(V) copies per solve
+    — and no caller ever mutated them; the views make that contract
+    explicit and free.  Callers needing a private mutable mapping take
+    an explicit ``dict(result.distance)``.
     """
 
     distance: "dict[str, int]"
@@ -81,32 +112,53 @@ class LongestPathResult:
         return chain
 
 
-def longest_paths(graph: ConstraintGraph) -> LongestPathResult:
+def _view(dist: dict, pred: dict) -> LongestPathResult:
+    """Wrap cached dicts as an immutable result, copy-free."""
+    return LongestPathResult(distance=MappingProxyType(dist),
+                             predecessor=MappingProxyType(pred))
+
+
+def longest_paths(graph: ConstraintGraph, *, probe: bool = False) \
+        -> "LongestPathResult | None":
     """Compute longest-path distances from the anchor to every vertex.
 
-    Transparently incremental: the result is cached on the graph, and
-    when every mutation since the cached version was an edge *addition*
-    (the schedulers' hot path — delays, locks, serializations between
-    rollbacks), distances can only grow, so only the delta is
-    propagated with a worklist instead of re-running Bellman–Ford.
-    Removals and rollbacks invalidate the fast path (they can shrink
-    distances) and fall back to the full computation.
+    Transparently incremental — see the module docstring for the
+    answer ladder (exact hit, incremental delta, rollback state
+    restore, cross-copy warm pool, full solve).  The result is a
+    read-only view over the graph-attached cache.
+
+    With ``probe=True`` the call is a *feasibility probe*: it returns
+    None instead of raising on infeasible edge sets.  Scheduler search
+    loops that catch :class:`PositiveCycleError` purely as a boolean
+    (try a move, back off on contradiction) probe instead, which lets
+    the warm layers prune infeasible branches from a *certified*
+    contradiction witness — a positive-weight closed walk through the
+    anchor, or a predecessor cycle whose edge weights sum positive —
+    without paying the reference oracle for an exception message nobody
+    reads.  An uncertified divergence still falls through to the full
+    solve, so a probe never misreports feasibility either way.  On
+    feasible graphs probes return the same distances as plain calls.
 
     Raises
     ------
     PositiveCycleError
-        If the constraint graph contains a positive cycle (the timing
-        constraints are unsatisfiable).  The exception carries one
-        offending cycle when it can be traced.
+        (Only when ``probe`` is False.)  If the constraint graph
+        contains a positive cycle (the timing constraints are
+        unsatisfiable).  The exception carries one offending cycle when
+        it can be traced, and is byte-identical whichever layer
+        detected the contradiction: the incremental and kernel paths
+        fall back to the reference oracle to raise.
     """
-    names = graph.task_names(include_anchor=True)
+    # Equivalent to task_names(include_anchor=True) — the anchor is the
+    # first inserted vertex — without materializing Task objects on
+    # every query (this is the solver's hottest entry point).
+    names = list(graph._tasks)
     cache = graph._lp_cache
     if cache is not None:
         version, dist, pred = cache
         if version == graph._version and len(dist) == len(names):
             _COUNTERS["cache_hits"] += 1
-            return LongestPathResult(distance=dict(dist),
-                                     predecessor=dict(pred))
+            return _view(dist, pred)
         # The incremental fast path is sound only under three invariants:
         #
         # 1. every mutation since the cached version was an edge
@@ -129,16 +181,24 @@ def longest_paths(graph: ConstraintGraph) -> LongestPathResult:
             adds = [entry for entry in graph._add_log
                     if entry[0] > version]
             if len(adds) == graph._version - version:
-                result = _propagate_adds(graph, dict(dist), dict(pred),
-                                         adds, names)
-                if result is not None:
+                try:
+                    propagated = _propagate_adds(graph, dict(dist),
+                                                 dict(pred), adds,
+                                                 names)
+                except _Diverged as diverged:
+                    if probe and _certified_infeasible(graph, diverged):
+                        _COUNTERS["probe_prunes"] += 1
+                        graph._lp_cache = None
+                        return None
+                    propagated = None
+                if propagated is not None:
                     _COUNTERS["incremental_runs"] += 1
-                    graph._lp_cache = (graph._version,
-                                       result.distance,
-                                       result.predecessor)
-                    return LongestPathResult(
-                        distance=dict(result.distance),
-                        predecessor=dict(result.predecessor))
+                    new_dist, new_pred = propagated
+                    graph._lp_cache = (graph._version, new_dist,
+                                       new_pred)
+                    if _kernel.warm_enabled():
+                        _remember_state(graph, new_dist, new_pred)
+                    return _view(new_dist, new_pred)
             else:
                 # Invariants 1 and 2 held but the add log no longer
                 # covers every version since the cache: the cache fell
@@ -147,34 +207,255 @@ def longest_paths(graph: ConstraintGraph) -> LongestPathResult:
                 # forced recomputes apart from genuinely invalidated
                 # caches (removals / rollbacks / new vertices).
                 _COUNTERS["log_evictions"] += 1
+    warm = _kernel.warm_enabled()
+    if warm:
+        restored = _restore_from_journal(graph, names, probe)
+        if restored is _INFEASIBLE:
+            _COUNTERS["probe_prunes"] += 1
+            graph._lp_cache = None
+            return None
+        if restored is not None:
+            return restored
+        if graph._warm_src is not None \
+                and graph._version == graph._warm_at_version:
+            hit = _kernel.warm_probe(graph._warm_src, len(names))
+            if hit is not None:
+                _COUNTERS["warm_hits"] += 1
+                dist, pred = hit
+                graph._lp_cache = (graph._version, dist, pred)
+                _remember_state(graph, dist, pred)
+                return _view(dist, pred)
     try:
         _COUNTERS["full_runs"] += 1
         if OBS.enabled:
-            # Spans only for the expensive path: full Bellman–Ford
-            # recomputes are the O(V*E) events worth seeing on a
-            # flamegraph; cache hits and incremental propagations stay
-            # counters (they fire thousands of times per solve).
+            # Spans only for the expensive path: full solves are the
+            # O(V*E) events worth seeing on a flamegraph; cache hits
+            # and incremental propagations stay counters (they fire
+            # thousands of times per solve).
             with OBS.span("core.longest_path.full",
                           vertices=len(names)):
-                return _full_longest_paths(graph, names)
-        return _full_longest_paths(graph, names)
+                dist, pred = _solve_full(graph, names)
+        else:
+            dist, pred = _solve_full(graph, names)
     except PositiveCycleError:
         graph._lp_cache = None
+        if probe:
+            return None
         raise
+    graph._lp_cache = (graph._version, dist, pred)
+    if warm:
+        _remember_state(graph, dist, pred)
+        if graph._warm_src is not None \
+                and graph._version == graph._warm_at_version:
+            _kernel.warm_store(graph._warm_src, len(names), dist, pred)
+    return _view(dist, pred)
+
+
+def _solve_full(graph: ConstraintGraph, names: "list[str]") \
+        -> "tuple[dict, dict]":
+    """Cold solve through the selected kernel.
+
+    The numpy kernel computes the identical integer fixpoint; when it
+    detects infeasibility the oracle re-runs to raise the canonical
+    exception (or, defensively, to return the correct result should
+    the kernel ever flag a feasible instance).
+    """
+    if _kernel.use_numpy(len(names), _kernel.AUTO_MIN_VERTICES):
+        try:
+            dist, pred = _kernel.np_longest_paths(graph)
+        except KernelInfeasible:
+            result = _full_longest_paths(graph, names)
+            return result.distance, result.predecessor
+        _COUNTERS["kernel_runs"] += 1
+        return dist, pred
+    result = _full_longest_paths(graph, names)
+    return result.distance, result.predecessor
+
+
+#: How far below the current journal length the restore layer looks for
+#: a memoized prefix to replay forward from.  The scheduler hot loops
+#: (serial DFS, spike elimination, compaction) roll back and retry a
+#: handful of edges at a time, so a short window catches them; anything
+#: deeper falls through to a full solve.
+_REPLAY_WINDOW = 32
+
+#: Sentinel returned by :func:`_restore_from_journal` when a probe
+#: certified the current edge set infeasible (distinct from None =
+#: "layer not applicable, fall through").
+_INFEASIBLE = object()
+
+
+class _Diverged(Exception):
+    """Internal: incremental relaxation suspects a positive cycle.
+
+    ``certain`` is True when the divergence itself is a proof of
+    infeasibility (the anchor's distance became positive, i.e. an
+    actual positive-weight closed walk through the fixed time origin
+    was relaxed).  Otherwise ``dst``/``pred`` carry the state needed to
+    attempt certification via :func:`_certified_infeasible`.
+    """
+
+    def __init__(self, dst: "str | None", pred: dict,
+                 certain: bool) -> None:
+        super().__init__("relaxation diverged")
+        self.dst = dst
+        self.pred = pred
+        self.certain = certain
+
+
+def _certified_infeasible(graph: ConstraintGraph,
+                          diverged: _Diverged) -> bool:
+    """True when the divergence comes with a verifiable contradiction.
+
+    A relaxation count overflow alone is only a *suspicion* (worklist
+    relaxation can legitimately improve a vertex many times), so probes
+    confirm it by walking the predecessor chain from the overflowing
+    vertex: if it closes a cycle and the cycle's edge weights (read
+    from the live edge store) sum positive, the graph provably has no
+    fixpoint.  An inconclusive walk returns False and the caller pays
+    the full solve — certification failure costs speed, never a wrong
+    feasibility verdict.
+    """
+    if diverged.certain:
+        return True
+    if diverged.dst is None:
+        return False
+    pred = diverged.pred
+    seen: "dict[str, int]" = {}
+    chain: "list[str]" = []
+    cur: "str | None" = diverged.dst
+    while cur is not None and cur not in seen:
+        seen[cur] = len(chain)
+        chain.append(cur)
+        cur = pred.get(cur)
+    if cur is None:
+        return False
+    cycle = chain[seen[cur]:] + [cur]
+    edges = graph._edges
+    total = 0
+    for dst_v, src_v in zip(cycle, cycle[1:]):
+        entry = edges.get((src_v, dst_v))
+        if entry is None:
+            return False
+        total += entry[0]
+    return total > 0
+
+
+def _restore_from_journal(graph: ConstraintGraph, names: "list[str]",
+                          probe: bool = False):
+    """Answer from a memoized journal state, replaying the suffix.
+
+    The edge set is a pure function of the journal prefix, and
+    ``rollback`` drops memos above the restored token — so a surviving
+    journal-length key names exactly the edge set at that prefix.  An
+    exact-length hit restores the fixpoint outright.  A *shorter*
+    memoized prefix is still usable when every journal entry since it
+    is monotone (edges only created or tightened — ``add_edge`` keeps
+    the max weight, so this is the common case): distances only grow,
+    and worklist relaxation of the changed edges over the memoized
+    fixpoint reaches the current least fixpoint.  Any weakening or
+    removal in the suffix disqualifies the layer — and disqualifies
+    every shorter prefix too, so the scan stops there.
+
+    Returns the restored view, None to fall through to the warm pool /
+    full solve, or :data:`_INFEASIBLE` when a probing caller's replay
+    diverged with a certified contradiction.  Never raises on
+    infeasible instances: a non-probe diverging replay returns None so
+    the oracle raises canonically.
+    """
+    state_cache = graph._state_cache
+    if not state_cache:
+        return None
+    journal = graph._journal
+    length = len(journal)
+    for key in range(length, max(length - _REPLAY_WINDOW, 0) - 1, -1):
+        entry = state_cache.get(key)
+        if entry is None:
+            continue
+        if entry[0] != len(names):
+            return None  # vertex set changed since every older memo
+        _, dist, pred = entry
+        if key == length:
+            _COUNTERS["state_restores"] += 1
+            graph._lp_cache = (graph._version, dist, pred)
+            return _view(dist, pred)
+        # Net change per touched pair: weight at memo time is the
+        # *first* journaled prev for the pair (None = absent), current
+        # weight is the live edge store.
+        first_prev: "dict[tuple, Any]" = {}
+        for edge_key, prev in journal[key:]:
+            if edge_key not in first_prev:
+                first_prev[edge_key] = prev
+        edges = graph._edges
+        adds = []
+        for edge_key, prev in first_prev.items():
+            current = edges.get(edge_key)
+            if current is None:
+                if prev is None:
+                    continue  # created then removed: net no-op
+                return None  # removed since the memo: not monotone
+            old_weight = None if prev is None else prev[0]
+            if old_weight is None or current[0] > old_weight:
+                adds.append((0, edge_key[0], edge_key[1], current[0]))
+            elif current[0] < old_weight:
+                return None  # weakened since the memo: not monotone
+        if not adds:
+            new_dist, new_pred = dist, pred
+        else:
+            try:
+                propagated = _propagate_adds(graph, dict(dist),
+                                             dict(pred), adds, names)
+            except _Diverged as diverged:
+                if probe and _certified_infeasible(graph, diverged):
+                    return _INFEASIBLE
+                return None
+            if propagated is None:
+                return None
+            new_dist, new_pred = propagated
+        _COUNTERS["state_restores"] += 1
+        graph._lp_cache = (graph._version, new_dist, new_pred)
+        _remember_state(graph, new_dist, new_pred)
+        return _view(new_dist, new_pred)
+    return None
+
+
+def _remember_state(graph: ConstraintGraph, dist: dict,
+                    pred: dict) -> None:
+    """Memoize the solved fixpoint under the current journal length.
+
+    ``ConstraintGraph.rollback`` drops memos above the restored token
+    and ``strip_tags`` clears them, so a surviving key always names the
+    exact current edge set.  The dicts are shared with ``_lp_cache``
+    and never mutated in place (the incremental path copies first).
+    """
+    state_cache = graph._state_cache
+    state_cache[len(graph._journal)] = (len(dist), dist, pred)
+    if len(state_cache) > _STATE_CACHE_LIMIT:
+        doomed = list(state_cache)[:_STATE_CACHE_LIMIT // 2]
+        for key in doomed:
+            del state_cache[key]
 
 
 def _propagate_adds(graph, dist, pred, adds, names) \
-        -> "LongestPathResult | None":
+        -> "tuple[dict, dict] | None":
     """Worklist relaxation of newly-added edges over cached distances.
 
-    Returns None when a new vertex appeared (cache unusable).  Raises
-    :class:`PositiveCycleError` when the relaxation diverges, after
-    invalidating the cache.
+    Returns the updated ``(distance, predecessor)`` dicts, or None when
+    the cached state is unusable (a new vertex appeared).  Divergence —
+    a suspected positive cycle — raises :class:`_Diverged` instead,
+    carrying whether the divergence is a proof (positive closed walk
+    through the anchor) or needs certification.  Non-probing callers
+    treat any divergence as "fall through to the full solve", whose
+    oracle raises the canonical :class:`PositiveCycleError` (message
+    and traced cycle included) — so infeasibility reported through a
+    warm cache is byte-identical to a cold solve, and a false-positive
+    divergence guard costs a recompute, never a wrong exception.
     """
     from collections import deque
 
     limit = len(names)
     queue: "deque[str]" = deque()
+    queued: "set[str]" = set()
     counts: "dict[str, int]" = {}
 
     def relax(src: str, dst: str, weight: int) -> None:
@@ -183,13 +464,21 @@ def _propagate_adds(graph, dist, pred, adds, names) \
             dist[dst] = cand
             pred[dst] = src
             counts[dst] = counts.get(dst, 0) + 1
-            if counts[dst] > limit or \
-                    (dst == ANCHOR_NAME and dist[dst] > 0):
-                graph._lp_cache = None
-                raise PositiveCycleError(
-                    "timing constraints contain a positive cycle "
-                    f"(incremental relaxation diverged at {dst!r})")
-            queue.append(dst)
+            if dst == ANCHOR_NAME and dist[dst] > 0:
+                # Every relaxed value is the length of a real walk from
+                # the anchor, so a positive anchor distance certifies a
+                # positive closed walk — infeasibility proven.
+                raise _Diverged(dst, pred, certain=True)
+            if counts[dst] > limit:
+                raise _Diverged(dst, pred, certain=False)
+            # A vertex already awaiting processing is processed with
+            # its *latest* distance, so re-enqueueing it only clones
+            # work — without this guard the queue blows up
+            # combinatorially on dense deltas (and loops millions of
+            # times before a positive cycle trips the count limit).
+            if dst not in queued:
+                queued.add(dst)
+                queue.append(dst)
 
     for _, src, dst, weight in adds:
         if src not in dist or dst not in dist:
@@ -197,18 +486,39 @@ def _propagate_adds(graph, dist, pred, adds, names) \
         relax(src, dst, weight)
     edges = graph._edges
     out = graph._out
+    # Edge weights are fixed for the duration of one propagation, so the
+    # adjacency of each popped vertex is snapshotted on first visit;
+    # near-infeasible instances pop every vertex up to ``limit`` times
+    # and would otherwise repeat the tuple-key edge lookups each pass.
+    adj: "dict[str, list]" = {}
     while queue:
         src = queue.popleft()
-        for dst in out.get(src, ()):
-            entry = edges.get((src, dst))
-            if entry is not None:
-                relax(src, dst, entry[0])
-    if dist[ANCHOR_NAME] > 0:
-        graph._lp_cache = None
-        raise PositiveCycleError(
-            "timing constraints force the anchor past time 0 "
-            "(deadline chain is unsatisfiable)")
-    return LongestPathResult(distance=dist, predecessor=pred)
+        queued.discard(src)
+        row = adj.get(src)
+        if row is None:
+            row = [(dst, entry[0])
+                   for dst in out.get(src, ())
+                   for entry in (edges.get((src, dst)),)
+                   if entry is not None]
+            adj[src] = row
+        base = dist[src]
+        for dst, weight in row:
+            cand = base + weight
+            if cand > dist[dst]:
+                dist[dst] = cand
+                pred[dst] = src
+                count = counts.get(dst, 0) + 1
+                counts[dst] = count
+                if dst == ANCHOR_NAME and cand > 0:
+                    raise _Diverged(dst, pred, certain=True)
+                if count > limit:
+                    raise _Diverged(dst, pred, certain=False)
+                if dst not in queued:
+                    queued.add(dst)
+                    queue.append(dst)
+    if dist[ANCHOR_NAME] > 0:  # pragma: no cover - relax() raises first
+        raise _Diverged(ANCHOR_NAME, pred, certain=True)
+    return dist, pred
 
 
 def _full_longest_paths(graph: ConstraintGraph,
@@ -248,7 +558,6 @@ def _full_longest_paths(graph: ConstraintGraph,
                     cycle=_trace_cycle(pred, dst))
     # Distances can never be negative: the implicit time-0 edges put a
     # floor of 0 under every vertex, which the initialization encodes.
-    graph._lp_cache = (graph._version, dict(dist), dict(pred))
     return LongestPathResult(distance=dist, predecessor=pred)
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..errors import ValidationError
+from . import kernel as _kernel
 from .schedule import Schedule
 
 __all__ = ["Interval", "PowerProfile"]
@@ -76,10 +77,18 @@ class PowerProfile:
             if power < 0:
                 raise ValidationError(
                     f"negative power {power} in segment [{t0}, {t1})")
-            # merge equal-power neighbours for compactness
-            if self._segments and self._segments[-1][2] == power:
+            # Merge equal-power neighbours for compactness.  "Equal"
+            # uses the same POWER_TOL as every validity check: summing
+            # task powers in a different order (permuted inputs, the
+            # vectorized kernel) can jitter a level by an ulp, and an
+            # exact == here would then split one plateau into two
+            # segments — changing segment counts across backends while
+            # every power query still agreed.  The merged segment keeps
+            # the first-seen power, so a long plateau cannot drift.
+            if self._segments and \
+                    abs(self._segments[-1][2] - power) <= self.POWER_TOL:
                 last = self._segments.pop()
-                self._segments.append((last[0], t1, power))
+                self._segments.append((last[0], t1, last[2]))
             else:
                 self._segments.append((t0, t1, power))
             prev_end = t1
@@ -159,10 +168,14 @@ class PowerProfile:
 
     def peak(self) -> float:
         """The maximum instantaneous power."""
+        if _kernel.use_numpy(len(self._segments), _kernel.AUTO_MIN_SEGMENTS):
+            return _kernel.np_peak(self)
         return max((seg[2] for seg in self._segments), default=0.0)
 
     def floor(self) -> float:
         """The minimum instantaneous power over the domain."""
+        if _kernel.use_numpy(len(self._segments), _kernel.AUTO_MIN_SEGMENTS):
+            return _kernel.np_floor(self)
         return min((seg[2] for seg in self._segments), default=0.0)
 
     # ------------------------------------------------------------------
@@ -178,11 +191,17 @@ class PowerProfile:
     def spikes(self, p_max: float, tol: float = POWER_TOL) \
             -> "list[Interval]":
         """Maximal intervals where ``P(t) > P_max`` (hard violations)."""
+        if _kernel.use_numpy(len(self._segments), _kernel.AUTO_MIN_SEGMENTS):
+            return [Interval(t0, t1, ext) for t0, t1, ext
+                    in _kernel.np_spike_runs(self, p_max, tol)]
         return self._level_intervals(lambda p: p > p_max + tol, max)
 
     def gaps(self, p_min: float, tol: float = POWER_TOL) \
             -> "list[Interval]":
         """Maximal intervals where ``P(t) < P_min`` (soft violations)."""
+        if _kernel.use_numpy(len(self._segments), _kernel.AUTO_MIN_SEGMENTS):
+            return [Interval(t0, t1, ext) for t0, t1, ext
+                    in _kernel.np_gap_runs(self, p_min, tol)]
         return self._level_intervals(lambda p: p < p_min - tol, min)
 
     def first_spike(self, p_max: float, tol: float = POWER_TOL) \
@@ -205,6 +224,8 @@ class PowerProfile:
 
     def is_power_valid(self, p_max: float, tol: float = POWER_TOL) -> bool:
         """True when the profile never exceeds the max power constraint."""
+        if _kernel.use_numpy(len(self._segments), _kernel.AUTO_MIN_SEGMENTS):
+            return _kernel.np_is_power_valid(self, p_max, tol)
         return all(seg[2] <= p_max + tol for seg in self._segments)
 
     def _level_intervals(self, predicate, extremum_fn) -> "list[Interval]":
@@ -227,9 +248,18 @@ class PowerProfile:
 
     def _extend_interval(self, start: int, predicate, extremum_fn) \
             -> Interval:
+        # Jump straight to the segment containing ``start`` instead of
+        # scanning from t=0 — first_spike/first_gap call this inside the
+        # scheduler inner loop, and late violations made it O(S) per
+        # call.  ``bisect_right - 1`` lands on the covering segment (or
+        # -1 before the domain, clamped); the ``t1 <= start`` guard is
+        # kept for the boundary where ``start`` equals that segment's
+        # end.
         ext = None
         end = start
-        for t0, t1, power in self._segments:
+        first = max(bisect_right(self._starts, start) - 1, 0)
+        for i in range(first, len(self._segments)):
+            t0, t1, power = self._segments[i]
             if t1 <= start:
                 continue
             if predicate(power):
@@ -245,11 +275,15 @@ class PowerProfile:
 
     def energy(self) -> float:
         """Total energy ``integral P(t) dt`` in joules."""
+        if _kernel.use_numpy(len(self._segments), _kernel.AUTO_MIN_SEGMENTS):
+            return _kernel.np_energy(self)
         return sum((t1 - t0) * p for t0, t1, p in self._segments)
 
     def energy_above(self, level: float) -> float:
         """``integral max(0, P(t) - level) dt`` — energy drawn *above*
         a supply level (the paper's energy cost when ``level = P_min``)."""
+        if _kernel.use_numpy(len(self._segments), _kernel.AUTO_MIN_SEGMENTS):
+            return _kernel.np_energy_above(self, level)
         return sum((t1 - t0) * (p - level)
                    for t0, t1, p in self._segments if p > level)
 
@@ -257,6 +291,8 @@ class PowerProfile:
         """``integral min(P(t), level) dt`` — energy absorbed from a
         source capped at ``level`` (free-solar usage when
         ``level = P_min``)."""
+        if _kernel.use_numpy(len(self._segments), _kernel.AUTO_MIN_SEGMENTS):
+            return _kernel.np_energy_capped(self, level)
         return sum((t1 - t0) * min(p, level) for t0, t1, p in self._segments)
 
     # ------------------------------------------------------------------

@@ -45,19 +45,28 @@ def slack(schedule: Schedule, name: str) -> int:
     graph = schedule.graph
     best = UNBOUNDED_SLACK
     sigma_v = schedule.start(name)
-    for edge in graph.out_edges(name):
-        if edge.dst == graph.anchor.name:
+    # Hot path: the max-power scheduler recomputes every candidate's
+    # slack after each move.  Read the edge store directly instead of
+    # materializing Edge records per call.
+    edges = graph._edges
+    anchor = graph.anchor.name
+    for dst in graph._out.get(name, ()):
+        entry = edges.get((name, dst))
+        if entry is None:
+            continue
+        weight = entry[0]
+        if dst == anchor:
             # outgoing edge to the anchor encodes a start deadline:
             # sigma(anchor) - sigma(v) >= weight  =>  sigma(v) <= -weight
-            room = 0 - sigma_v - edge.weight
-        elif edge.dst in schedule:
-            room = schedule.start(edge.dst) - sigma_v - edge.weight
+            room = 0 - sigma_v - weight
+        elif dst in schedule:
+            room = schedule.start(dst) - sigma_v - weight
         else:
             continue
         if room < 0:
             raise ValidationError(
                 f"schedule is not time-valid at edge "
-                f"{edge.src!r} -> {edge.dst!r} (weight {edge.weight}); "
+                f"{name!r} -> {dst!r} (weight {weight}); "
                 f"slack would be {room}")
         best = min(best, room)
     return best

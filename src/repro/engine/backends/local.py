@@ -57,7 +57,9 @@ class LocalBackend(ExecutionBackend):
             results[position] = run_job(
                 job, position=position, key=key,
                 retries=config.retries, instrument=instrument,
-                store=store, lp_log_factor=config.lp_log_factor)
+                store=store, lp_log_factor=config.lp_log_factor,
+                core_kernel=config.core_kernel,
+                warm_start=config.warm_start)
             if on_result is not None:
                 on_result(results[position])
 
@@ -94,7 +96,9 @@ class LocalBackend(ExecutionBackend):
                         future = pool.submit(run_chunk, chunk,
                                              cfg.retries, instrument,
                                              snapshot,
-                                             cfg.lp_log_factor)
+                                             cfg.lp_log_factor,
+                                             cfg.core_kernel,
+                                             cfg.warm_start)
                     except Exception:  # noqa: BLE001 - pool is gone
                         future = None
                     submitted.append((future, chunk, attempt))

@@ -67,7 +67,9 @@ def run_manifest(manifest):
         reuse_schedules=store is not None,
         reuse_policy=reuse_policy,
         instrument=bool(knobs.get("instrument")),
-        lp_log_factor=knobs.get("lp_log_factor"))
+        lp_log_factor=knobs.get("lp_log_factor"),
+        core_kernel=knobs.get("core_kernel", "auto"),
+        warm_start=bool(knobs.get("warm_start", True)))
     runner = BatchRunner(config, store=store)
     results = runner.run([job for _position, job in manifest.jobs])
     # Results and job traces come back in shard-local order; re-tag
@@ -135,6 +137,8 @@ class SubprocessShardBackend(ExecutionBackend):
             "reuse_policy": config.reuse_policy,
             "instrument": bool(instrument),
             "lp_log_factor": config.lp_log_factor,
+            "core_kernel": config.core_kernel,
+            "warm_start": config.warm_start,
         }
         store_doc = store.snapshot().to_dict() \
             if store is not None else None

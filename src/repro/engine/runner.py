@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
+from ..core.kernel import KERNEL_MODES
 from ..obs import (OBS, MetricsRegistry, Span, absorb_cache_stats,
                    absorb_scheduler_stats, absorb_store_stats)
 from .backends.base import SNAPSHOT_MODES, ExecutionBackend
@@ -93,6 +94,22 @@ class RunnerConfig:
         the ``lp_cache_log_evictions`` counter to see whether the
         window is the bottleneck); ``None`` (default) keeps the
         process-wide setting.
+    core_kernel:
+        Solver-core selection for every job of the batch (serial,
+        pooled, and sharded workers alike): ``"auto"`` (default) uses
+        the numpy fast path when numpy is importable, ``"numpy"``
+        forces it, ``"oracle"`` forces the pure-Python reference
+        implementation.  The fast path is certified bit-identical to
+        the oracle (see ``repro.core.kernel``), so this is a speed
+        knob, never a results knob.
+    warm_start:
+        Warm-started re-solves (default True): longest-path fixpoints
+        are memoized across checkpoints/rollbacks and carried across
+        graph copies and neighbouring sweep points, so a re-solve of a
+        shared edge set starts from the solved distances instead of
+        cold.  Exact — an identical edge set has an identical unique
+        fixpoint — and surfaced in the ``lp_state_restores`` /
+        ``lp_warm_hits`` counters.  Disable to measure cold-solve cost.
     trace_path:
         When set, every run writes its JSON :class:`RunTrace` here.
     instrument:
@@ -117,6 +134,8 @@ class RunnerConfig:
     reuse_schedules: bool = False
     reuse_policy: str = "identical"
     lp_log_factor: "int | None" = None
+    core_kernel: str = "auto"
+    warm_start: bool = True
     trace_path: "str | None" = None
     instrument: bool = False
 
@@ -127,6 +146,10 @@ class RunnerConfig:
             raise ValueError(
                 f"lp_log_factor must be >= 1 or None, "
                 f"got {self.lp_log_factor}")
+        if self.core_kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"core_kernel must be one of {KERNEL_MODES}, "
+                f"got {self.core_kernel!r}")
         if self.chunksize < 1:
             raise ValueError(
                 f"chunksize must be >= 1, got {self.chunksize}")

@@ -13,7 +13,8 @@ process (and machine) boundaries:
       "options": {... SchedulerOptions fields ...} | null,
       "runner": {"retries": 1, "reuse_schedules": true,
                  "reuse_policy": "identical", "instrument": false,
-                 "lp_log_factor": null},
+                 "lp_log_factor": null, "core_kernel": "auto",
+                 "warm_start": true},
       "problems": [{... repro-problem doc, p_max/p_min removed ...}],
       "jobs": [{"position": 7, "problem": 0,
                 "p_max": 20.0, "p_min": 14.0},

@@ -48,7 +48,7 @@ from ..core.profile import PowerProfile
 from ..core.schedule import Schedule
 from ..core.slack import slack
 from ..core.task import ANCHOR_NAME
-from ..errors import PositiveCycleError, SchedulingFailure
+from ..errors import SchedulingFailure
 from ..obs import OBS
 from .base import ScheduleResult, SchedulerOptions, SchedulerStats, \
     make_result
@@ -206,9 +206,8 @@ class MaxPowerScheduler:
     def _repair(self, graph: ConstraintGraph, p_max: float,
                 baseline: float) -> "Schedule | None":
         """Recursive spike repair; None signals a failed branch."""
-        try:
-            schedule = asap_schedule(graph)
-        except PositiveCycleError:
+        schedule = asap_schedule(graph, probe=True)
+        if schedule is None:
             return None
         profile = PowerProfile.from_schedule(schedule, baseline=baseline)
         spike = profile.first_spike(p_max)
@@ -272,9 +271,8 @@ class MaxPowerScheduler:
         schedule = None
         while guard > 0:
             guard -= 1
-            try:
-                schedule = asap_schedule(graph)
-            except PositiveCycleError:  # pragma: no cover - defensive
+            schedule = asap_schedule(graph, probe=True)
+            if schedule is None:  # pragma: no cover - defensive
                 return False
             power = baseline + schedule.power_at(t)
             if power <= p_max + PowerProfile.POWER_TOL:
@@ -300,9 +298,7 @@ class MaxPowerScheduler:
             if not self._delay_past(graph, schedule, victim, t, target):
                 blocked.add(victim)
                 continue
-            try:
-                asap_schedule(graph)
-            except PositiveCycleError:
+            if asap_schedule(graph, probe=True) is None:
                 graph.rollback(token)
                 blocked.add(victim)
                 continue
@@ -352,13 +348,18 @@ class MaxPowerScheduler:
                     t: int, blocked: "set[str]") -> bool:
         """Remove the start-time lock of one task active at ``t``.
 
-        Only scheduler-added ``"lock"`` max edges are removed — user
-        deadlines are never touched.  Returns True when a lock was
-        lifted (the task becomes a delay candidate again).
+        Only scheduler-added ``"lock"`` max edges are lifted — user
+        deadlines are never touched.  ``weaken_edge`` (not plain
+        removal) matters here: a lock that landed on a task already
+        carrying a *tighter user start deadline* overwrote it in the
+        edge store, and removing the pair outright would silently drop
+        the user's deadline with the lock.  Weakening restores it.
+        Returns True when a lock was lifted (the task becomes a delay
+        candidate again).
         """
         for name in self._ordered_active(schedule, t):
             if graph.edge_tag(name, ANCHOR_NAME) == "lock":
-                graph.remove_edge(name, ANCHOR_NAME)
+                graph.weaken_edge(name, ANCHOR_NAME)
                 blocked.discard(name)
                 return True
         return False
@@ -420,10 +421,12 @@ class MaxPowerScheduler:
         release = graph.separation(ANCHOR_NAME, name)
         tag = graph.edge_tag(ANCHOR_NAME, name)
         token = graph.checkpoint()
-        graph.remove_edge(ANCHOR_NAME, name)
-        try:
-            trial = asap_schedule(graph)
-        except PositiveCycleError:     # pragma: no cover - defensive
+        # Weaken, don't remove: the delay edge may have overwritten a
+        # user release on the same (anchor, task) pair — restore it so
+        # compaction never shifts a task before its user release.
+        graph.weaken_edge(ANCHOR_NAME, name)
+        trial = asap_schedule(graph, probe=True)
+        if trial is None:              # pragma: no cover - defensive
             graph.rollback(token)
             return False
         earliest = trial.start(name)
@@ -439,11 +442,10 @@ class MaxPowerScheduler:
                              if earliest < t0 < release})
         for start in boundaries:
             graph.rollback(token)
-            graph.remove_edge(ANCHOR_NAME, name)
+            graph.weaken_edge(ANCHOR_NAME, name)
             graph.add_edge(ANCHOR_NAME, name, start, tag=tag)
-            try:
-                trial = asap_schedule(graph)
-            except PositiveCycleError:  # pragma: no cover - defensive
+            trial = asap_schedule(graph, probe=True)
+            if trial is None:           # pragma: no cover - defensive
                 continue
             trial_profile = PowerProfile.from_schedule(
                 trial, baseline=baseline)

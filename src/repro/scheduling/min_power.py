@@ -38,7 +38,6 @@ from ..core.profile import PowerProfile
 from ..core.schedule import Schedule
 from ..core.slack import slack
 from ..core.task import ANCHOR_NAME
-from ..errors import PositiveCycleError
 from ..obs import OBS
 from .base import ScheduleResult, SchedulerOptions, SchedulerStats, \
     make_result
@@ -196,10 +195,7 @@ class MinPowerScheduler:
                 graph.rollback(token)
                 continue
             accepted = None
-            try:
-                trial = asap_schedule(graph)
-            except PositiveCycleError:
-                trial = None
+            trial = asap_schedule(graph, probe=True)
             if trial is not None and trial.makespan <= makespan:
                 trial_profile = PowerProfile.from_schedule(
                     trial, baseline=baseline, horizon=makespan)

@@ -37,7 +37,7 @@ from ..core.problem import SchedulingProblem
 from ..core.profile import PowerProfile
 from ..core.schedule import Schedule
 from ..core.validation import check_power_valid
-from ..errors import (InfeasibleError, PositiveCycleError, ReproError,
+from ..errors import (InfeasibleError, ReproError,
                       SchedulingFailure)
 from .base import ScheduleResult, SchedulerStats, make_result
 
@@ -128,10 +128,10 @@ class OptimalScheduler:
         if depth == len(names):
             self._record(problem, graph, names, state)
             return
-        try:
-            dist = longest_paths(graph).distance
-        except PositiveCycleError:
+        result = longest_paths(graph, probe=True)
+        if result is None:
             return
+        dist = result.distance
         name = names[depth]
         task = graph.task(name)
         latest = horizon - task.duration
@@ -174,10 +174,10 @@ class OptimalScheduler:
 
     def _record(self, problem, graph, names, state) -> None:
         """A complete assignment reached: validate and score it."""
-        try:
-            dist = longest_paths(graph).distance
-        except PositiveCycleError:
+        result = longest_paths(graph, probe=True)
+        if result is None:
             return  # the final lock contradicted a max separation
+        dist = result.distance
         starts = {n: dist[n] for n in names}
         schedule = Schedule(graph, starts)
         report = check_power_valid(schedule, problem.p_max,

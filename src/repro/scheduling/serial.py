@@ -20,7 +20,7 @@ from ..core.graph import ConstraintGraph
 from ..core.longest_path import longest_paths
 from ..core.problem import SchedulingProblem
 from ..core.task import ANCHOR_NAME
-from ..errors import PositiveCycleError, SchedulingFailure
+from ..errors import SchedulingFailure
 from .base import ScheduleResult, SchedulerOptions, SchedulerStats, \
     make_result
 from .timing import asap_schedule
@@ -69,11 +69,11 @@ class SerialScheduler:
         if len(chain) == len(names):
             return True
         placed = set(chain)
-        try:
-            self.stats.longest_path_runs += 1
-            dist = longest_paths(graph).distance
-        except PositiveCycleError:
+        self.stats.longest_path_runs += 1
+        result = longest_paths(graph, probe=True)
+        if result is None:
             return False
+        dist = result.distance
         ready = [n for n in names if n not in placed
                  and self._preds_placed(graph, n, placed)]
         ready.sort(key=lambda n: (dist[n], n))
@@ -110,12 +110,8 @@ class SerialScheduler:
         graph.add_edge(prev, name, graph.task(prev).duration,
                        tag="serialize")
         self.stats.serializations += 1
-        try:
-            self.stats.longest_path_runs += 1
-            longest_paths(graph)
-        except PositiveCycleError:
-            return False
-        return True
+        self.stats.longest_path_runs += 1
+        return longest_paths(graph, probe=True) is not None
 
 
 def serial_schedule(problem: SchedulingProblem,

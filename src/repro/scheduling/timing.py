@@ -33,7 +33,7 @@ from ..core.longest_path import longest_paths
 from ..core.problem import SchedulingProblem
 from ..core.schedule import Schedule
 from ..core.task import ANCHOR_NAME
-from ..errors import PositiveCycleError, SchedulingFailure
+from ..errors import SchedulingFailure
 from ..obs import OBS
 from .base import ScheduleResult, SchedulerOptions, SchedulerStats, \
     make_result
@@ -41,14 +41,19 @@ from .base import ScheduleResult, SchedulerOptions, SchedulerStats, \
 __all__ = ["TimingScheduler", "timing_schedule", "asap_schedule"]
 
 
-def asap_schedule(graph: ConstraintGraph) -> Schedule:
+def asap_schedule(graph: ConstraintGraph, *,
+                  probe: bool = False) -> "Schedule | None":
     """The ASAP schedule implied by the graph's current edge set.
 
     Ignores resource conflicts — valid only after serialization edges
     are in place.  Raises :class:`PositiveCycleError` if the constraints
-    contradict.
+    contradict — unless ``probe`` is True, in which case an infeasible
+    edge set yields None instead (for scheduler search loops that only
+    need the boolean; see :func:`repro.core.longest_path.longest_paths`).
     """
-    result = longest_paths(graph)
+    result = longest_paths(graph, probe=probe)
+    if result is None:
+        return None
     return Schedule(graph, {name: result.distance[name]
                             for name in graph.task_names()})
 
@@ -177,12 +182,8 @@ class TimingScheduler:
                 graph.add_edge(candidate, other.name, duration,
                                tag="serialize")
                 self.stats.serializations += 1
-        try:
-            self.stats.longest_path_runs += 1
-            longest_paths(graph)
-        except PositiveCycleError:
-            return False
-        return True
+        self.stats.longest_path_runs += 1
+        return longest_paths(graph, probe=True) is not None
 
 
 def timing_schedule(problem: SchedulingProblem,

@@ -1,0 +1,505 @@
+"""Differential certification of the numpy solver kernel.
+
+The numpy fast path (``repro.core.kernel``) is *certified against* the
+pure-Python oracle, never trusted: every test here runs the same
+computation through both implementations and asserts bit-identical
+results — integer distances, IEEE-754-exact energies, identical
+spikes/gaps, and identical exceptions on infeasible instances.  The
+same differential pattern covers the warm-start layers (state restores,
+copy-carried caches, the cross-point warm pool): warm answers must be
+indistinguishable from cold solves.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core import ANCHOR_NAME, ConstraintGraph, PowerProfile
+from repro.core.arrays import HAVE_NUMPY, graph_arrays
+from repro.core.kernel import (clear_warm_pool, set_kernel, set_warm,
+                               use_numpy)
+from repro.core.longest_path import (longest_paths, lp_counter_snapshot,
+                                     lp_counters_delta)
+from repro.engine import BatchRunner, RunnerConfig, SweepSpec
+from repro.errors import PositiveCycleError
+from repro.examples_data import fig1_options, fig1_problem
+from repro.scheduling import PowerAwareScheduler
+from repro.workloads import RandomWorkloadConfig, random_problem
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="numpy not installed")
+
+
+@contextmanager
+def core_mode(kernel: str, warm: bool):
+    """Pin kernel + warm selection, restoring the previous state."""
+    prev_kernel = set_kernel(kernel)
+    prev_warm = set_warm(warm)
+    clear_warm_pool()
+    try:
+        yield
+    finally:
+        set_kernel(prev_kernel)
+        set_warm(prev_warm)
+        clear_warm_pool()
+
+
+# ----------------------------------------------------------------------
+# graph generators
+# ----------------------------------------------------------------------
+
+def _random_graph(seed: int, tasks: int = 18) -> ConstraintGraph:
+    """A random feasible-ish constraint graph with min/max edges."""
+    rng = random.Random(seed)
+    g = ConstraintGraph(name=f"rand-{seed}")
+    names = [f"t{i}" for i in range(tasks)]
+    for name in names:
+        g.new_task(name, duration=rng.randint(1, 9),
+                   power=rng.uniform(1.0, 5.0))
+    for i, src in enumerate(names):
+        for dst in names[i + 1:]:
+            if rng.random() < 0.25:
+                g.add_precedence(src, dst, gap=rng.randint(0, 4))
+        if rng.random() < 0.4:
+            g.add_release(src, rng.randint(0, 20))
+    for i, src in enumerate(names[:-1]):
+        if rng.random() < 0.2:
+            g.add_max_separation(src, names[i + 1], rng.randint(30, 90))
+    return g
+
+
+def _workload_graphs():
+    for seed in (3, 11, 29):
+        yield random_problem(
+            seed, RandomWorkloadConfig(tasks=24, resources=3,
+                                       layers=4)).graph
+
+
+def _assert_witness_chain(graph, result, name):
+    """``critical_path`` must be a genuine tight-edge witness."""
+    chain = result.critical_path(name)
+    assert chain and chain[-1] == name
+    head = chain[0]
+    head_pred = result.predecessor.get(head)
+    if head_pred is None:
+        assert result.distance[head] == 0
+    else:
+        assert head_pred == ANCHOR_NAME
+        weight = graph.separation(ANCHOR_NAME, head)
+        assert weight is not None
+        assert result.distance[head] == weight
+    for src, dst in zip(chain, chain[1:]):
+        weight = graph.separation(src, dst)
+        assert weight is not None
+        assert result.distance[src] + weight == result.distance[dst]
+
+
+# ----------------------------------------------------------------------
+# longest paths: oracle vs numpy
+# ----------------------------------------------------------------------
+
+@needs_numpy
+@pytest.mark.parametrize("seed", [0, 1, 2, 7, 13, 42])
+def test_distances_bit_identical_random_graphs(seed):
+    with core_mode("oracle", warm=False):
+        reference = dict(longest_paths(_random_graph(seed)).distance)
+    with core_mode("numpy", warm=False):
+        fast = longest_paths(_random_graph(seed))
+    assert dict(fast.distance) == reference
+    assert all(isinstance(d, int) and not isinstance(d, bool)
+               for d in fast.distance.values())
+
+
+@needs_numpy
+def test_distances_bit_identical_workload_graphs():
+    for graph in _workload_graphs():
+        with core_mode("oracle", warm=False):
+            reference = dict(longest_paths(graph).distance)
+        graph._lp_cache = None
+        with core_mode("numpy", warm=False):
+            fast = longest_paths(graph)
+        assert dict(fast.distance) == reference
+
+
+@needs_numpy
+@pytest.mark.parametrize("seed", [0, 2, 13])
+def test_kernel_critical_paths_are_witnesses(seed):
+    graph = _random_graph(seed)
+    with core_mode("numpy", warm=False):
+        result = longest_paths(graph)
+        for name in graph.task_names():
+            _assert_witness_chain(graph, result, name)
+    graph._lp_cache = None
+    with core_mode("oracle", warm=False):
+        result = longest_paths(graph)
+        for name in graph.task_names():
+            _assert_witness_chain(graph, result, name)
+
+
+def _infeasible_anchor_graph() -> ConstraintGraph:
+    g = ConstraintGraph("anchor-push")
+    g.new_task("A", duration=2, power=1.0)
+    g.add_release("A", 10)
+    g.add_start_deadline("A", 5)
+    return g
+
+
+def _infeasible_cycle_graph() -> ConstraintGraph:
+    g = ConstraintGraph("pos-cycle")
+    for name in ("A", "B", "C"):
+        g.new_task(name, duration=2, power=1.0)
+    g.add_min_separation("A", "B", 10)
+    g.add_min_separation("B", "C", 10)
+    g.add_min_separation("C", "A", 10)
+    return g
+
+
+@needs_numpy
+@pytest.mark.parametrize("builder", [_infeasible_anchor_graph,
+                                     _infeasible_cycle_graph])
+def test_infeasible_exceptions_identical(builder):
+    with core_mode("oracle", warm=False):
+        with pytest.raises(PositiveCycleError) as oracle_exc:
+            longest_paths(builder())
+    with core_mode("numpy", warm=False):
+        with pytest.raises(PositiveCycleError) as kernel_exc:
+            longest_paths(builder())
+    assert str(kernel_exc.value) == str(oracle_exc.value)
+    assert getattr(kernel_exc.value, "cycle", None) == \
+        getattr(oracle_exc.value, "cycle", None)
+
+
+@pytest.mark.parametrize("kernel", ["oracle"]
+                         + (["numpy"] if HAVE_NUMPY else []))
+def test_incremental_exception_parity(kernel):
+    """Infeasibility reported through a warm cache is byte-identical to
+    a cold solve (the incremental path delegates to the full oracle
+    instead of raising its own divergence error)."""
+    def build():
+        g = ConstraintGraph("warm-infeasible")
+        for name in ("A", "B"):
+            g.new_task(name, duration=3, power=1.0)
+        g.add_min_separation("A", "B", 5)
+        return g
+
+    cold = build()
+    cold.add_min_separation("B", "A", 7)  # closes a positive cycle
+    with core_mode(kernel, warm=False):
+        with pytest.raises(PositiveCycleError) as cold_exc:
+            longest_paths(cold)
+
+    warm = build()
+    with core_mode(kernel, warm=True):
+        longest_paths(warm)  # primes the incremental cache
+        warm.add_min_separation("B", "A", 7)
+        with pytest.raises(PositiveCycleError) as warm_exc:
+            longest_paths(warm)
+    assert str(warm_exc.value) == str(cold_exc.value)
+    assert warm_exc.value.cycle == cold_exc.value.cycle
+
+
+def test_incremental_matches_full_after_adds():
+    g = _random_graph(5)
+    with core_mode("oracle", warm=True):
+        snapshot = lp_counter_snapshot()
+        longest_paths(g)
+        g.add_min_separation("t0", "t9", 17)
+        g.add_release("t4", 33)
+        incremental = dict(longest_paths(g).distance)
+        delta = lp_counters_delta(snapshot)
+        assert delta["incremental_runs"] >= 1
+    fresh = _random_graph(5)
+    fresh.add_min_separation("t0", "t9", 17)
+    fresh.add_release("t4", 33)
+    with core_mode("oracle", warm=False):
+        assert dict(longest_paths(fresh).distance) == incremental
+
+
+# ----------------------------------------------------------------------
+# warm-start layers
+# ----------------------------------------------------------------------
+
+def test_rollback_state_restore_is_exact():
+    g = _random_graph(9)
+    with core_mode("oracle", warm=True):
+        base = dict(longest_paths(g).distance)
+        token = g.checkpoint()
+        g.add_release("t2", 55)
+        g.add_min_separation("t1", "t7", 21)
+        longest_paths(g)
+        g.rollback(token)
+        snapshot = lp_counter_snapshot()
+        restored = dict(longest_paths(g).distance)
+        delta = lp_counters_delta(snapshot)
+        assert delta["state_restores"] == 1
+        assert delta["full_runs"] == 0
+    assert restored == base
+
+
+def test_state_restore_fuzz_checkpoint_rollback():
+    """Random checkpoint/rollback/add interleavings: warm answers must
+    equal a cold solve of the same edge set at every step."""
+    rng = random.Random(1234)
+    g = _random_graph(21, tasks=12)
+    names = g.task_names()
+    tokens = []
+    with core_mode("oracle", warm=True):
+        for _ in range(120):
+            op = rng.random()
+            if op < 0.4:
+                tokens.append(g.checkpoint())
+            elif op < 0.7 and tokens:
+                g.rollback(tokens.pop(rng.randrange(len(tokens))))
+                tokens = [t for t in tokens if t <= len(g._journal)]
+            else:
+                src, dst = rng.sample(names, 2)
+                try:
+                    g.add_min_separation(src, dst, rng.randint(0, 6))
+                except Exception:
+                    continue
+            try:
+                warm_answer = dict(longest_paths(g).distance)
+            except PositiveCycleError:
+                # infeasible interleaving: parity already covered by
+                # test_incremental_exception_parity; rewind and go on
+                if tokens:
+                    g.rollback(tokens.pop())
+                continue
+            cold = ConstraintGraph("cold")
+            for task in g.tasks():
+                cold.add_task(task)
+            for src, dst, weight in g.edge_triples():
+                cold.add_edge(src, dst, weight)
+            with core_mode("oracle", warm=False):
+                assert dict(longest_paths(cold).distance) == warm_answer
+
+
+def test_copy_carries_fixpoint_and_warm_pool_hits():
+    g = _random_graph(31)
+    with core_mode("oracle", warm=True):
+        base = dict(longest_paths(g).distance)
+        snapshot = lp_counter_snapshot()
+        first = g.copy()
+        assert dict(longest_paths(first).distance) == base
+        # unmutated copy: answered from the carried cache, no solve
+        delta = lp_counters_delta(snapshot)
+        assert delta["cache_hits"] == 1
+        assert delta["full_runs"] == 0
+        # a mutated sibling still warm-starts its own solve
+        second = g.copy()
+        second.add_release("t3", 41)
+        mutated = dict(longest_paths(second).distance)
+    fresh = _random_graph(31)
+    fresh.add_release("t3", 41)
+    with core_mode("oracle", warm=False):
+        assert dict(longest_paths(fresh).distance) == mutated
+
+
+def test_warm_pool_serves_sibling_copies():
+    g = _random_graph(37)
+    with core_mode("oracle", warm=True):
+        first = g.copy()
+        first._lp_cache = None  # force past the carried cache
+        solved = dict(longest_paths(first).distance)
+        second = g.copy()
+        second._lp_cache = None
+        snapshot = lp_counter_snapshot()
+        assert dict(longest_paths(second).distance) == solved
+        delta = lp_counters_delta(snapshot)
+        assert delta["warm_hits"] == 1
+        assert delta["full_runs"] == 0
+
+
+def test_warm_off_is_cold_every_time():
+    g = _random_graph(43)
+    with core_mode("oracle", warm=False):
+        longest_paths(g)
+        token = g.checkpoint()
+        g.add_release("t5", 60)
+        longest_paths(g)
+        g.rollback(token)
+        snapshot = lp_counter_snapshot()
+        longest_paths(g)
+        delta = lp_counters_delta(snapshot)
+        assert delta["state_restores"] == 0
+        assert delta["warm_hits"] == 0
+        assert delta["full_runs"] == 1
+
+
+def test_result_views_are_immutable():
+    g = _random_graph(2)
+    with core_mode("oracle", warm=False):
+        result = longest_paths(g)
+    with pytest.raises(TypeError):
+        result.distance["t0"] = 99
+    with pytest.raises(TypeError):
+        result.predecessor["t0"] = "t1"
+    # plain-dict copies remain available to callers that need them
+    assert dict(result.distance)["t0"] == result.distance["t0"]
+
+
+# ----------------------------------------------------------------------
+# profile integrals: oracle vs numpy
+# ----------------------------------------------------------------------
+
+def _random_profile(seed: int) -> PowerProfile:
+    rng = random.Random(seed)
+    segments = []
+    t = 0
+    for _ in range(rng.randint(1, 14)):
+        end = t + rng.randint(1, 9)
+        segments.append((t, end, round(rng.uniform(0.0, 9.0), 3)))
+        t = end
+    return PowerProfile(segments)
+
+
+@needs_numpy
+@pytest.mark.parametrize("seed", list(range(8)))
+def test_profile_queries_bit_identical(seed):
+    profile = _random_profile(seed)
+    levels = [0.0, 1.5, 4.0, profile.peak(), 99.0]
+    with core_mode("oracle", warm=False):
+        reference = {
+            "energy": profile.energy(),
+            "above": [profile.energy_above(lv) for lv in levels],
+            "capped": [profile.energy_capped(lv) for lv in levels],
+            "peak": profile.peak(),
+            "floor": profile.floor(),
+            "valid": [profile.is_power_valid(lv) for lv in levels],
+            "spikes": [profile.spikes(lv) for lv in levels],
+            "gaps": [profile.gaps(lv) for lv in levels],
+        }
+    with core_mode("numpy", warm=False):
+        assert profile.energy() == reference["energy"]
+        assert [profile.energy_above(lv) for lv in levels] == \
+            reference["above"]
+        assert [profile.energy_capped(lv) for lv in levels] == \
+            reference["capped"]
+        assert profile.peak() == reference["peak"]
+        assert profile.floor() == reference["floor"]
+        assert [profile.is_power_valid(lv) for lv in levels] == \
+            reference["valid"]
+        assert [profile.spikes(lv) for lv in levels] == \
+            reference["spikes"]
+        assert [profile.gaps(lv) for lv in levels] == \
+            reference["gaps"]
+
+
+@needs_numpy
+def test_profile_empty_and_single_segment_identical():
+    empty = PowerProfile([])
+    single = PowerProfile([(0, 5, 3.25)])
+    for profile in (empty, single):
+        with core_mode("oracle", warm=False):
+            reference = (profile.energy(), profile.energy_above(3.25),
+                         profile.energy_capped(3.25), profile.peak(),
+                         profile.floor(), profile.spikes(1.0),
+                         profile.gaps(10.0))
+        with core_mode("numpy", warm=False):
+            assert (profile.energy(), profile.energy_above(3.25),
+                    profile.energy_capped(3.25), profile.peak(),
+                    profile.floor(), profile.spikes(1.0),
+                    profile.gaps(10.0)) == reference
+
+
+# ----------------------------------------------------------------------
+# end-to-end: full solves and sweep grids
+# ----------------------------------------------------------------------
+
+def _solve_snapshot(problem, options):
+    result = PowerAwareScheduler(options).solve(problem)
+    return (dict(result.schedule.items()),
+            result.profile.segments,
+            result.metrics.energy_cost,
+            result.metrics.peak_power)
+
+
+@needs_numpy
+def test_full_pipeline_bit_identical_fig1():
+    with core_mode("oracle", warm=False):
+        reference = _solve_snapshot(fig1_problem(), fig1_options())
+    for warm in (False, True):
+        with core_mode("numpy", warm=warm):
+            assert _solve_snapshot(fig1_problem(),
+                                   fig1_options()) == reference
+
+
+@needs_numpy
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_full_pipeline_bit_identical_random_workloads(seed):
+    config = RandomWorkloadConfig(tasks=20, resources=3, layers=4)
+    with core_mode("oracle", warm=False):
+        reference = _solve_snapshot(random_problem(seed, config), None)
+    for warm in (False, True):
+        with core_mode("numpy", warm=warm):
+            assert _solve_snapshot(random_problem(seed, config),
+                                   None) == reference
+
+
+@needs_numpy
+def test_sweep_grid_bit_identical_across_kernels():
+    """The tests/test_sharding.py pattern, kernel edition: the Fig. 1
+    grid solved by the oracle (cold) and by the numpy fast path with
+    warm-started re-solves must produce field-exact SweepPoints."""
+    budgets = [6, 8, 10, 12, 14]
+    levels = [1, 3, 5, 8]
+    spec = SweepSpec.grid(fig1_problem(), budgets, levels,
+                          options=fig1_options())
+    baseline_runner = BatchRunner(RunnerConfig(
+        core_kernel="oracle", warm_start=False))
+    baseline = baseline_runner.run(spec.jobs())
+    fast_runner = BatchRunner(RunnerConfig(
+        core_kernel="numpy", warm_start=True))
+    fast = fast_runner.run(spec.jobs())
+    assert all(r.ok for r in fast)
+    assert [r.value for r in fast] == [r.value for r in baseline]
+
+
+def test_runner_config_validates_kernel():
+    with pytest.raises(ValueError, match="core_kernel"):
+        RunnerConfig(core_kernel="cuda")
+
+
+@needs_numpy
+def test_graph_arrays_cached_per_version():
+    g = _random_graph(4)
+    first = graph_arrays(g)
+    assert graph_arrays(g) is first
+    g.add_release("t1", 5)
+    rebuilt = graph_arrays(g)
+    assert rebuilt is not first
+    assert rebuilt.edge_count == len(g.edge_triples())
+
+
+@needs_numpy
+def test_pickled_graph_drops_derived_caches():
+    import pickle
+
+    g = _random_graph(8)
+    with core_mode("oracle", warm=True):
+        longest_paths(g)
+        graph_arrays(g)
+        clone = pickle.loads(pickle.dumps(g))
+    assert clone._arrays_cache is None
+    assert clone._state_cache == {}
+    assert clone._warm_src is None
+    assert clone._uid != g._uid
+    # the plain lp cache travels: the clone's first solve is warm
+    with core_mode("oracle", warm=False):
+        assert dict(longest_paths(clone).distance) == \
+            dict(longest_paths(g).distance)
+
+
+def test_use_numpy_honours_mode():
+    prev = set_kernel("oracle")
+    try:
+        assert not use_numpy()
+        set_kernel("numpy")
+        assert use_numpy() == HAVE_NUMPY
+        set_kernel("auto")
+        assert use_numpy() == HAVE_NUMPY
+    finally:
+        set_kernel(prev)

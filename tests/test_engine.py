@@ -297,7 +297,14 @@ class TestRunTrace:
     def test_stats_ride_along_per_job(self):
         runner = BatchRunner()
         [result] = runner.run([SolveJob(problem=tiny_problem())])
-        assert result.stats["counters"]["lp_full_runs"] > 0
+        counters = result.stats["counters"]
+        # With warm-started re-solves on by default the stage copies
+        # inherit solved fixpoints, so cold full runs inside the stages
+        # are not guaranteed — but the solver must have answered
+        # *something* through one of its layers.
+        assert counters["lp_full_runs"] + counters["lp_cache_hits"] \
+            + counters["lp_incremental_runs"] \
+            + counters["lp_state_restores"] + counters["lp_warm_hits"] > 0
         assert result.stats["stage_seconds"]["min_power"] >= 0.0
 
 

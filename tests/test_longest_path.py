@@ -166,10 +166,11 @@ class TestAddLogTrim:
             snapshot = lp_counter_snapshot()
             result = longest_paths(g)
             delta = lp_counters_delta(snapshot)
-            # the fast path was declined (log window lost), counted,
-            # and answered by a full recompute instead
+            # the fast path was declined (log window lost) and counted;
+            # the answer comes from exactly one slower layer — a journal
+            # replay when warm mode is on, a full recompute otherwise
             assert delta["log_evictions"] == 1
-            assert delta["full_runs"] == 1
+            assert delta["full_runs"] + delta["state_restores"] == 1
             assert delta["incremental_runs"] == 0
             # correctness unaffected: distances match a cold graph
             fresh = ConstraintGraph("fresh")
