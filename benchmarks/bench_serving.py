@@ -83,6 +83,24 @@ def _strip_reuse_flags(point):
             if key not in ("cached", "reused")}
 
 
+def _endpoint_latencies(snapshot):
+    """Per-endpoint p50/p99 from ``serving.latency.*.seconds``
+    histograms — the served-latency numbers the ROADMAP asked this
+    bench to report alongside throughput."""
+    prefix, suffix = "serving.latency.", ".seconds"
+    table = {}
+    for name, summary in snapshot.items():
+        if not name.startswith(prefix) or not name.endswith(suffix):
+            continue
+        endpoint = name[len(prefix):-len(suffix)]
+        table[endpoint] = {
+            "count": summary.get("count", 0),
+            "p50_ms": round(1000.0 * summary.get("p50", 0.0), 3),
+            "p99_ms": round(1000.0 * summary.get("p99", 0.0), 3),
+        }
+    return table
+
+
 def test_batched_serving_throughput(artifact_dir):
     """One batched sweep >= 2x a cold per-request loop, same points."""
     problem, points = _grid()
@@ -120,6 +138,8 @@ def test_batched_serving_throughput(artifact_dir):
         again = warm.client.wait(
             warm.client.sweep(problem, points=points)["job"])
         cached_s = time.perf_counter() - t0
+        endpoint_latency = _endpoint_latencies(
+            warm.server.metrics.snapshot())
 
     assert final["status"] == "done"
     # Reused points carry a schedule that is power-valid for their
@@ -148,7 +168,10 @@ def test_batched_serving_throughput(artifact_dir):
         "speedup": round(speedup, 2),
         "cached_resweep_s": round(cached_s, 4),
         "cached_resweep_speedup": round(cold_s / cached_s, 2),
+        "endpoint_latency": endpoint_latency,
     }
+    assert "v1.sweep" in endpoint_latency
+    assert endpoint_latency["v1.sweep"]["count"] >= 2
     write_artifact(artifact_dir, "BENCH_serving.json",
                    json.dumps(doc, indent=2, sort_keys=True) + "\n")
     assert speedup >= 2.0, (

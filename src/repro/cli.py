@@ -27,10 +27,16 @@ Subcommands:
   Prometheus text, JSON Lines).
 * ``serve`` — run the async solve server (``docs/serving.md``):
   JSON-over-HTTP solve/sweep endpoints, micro-batching, NDJSON event
-  streams, Prometheus ``/metrics``.
+  streams, Prometheus ``/metrics``, structured JSONL access logs
+  (``--log-file``) and the flight-recorder debug endpoints
+  (``docs/observability.md``).
 * ``submit FILE`` — send a problem to a running solve server and
   print the solved points (synchronous single solve, or an
   asynchronous sweep with a live event tail).
+* ``top`` — live single-screen view of a running solve server:
+  queue depth, batch sizes, cache/store hit rates, per-endpoint
+  p50/p99 latencies and the most recent/notable requests, polled
+  from ``/metrics`` and ``/v1/debug/requests``.
 
 All output is plain text so the tool works over a serial console —
 fitting, for a Mars rover scheduler.
@@ -317,6 +323,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the repro-serve-trace JSON "
                             "document (metrics + job summaries) on "
                             "shutdown")
+    serve.add_argument("--log-file", metavar="PATH",
+                       help="append structured JSONL events (access "
+                            "log, retries, store merges) here; the "
+                            "REPRO_LOG env var does the same "
+                            "process-wide")
+    serve.add_argument("--flight-recorder", type=int, default=64,
+                       metavar="K",
+                       help="request records retained by "
+                            "/v1/debug/requests (default 64)")
+    serve.add_argument("--slow-ms", type=float, default=1000.0,
+                       help="latency past which a request is pinned "
+                            "in the notable ring (default 1000)")
+
+    top = sub.add_parser(
+        "top",
+        help="live view of a running solve server "
+             "(/metrics + /v1/debug/requests)")
+    top.add_argument("--server", default="http://127.0.0.1:8080",
+                     help="server base URL "
+                          "(default http://127.0.0.1:8080)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (no screen "
+                          "clearing; scripting-friendly)")
 
     submit = sub.add_parser(
         "submit",
@@ -348,6 +379,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point; returns the process exit code."""
+    from .obs import maybe_enable_from_env
+    maybe_enable_from_env()
     args = build_parser().parse_args(argv)
     try:
         if args.command == "solve":
@@ -370,6 +403,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "top":
+            return _cmd_top(args)
         return _cmd_example()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -732,18 +767,35 @@ def _cmd_serve(args) -> int:
                            reuse_schedules=args.reuse_schedules,
                            reuse_policy=args.reuse_policy,
                            store_path=args.store,
-                           trace_path=args.trace)
+                           trace_path=args.trace,
+                           flight_recorder=args.flight_recorder,
+                           slow_ms=args.slow_ms,
+                           log_path=args.log_file)
 
     async def _run() -> None:
         server = SolveServer(config)
         await server.start()
         print(f"repro solve server listening on "
               f"http://{config.host}:{server.port}", flush=True)
+        # Explicit handlers, not KeyboardInterrupt: a daemonized server
+        # (shell `&`, CI step) inherits SIGINT as ignored, and SIGTERM
+        # would otherwise kill the process without draining.
+        import signal
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / platforms without support
+        serving = asyncio.ensure_future(server.serve_forever())
+        stopping = asyncio.ensure_future(stop.wait())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await asyncio.wait({serving, stopping},
+                               return_when=asyncio.FIRST_COMPLETED)
         finally:
+            for task in (serving, stopping):
+                task.cancel()
             print("draining...", flush=True)
             await server.shutdown()
             if config.store_path:
@@ -827,6 +879,135 @@ def _cmd_submit(args) -> int:
         print(f"check: ok ({len(feasible)} feasible, "
               "all power-valid)")
     return 0
+
+
+def _parse_prometheus(text: str) \
+        -> "tuple[dict[str, float], dict[str, dict[str, float]]]":
+    """Split exposition text into plain samples and quantile maps."""
+    import re
+    plain: "dict[str, float]" = {}
+    quantiles: "dict[str, dict[str, float]]" = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        try:
+            number = float(value)
+        except ValueError:
+            continue
+        if "{" in key:
+            name, labels = key.split("{", 1)
+            match = re.search(r'quantile="([^"]+)"', labels)
+            if match:
+                quantiles.setdefault(name, {})[match.group(1)] = \
+                    number
+        else:
+            plain[key] = number
+    return plain, quantiles
+
+
+def _top_frame(server_url: str, plain: "dict[str, float]",
+               quantiles: "dict[str, dict[str, float]]",
+               debug: "dict") -> str:
+    """One ``repro-schedule top`` screen, as plain text."""
+    def metric(name: str, default: float = 0.0) -> float:
+        return plain.get(name, default)
+
+    def rate(hits: float, misses: float) -> str:
+        total = hits + misses
+        if total <= 0:
+            return "-"
+        return f"{100.0 * hits / total:.1f}%"
+
+    lines = [f"repro solve server @ {server_url}", ""]
+    lines.append(
+        f"queue depth {metric('repro_serving_queue_depth'):>6.0f}   "
+        f"batches {metric('repro_serving_batches'):>6.0f}   "
+        f"jobs accepted "
+        f"{metric('repro_serving_jobs_accepted'):>6.0f}")
+    lines.append(
+        f"http reqs   "
+        f"{metric('repro_serving_http_requests'):>6.0f}   "
+        f"errors  {metric('repro_serving_http_errors'):>6.0f}   "
+        f"batch jobs p50 "
+        f"{quantiles.get('repro_serving_batch_jobs', {}).get('0.50', 0):>5.1f}")
+    cache_hits = metric("repro_engine_cache_hits")
+    cache_misses = metric("repro_engine_cache_misses")
+    store_hits = metric("repro_engine_store_range_hits")
+    store_misses = metric("repro_engine_store_misses")
+    lines.append(
+        f"cache hit rate {rate(cache_hits, cache_misses):>7} "
+        f"({cache_hits:.0f}/{cache_hits + cache_misses:.0f})   "
+        f"store hit rate {rate(store_hits, store_misses):>7} "
+        f"({store_hits:.0f}/{store_hits + store_misses:.0f})")
+    lines.append("")
+    lines.append(f"{'endpoint':<20} {'count':>7} {'p50 ms':>9} "
+                 f"{'p99 ms':>9}")
+    prefix, suffix = "repro_serving_latency_", "_seconds"
+    seen = False
+    for name in sorted(quantiles):
+        if not name.startswith(prefix) or not name.endswith(suffix):
+            continue
+        seen = True
+        endpoint = name[len(prefix):-len(suffix)].replace("_", ".")
+        count = plain.get(f"{name}_count", 0.0)
+        p50 = 1000.0 * quantiles[name].get("0.50", 0.0)
+        p99 = 1000.0 * quantiles[name].get("0.99", 0.0)
+        lines.append(f"{endpoint:<20} {count:>7.0f} {p50:>9.2f} "
+                     f"{p99:>9.2f}")
+    if not seen:
+        lines.append("(no requests observed yet)")
+    recent = debug.get("requests") or []
+    notable = debug.get("notable") or []
+    lines.append("")
+    lines.append(f"recent requests (newest first, "
+                 f"capacity {debug.get('capacity', '?')}, "
+                 f"slow >= {debug.get('slow_ms', '?')} ms):")
+    for record in recent[:8]:
+        lines.append(
+            f"  {record.get('status', '?'):>3} "
+            f"{record.get('method', '?'):<6} "
+            f"{record.get('path', '?'):<28} "
+            f"{record.get('latency_ms', 0):>9.2f} ms  "
+            f"trace={record.get('trace_id', '')[:16]}")
+    if not recent:
+        lines.append("  (none)")
+    if notable:
+        lines.append(f"notable (slow/errored): {len(notable)} "
+                     f"retained; newest: "
+                     f"{notable[0].get('method', '?')} "
+                     f"{notable[0].get('path', '?')} "
+                     f"{notable[0].get('latency_ms', 0):.2f} ms "
+                     f"status {notable[0].get('status', '?')}"
+                     + (f" error={notable[0]['error']}"
+                        if notable[0].get("error") else ""))
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time as time_module
+    from .serving import ServingClient, ServingError
+
+    client = ServingClient(args.server, timeout=5.0)
+    while True:
+        try:
+            plain, quantiles = _parse_prometheus(
+                client.metrics_text())
+            debug = client.debug_requests()
+        except (ServingError, OSError) as exc:
+            print(f"error: cannot poll {args.server}: {exc}",
+                  file=sys.stderr)
+            if args.once:
+                return 1
+            time_module.sleep(max(0.1, args.interval))
+            continue
+        frame = _top_frame(args.server, plain, quantiles, debug)
+        if args.once:
+            print(frame)
+            return 0
+        # Clear + home, like watch(1); plain text otherwise.
+        print(f"\x1b[2J\x1b[H{frame}", flush=True)
+        time_module.sleep(max(0.1, args.interval))
 
 
 def _cmd_example() -> int:

@@ -32,6 +32,8 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from ...obs import (LOG, current_trace_context, reset_trace_context,
+                    set_trace_context)
 from ...scheduling.base import SchedulerOptions
 from ..hashing import options_fingerprint, problem_base_key
 from ..jobs import JobResult, SolveJob
@@ -90,10 +92,15 @@ class RemoteBackend(ExecutionBackend):
         busy = [manifest for manifest in plan if manifest.jobs]
         if not busy:
             return "remote"
+        # ContextVars do not cross ThreadPoolExecutor threads: capture
+        # the runner's ambient trace context here and re-install it in
+        # each shard thread so the outgoing traceparent headers carry
+        # the originating request's ids.
+        context = current_trace_context()
         with ThreadPoolExecutor(max_workers=len(busy)) as pool:
             futures = [
                 pool.submit(self._run_shard, manifest, config,
-                            key_of, store is not None)
+                            key_of, store is not None, context)
                 for manifest in busy]
             for future in futures:
                 for result in future.result():
@@ -126,28 +133,46 @@ class RemoteBackend(ExecutionBackend):
                 "instead")
 
     def _run_shard(self, manifest: ShardManifest, config, key_of,
-                   track_reuse: bool) -> "list[JobResult]":
+                   track_reuse: bool,
+                   context: "tuple[str, str | None] | None" = None) \
+            -> "list[JobResult]":
         """One shard: per-workload sweeps with retry-and-reassign."""
         from ...serving.client import ServingError
 
-        attempts = 0
-        error = ""
-        while True:
-            client = self.clients[
-                (manifest.index + attempts) % len(self.clients)]
-            try:
-                return self._submit_shard(client, manifest, key_of,
-                                          track_reuse,
-                                          attempts=attempts + 1)
-            except ServingError as exc:
-                error = str(exc)
-                if exc.code not in RETRYABLE_CODES:
+        token = set_trace_context(context) if context is not None \
+            else None
+        try:
+            attempts = 0
+            error = ""
+            while True:
+                client = self.clients[
+                    (manifest.index + attempts) % len(self.clients)]
+                try:
+                    return self._submit_shard(client, manifest, key_of,
+                                              track_reuse,
+                                              attempts=attempts + 1)
+                except ServingError as exc:
+                    error = str(exc)
+                    if exc.code not in RETRYABLE_CODES:
+                        break
+                except OSError as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                attempts += 1
+                if attempts > config.retries:
                     break
-            except OSError as exc:
-                error = f"{type(exc).__name__}: {exc}"
-            attempts += 1
-            if attempts > config.retries:
-                break
+                if LOG.enabled:
+                    LOG.emit("remote.retry",
+                             trace_id=context[0] if context else None,
+                             shard=manifest.index, attempt=attempts,
+                             error=error)
+        finally:
+            if token is not None:
+                reset_trace_context(token)
+        if LOG.enabled:
+            LOG.emit("remote.degraded",
+                     trace_id=context[0] if context else None,
+                     shard=manifest.index, attempts=attempts + 1,
+                     error=error)
         return [JobResult(position=position,
                           key=key_of.get(position, ""),
                           ok=False,

@@ -31,6 +31,7 @@ import tempfile
 from typing import Callable, Sequence
 
 from ...errors import ReproError
+from ...obs import LOG, current_trace_context
 from ..jobs import JobResult, SolveJob
 from ..planner import PARTITION_STRATEGIES, plan_shards
 from ..schedule_store import ScheduleStore
@@ -71,6 +72,12 @@ def run_manifest(manifest):
         core_kernel=knobs.get("core_kernel", "auto"),
         warm_start=bool(knobs.get("warm_start", True)))
     runner = BatchRunner(config, store=store)
+    trace_ctx = knobs.get("trace") or {}
+    if trace_ctx.get("trace_id"):
+        # The parent runner's trace context rode the manifest; adopt it
+        # so this shard's run trace stitches under the same trace_id.
+        runner.trace_context = (trace_ctx["trace_id"],
+                                trace_ctx.get("parent_span_id"))
     results = runner.run([job for _position, job in manifest.jobs])
     # Results and job traces come back in shard-local order; re-tag
     # them with the manifest's global positions so the merged run
@@ -140,6 +147,10 @@ class SubprocessShardBackend(ExecutionBackend):
             "core_kernel": config.core_kernel,
             "warm_start": config.warm_start,
         }
+        context = current_trace_context()
+        if context is not None:
+            runner_doc["trace"] = {"trace_id": context[0],
+                                   "parent_span_id": context[1]}
         store_doc = store.snapshot().to_dict() \
             if store is not None else None
         plan = plan_shards([(position, job)
@@ -216,6 +227,13 @@ class SubprocessShardBackend(ExecutionBackend):
                         if on_result is not None:
                             on_result(result)
                 elif attempt < config.retries:
+                    if LOG.enabled:
+                        trace_doc = (manifest.runner or {}) \
+                            .get("trace") or {}
+                        LOG.emit("shard.retry",
+                                 trace_id=trace_doc.get("trace_id"),
+                                 shard=manifest.index,
+                                 attempt=attempt + 1, error=error)
                     pending.append((manifest, attempt + 1))
                 else:
                     detail = self._log_tail(paths[manifest.index][2])

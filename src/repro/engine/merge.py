@@ -105,11 +105,17 @@ def merge_traces(artifacts: "Sequence[Any]",
     shard_spans: "list[Span]" = []
     job_traces = []
     instrumented = False
+    trace_ids: "set[str]" = set()
+    parent_ids: "set[str]" = set()
     for artifact in artifacts:
         trace = artifact.trace
         if trace is None:
             continue
         run = trace.run
+        if run.get("trace_id"):
+            trace_ids.add(run["trace_id"])
+        if run.get("parent_span_id"):
+            parent_ids.add(run["parent_span_id"])
         jobs_total += run.get("jobs", 0)
         unique_total += run.get("unique_solved", 0)
         elapsed = max(elapsed, run.get("elapsed_s", 0.0))
@@ -136,6 +142,19 @@ def merge_traces(artifacts: "Sequence[Any]",
                     attrs={"jobs": jobs_total, "mode": "shards",
                            "shards": len(list(artifacts))})
     run_span.children = shard_spans
+    # When every shard ran under the same distributed trace (the
+    # parent runner's context rode the manifests), the merged run IS
+    # that trace: stitch the shared ids onto the root instead of
+    # leaving a synthetic, id-less root.
+    stitched_trace_id = trace_ids.pop() if len(trace_ids) == 1 \
+        else None
+    stitched_parent_id = parent_ids.pop() \
+        if stitched_trace_id is not None and len(parent_ids) == 1 \
+        else None
+    if stitched_trace_id is not None:
+        run_span.attrs["trace_id"] = stitched_trace_id
+        if stitched_parent_id is not None:
+            run_span.attrs["parent_span_id"] = stitched_parent_id
     merged = RunTrace(
         run={"jobs": jobs_total,
              "unique_solved": unique_total,
@@ -143,6 +162,10 @@ def merge_traces(artifacts: "Sequence[Any]",
              "mode": "shards",
              "shards": len(list(artifacts)),
              **({"strategy": strategy} if strategy else {}),
+             **({"trace_id": stitched_trace_id}
+                if stitched_trace_id is not None else {}),
+             **({"parent_span_id": stitched_parent_id}
+                if stitched_parent_id is not None else {}),
              "instrumented": instrumented,
              "elapsed_s": round(elapsed, 6)},
         cache=cache_totals,
@@ -236,4 +259,10 @@ def _merge_metric_snapshots(snapshots: "Sequence[dict[str, Any]]") \
                     current[quantile_key] = max(
                         current.get(quantile_key, 0.0),
                         summary.get(quantile_key, 0.0))
+                incoming = summary.get("exemplar")
+                if incoming is not None and (
+                        current.get("exemplar") is None
+                        or incoming.get("value", 0)
+                        >= current["exemplar"].get("value", 0)):
+                    current["exemplar"] = dict(incoming)
     return dict(sorted(merged.items()))

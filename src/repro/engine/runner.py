@@ -31,8 +31,10 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ..core.kernel import KERNEL_MODES
-from ..obs import (OBS, MetricsRegistry, Span, absorb_cache_stats,
-                   absorb_scheduler_stats, absorb_store_stats)
+from ..obs import (LOG, OBS, MetricsRegistry, Span, absorb_cache_stats,
+                   absorb_scheduler_stats, absorb_store_stats,
+                   current_trace_context, new_span_id, new_trace_id,
+                   reset_trace_context, set_trace_context)
 from .backends.base import SNAPSHOT_MODES, ExecutionBackend
 from .backends.local import LocalBackend
 from .cache import ResultCache
@@ -199,6 +201,12 @@ class BatchRunner:
         #: Execution mode of the most recent run:
         #: ``"serial"`` | ``"process"`` | ``"serial-fallback"``.
         self.last_mode: "str | None" = None
+        #: Explicit distributed trace context
+        #: ``(trace_id, parent_span_id)`` for the next run; when unset
+        #: the ambient context (:func:`repro.obs.current_trace_context`)
+        #: is used, and failing that a fresh trace id is minted — every
+        #: run belongs to exactly one distributed trace.
+        self.trace_context: "tuple[str, str | None] | None" = None
 
     # ------------------------------------------------------------------
 
@@ -264,11 +272,22 @@ class BatchRunner:
             for _position, _key, job in entries:
                 self.store.ensure_primed(job.problem, job.options,
                                          kind=job.kind)
+        context = self.trace_context or current_trace_context()
+        trace_id, parent_span_id = context if context is not None \
+            else (new_trace_id(), None)
+        run_span_id = new_span_id()
         run_wall0 = time.time()
-        mode = self._execute(entries, results, instrument,
-                             on_result=on_result)
+        # Backends read the ambient context on this thread and carry it
+        # across their process/machine boundary (wire header, manifest).
+        token = set_trace_context((trace_id, run_span_id))
+        try:
+            mode = self._execute(entries, results, instrument,
+                                 on_result=on_result)
+        finally:
+            reset_trace_context(token)
 
-        range_hits = self._settle_reuse(entries, results, mode)
+        range_hits = self._settle_reuse(entries, results, mode,
+                                        trace_id=trace_id)
 
         for position, key in duplicates:
             primary = results[primaries[key][0]]
@@ -296,19 +315,23 @@ class BatchRunner:
             spans, metrics = self._assemble_obs(
                 final, entries, mode, run_wall0, elapsed_s,
                 cache_hits=cache_hits + dedup_hits,
-                cache_before=cache_before, store_before=store_before)
+                cache_before=cache_before, store_before=store_before,
+                trace_id=trace_id, span_id=run_span_id,
+                parent_span_id=parent_span_id)
         self.last_mode = mode
         self.last_trace = self._build_trace(
             final, mode, unique_solved=len(entries),
             cache_hits=cache_hits + dedup_hits,
             range_hits=range_hits,
-            elapsed_s=elapsed_s, spans=spans, metrics=metrics)
+            elapsed_s=elapsed_s, spans=spans, metrics=metrics,
+            trace_id=trace_id, span_id=run_span_id,
+            parent_span_id=parent_span_id)
         if self.config.trace_path:
             self.last_trace.write(self.config.trace_path)
         return final
 
     def _settle_reuse(self, entries, results: "dict[int, JobResult]",
-                      mode: str) -> int:
+                      mode: str, trace_id: "str | None" = None) -> int:
         """Post-execution schedule-store bookkeeping.
 
         Credits the parent store's hit/miss counters from the per-job
@@ -339,6 +362,10 @@ class BatchRunner:
                 # subprocesses, remote servers) need their deltas
                 # folded back.
                 self.store.merge_delta(reuse["new_entries"])
+                if LOG.enabled:
+                    LOG.emit("store.merge", trace_id=trace_id,
+                             position=position, mode=mode,
+                             entries=len(reuse["new_entries"]))
         return range_hits
 
     def run_values(self, jobs: "Iterable[SolveJob]") -> "list[Any]":
@@ -389,7 +416,9 @@ class BatchRunner:
     def _assemble_obs(self, final: "list[JobResult]", entries,
                       mode: str, run_wall0: float, elapsed_s: float,
                       cache_hits: int, cache_before,
-                      store_before=None) \
+                      store_before=None, trace_id: "str | None" = None,
+                      span_id: "str | None" = None,
+                      parent_span_id: "str | None" = None) \
             -> "tuple[list[dict], dict[str, dict]]":
         """Build the run's span tree and metric snapshot.
 
@@ -406,6 +435,12 @@ class BatchRunner:
         run_span = Span("engine.run", 0.0, elapsed_s, attrs={
             "jobs": len(final), "mode": mode,
             "workers": self.config.workers})
+        if trace_id is not None:
+            run_span.attrs["trace_id"] = trace_id
+        if span_id is not None:
+            run_span.attrs["span_id"] = span_id
+        if parent_span_id is not None:
+            run_span.attrs["parent_span_id"] = parent_span_id
         solved_by_position = {position: True
                               for position, _key, _job in entries}
         for result in final:
@@ -463,7 +498,10 @@ class BatchRunner:
                      elapsed_s: float,
                      range_hits: int = 0,
                      spans: "list[dict] | None" = None,
-                     metrics: "dict[str, dict] | None" = None) \
+                     metrics: "dict[str, dict] | None" = None,
+                     trace_id: "str | None" = None,
+                     span_id: "str | None" = None,
+                     parent_span_id: "str | None" = None) \
             -> RunTrace:
         cfg = self.config
         reuse_doc = None
@@ -472,18 +510,25 @@ class BatchRunner:
                          "range_hits": range_hits,
                          "solved": unique_solved - range_hits,
                          **self.store.counters()}
+        run_doc = {
+            "jobs": len(final),
+            "unique_solved": unique_solved,
+            "workers": cfg.workers,
+            "mode": mode,
+            "chunksize": cfg.chunksize,
+            "timeout_s": cfg.timeout_s,
+            "retries": cfg.retries,
+            "instrumented": bool(spans),
+            "elapsed_s": round(elapsed_s, 6),
+        }
+        if trace_id is not None:
+            run_doc["trace_id"] = trace_id
+        if span_id is not None:
+            run_doc["span_id"] = span_id
+        if parent_span_id is not None:
+            run_doc["parent_span_id"] = parent_span_id
         trace = RunTrace(
-            run={
-                "jobs": len(final),
-                "unique_solved": unique_solved,
-                "workers": cfg.workers,
-                "mode": mode,
-                "chunksize": cfg.chunksize,
-                "timeout_s": cfg.timeout_s,
-                "retries": cfg.retries,
-                "instrumented": bool(spans),
-                "elapsed_s": round(elapsed_s, 6),
-            },
+            run=run_doc,
             cache={"hits": cache_hits, "misses": unique_solved,
                    **({"evictions": self.cache.evictions,
                        "entries": len(self.cache)}

@@ -37,7 +37,9 @@ from .json_io import problem_from_dict, problem_to_dict
 __all__ = ["SolveRequest", "SolvedPoint", "RequestError",
            "ERROR_CODES", "REQUEST_FORMAT", "REQUEST_VERSION",
            "RESPONSE_FORMAT", "RESPONSE_VERSION", "EVENTS_FORMAT",
-           "EVENTS_VERSION", "solve_request_to_dict",
+           "EVENTS_VERSION", "DEBUG_REQUESTS_FORMAT",
+           "DEBUG_REQUESTS_VERSION", "DEBUG_TRACE_FORMAT",
+           "DEBUG_TRACE_VERSION", "solve_request_to_dict",
            "solve_request_from_dict", "response_envelope",
            "error_envelope"]
 
@@ -53,6 +55,16 @@ RESPONSE_VERSION = 1
 EVENTS_FORMAT = "repro-serve-events"
 #: Event stream schema version.
 EVENTS_VERSION = 1
+#: ``format`` field of the flight-recorder listing
+#: (``GET /v1/debug/requests``).
+DEBUG_REQUESTS_FORMAT = "repro-debug-requests"
+#: Flight-recorder listing schema version.
+DEBUG_REQUESTS_VERSION = 1
+#: ``format`` field of an assembled distributed trace
+#: (``GET /v1/debug/trace/{trace_id}``).
+DEBUG_TRACE_FORMAT = "repro-debug-trace"
+#: Debug trace schema version.
+DEBUG_TRACE_VERSION = 1
 
 #: Machine-readable error codes, and the HTTP status each maps to.
 #: ``docs/serving.md`` documents every row; the doc-conformance test

@@ -14,7 +14,8 @@ process (and machine) boundaries:
       "runner": {"retries": 1, "reuse_schedules": true,
                  "reuse_policy": "identical", "instrument": false,
                  "lp_log_factor": null, "core_kernel": "auto",
-                 "warm_start": true},
+                 "warm_start": true,
+                 "trace": {"trace_id": "...", "parent_span_id": "..."}},
       "problems": [{... repro-problem doc, p_max/p_min removed ...}],
       "jobs": [{"position": 7, "problem": 0,
                 "p_max": 20.0, "p_min": 14.0},
@@ -31,6 +32,9 @@ process (and machine) boundaries:
   ``options`` object overrides the manifest default (reseeded Monte
   Carlo batches); ``store`` ships the parent's already-primed schedule
   store so shards never repeat priming work it already did.
+  ``runner.trace`` (optional) is the orchestrating run's trace
+  identity — workers adopt it so shard artifacts stitch back under
+  the parent trace on merge (see docs/observability.md).
 
 ``repro-shard-artifact`` v1 — *what one shard produced*::
 

@@ -27,41 +27,59 @@ and ``trace export --format chrome|prom|jsonl`` consume.
 
 from .export import (chrome_trace, jsonl_lines, metrics_from_doc,
                      prometheus_text, spans_from_doc)
+from .log import LOG, LOG_ENV, EventLog, log_event, \
+    maybe_enable_from_env
 from .metrics import (HISTOGRAM_LIMIT, STATS_METRIC_NAMES, Counter,
                       Gauge, Histogram, MetricsRegistry,
                       absorb_cache_stats, absorb_scheduler_stats,
                       absorb_store_stats, quantile)
-from .spans import (OBS, Capture, Instrumentation, Span, capture,
-                    collect, disable, enable, enabled, event, reset,
-                    span)
+from .spans import (OBS, TRACEPARENT_HEADER, Capture, Instrumentation,
+                    Span, capture, collect, current_trace_context,
+                    disable, enable, enabled, event,
+                    format_traceparent, new_span_id, new_trace_id,
+                    parse_traceparent, reset, reset_trace_context,
+                    set_trace_context, span)
 from .summary import summarize_trace
 
 __all__ = [
-    "OBS",
     "Capture",
     "Counter",
+    "EventLog",
     "Gauge",
     "HISTOGRAM_LIMIT",
     "Histogram",
     "Instrumentation",
+    "LOG",
+    "LOG_ENV",
     "MetricsRegistry",
+    "OBS",
     "STATS_METRIC_NAMES",
     "Span",
+    "TRACEPARENT_HEADER",
     "absorb_cache_stats",
     "absorb_scheduler_stats",
     "absorb_store_stats",
     "capture",
     "chrome_trace",
     "collect",
+    "current_trace_context",
     "disable",
     "enable",
     "enabled",
     "event",
+    "format_traceparent",
     "jsonl_lines",
+    "log_event",
+    "maybe_enable_from_env",
     "metrics_from_doc",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "prometheus_text",
     "quantile",
     "reset",
+    "reset_trace_context",
+    "set_trace_context",
     "span",
     "spans_from_doc",
     "summarize_trace",

@@ -164,6 +164,15 @@ def prometheus_text(metrics: "Mapping[str, Any]") -> str:
                     f"{summary.get(q, 0)}")
             lines.append(f"{prom}_sum {summary.get('sum', 0)}")
             lines.append(f"{prom}_count {summary.get('count', 0)}")
+            exemplar = summary.get("exemplar")
+            if exemplar:
+                # Classic text exposition has no exemplar syntax;
+                # ship it as a structured comment scrapers can opt
+                # into without breaking strict parsers.
+                lines.append(
+                    f"# EXEMPLAR {prom} "
+                    f'trace_id="{exemplar.get("trace_id", "")}" '
+                    f"value={exemplar.get('value', 0)}")
         else:
             prom_kind = "counter" if kind == "counter" else "gauge"
             lines.append(f"# TYPE {prom} {prom_kind}")

@@ -1,0 +1,115 @@
+"""Structured JSONL event log with trace/span correlation ids.
+
+One line per event::
+
+    {"ts": 1754650000.123456, "event": "http.access",
+     "trace_id": "4bf9...", "span_id": "00f0...",
+     "method": "POST", "path": "/v1/sweep", "status": 200,
+     "latency_ms": 12.4}
+
+``ts`` is wall-clock seconds, ``event`` a dot-separated name in the
+same namespace style as the metrics (``http.access``, ``remote.retry``,
+``shard.retry``, ``store.merge``); everything else is event-specific.
+``trace_id``/``span_id`` correlate lines with the distributed trace
+(:mod:`repro.obs.spans`), which is what lets an operator grep one
+request's story out of a multi-process run.
+
+Like the span recorder, the logger is **off by default** and the only
+cost at a disabled call site is one attribute check.  Enable it with
+:meth:`EventLog.enable` (a path or an open stream), the ``--log-file``
+serve flag, or the :data:`LOG_ENV` environment variable.  Emission is
+best-effort: a full disk or closed stream drops the line, never the
+request.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, IO
+
+__all__ = ["EventLog", "LOG", "LOG_ENV", "log_event",
+           "maybe_enable_from_env"]
+
+#: Environment variable naming a JSONL file; when set, the CLI enables
+#: the process-wide :data:`LOG` on startup.
+LOG_ENV = "REPRO_LOG"
+
+
+class EventLog:
+    """Process-wide JSONL event sink; off by default."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._stream: "IO[str] | None" = None
+        self._owns_stream = False
+
+    def enable(self, path: "str | None" = None,
+               stream: "IO[str] | None" = None) -> None:
+        """Start logging to ``path`` (append mode) or an open stream."""
+        self.disable()
+        if stream is not None:
+            self._stream = stream
+            self._owns_stream = False
+        elif path is not None:
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._stream = open(path, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            raise ValueError("EventLog.enable needs a path or a stream")
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop logging; closes the stream if the log opened it."""
+        self.enabled = False
+        stream, owned = self._stream, self._owns_stream
+        self._stream = None
+        self._owns_stream = False
+        if stream is not None and owned:
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    def emit(self, event: str, *, trace_id: "str | None" = None,
+             span_id: "str | None" = None, **fields: Any) -> None:
+        """Write one event line (a no-op while disabled)."""
+        if not self.enabled:
+            return
+        line: "dict[str, Any]" = {"ts": round(time.time(), 6),
+                                  "event": event}
+        if trace_id is not None:
+            line["trace_id"] = trace_id
+        if span_id is not None:
+            line["span_id"] = span_id
+        line.update(fields)
+        stream = self._stream
+        if stream is None:
+            return
+        try:
+            stream.write(json.dumps(line, default=repr) + "\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # best-effort: never let logging fail the caller
+
+
+#: The process-wide event log every emission point talks to.
+LOG = EventLog()
+
+
+def log_event(event: str, *, trace_id: "str | None" = None,
+              span_id: "str | None" = None, **fields: Any) -> None:
+    """Emit one event on the process-wide :data:`LOG`."""
+    LOG.emit(event, trace_id=trace_id, span_id=span_id, **fields)
+
+
+def maybe_enable_from_env() -> bool:
+    """Enable :data:`LOG` from :data:`LOG_ENV` if set; True if it was."""
+    path = os.environ.get(LOG_ENV)
+    if not path or LOG.enabled:
+        return False
+    LOG.enable(path=path)
+    return True

@@ -21,15 +21,22 @@ The registry absorbs the pre-existing ad-hoc telemetry —
 :func:`absorb_cache_stats` — behind these stable names, so traces and
 exporters never depend on dataclass field spellings.
 
-Histograms keep their raw observations (bounded by
-:data:`HISTOGRAM_LIMIT` per metric), which makes cross-process merging
-exact: a worker ships ``registry.data()`` and the parent
-``merge_data``-s it, so serial and parallel runs of the same batch
-report identical totals.
+Histograms keep a bounded *reservoir* of raw observations
+(:data:`HISTOGRAM_LIMIT` per metric, Algorithm R seeded by the metric
+name so runs are reproducible and no global :mod:`random` state is
+touched) alongside exact ``count``/``sum``/``min``/``max`` totals.
+Cross-process merging folds the exact totals directly and refills the
+reservoir from the shipped samples: a worker ships
+``registry.data()`` and the parent ``merge_data``-s it, so serial and
+sharded runs of the same batch report identical counts and sums, with
+quantiles estimated over an unbiased sample of the whole run rather
+than its first :data:`HISTOGRAM_LIMIT` observations.
 """
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Any, Mapping
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -37,8 +44,8 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "absorb_cache_stats", "absorb_store_stats", "quantile"]
 
 #: Raw observations kept per histogram; beyond this the histogram keeps
-#: exact count/sum/min/max and quantiles become estimates over the
-#: retained prefix.
+#: exact count/sum/min/max and quantiles become estimates over a
+#: uniform reservoir sample of every observation so far.
 HISTOGRAM_LIMIT = 8192
 
 #: SchedulerStats field -> metric name (the stable naming scheme).
@@ -105,31 +112,63 @@ class Gauge:
 
 
 class Histogram:
-    """Distribution with exact count/sum and p50/p95/p99 quantiles."""
+    """Distribution with exact count/sum and p50/p95/p99 quantiles.
 
-    __slots__ = ("values", "count", "total", "minimum", "maximum")
+    Quantiles are computed over a uniform reservoir sample (Vitter's
+    Algorithm R) of every observation, not the first
+    :data:`HISTOGRAM_LIMIT` values, so long-run percentiles are not
+    biased toward warm-up traffic.  The reservoir's RNG is seeded from
+    the metric name: deterministic across runs, and the global
+    :mod:`random` state is never touched.  The largest observation that
+    arrived with a trace id is kept as an exemplar for the Prometheus
+    exporter.
+    """
+
+    __slots__ = ("name", "values", "count", "total", "minimum",
+                 "maximum", "exemplar", "_rng", "_seen")
     kind = "histogram"
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "") -> None:
+        self.name = name
         self.values: "list[float]" = []
         self.count = 0
         self.total = 0.0
         self.minimum: "float | None" = None
         self.maximum: "float | None" = None
+        self.exemplar: "dict[str, Any] | None" = None
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        # Reservoir stream length: how many values _reservoir_add has
+        # seen.  Kept separate from ``count`` because merge_data folds
+        # remote counts without feeding every remote value through the
+        # reservoir.
+        self._seen = 0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                trace_id: "str | None" = None) -> None:
         self.count += 1
         self.total += value
         self.minimum = value if self.minimum is None \
             else min(self.minimum, value)
         self.maximum = value if self.maximum is None \
             else max(self.maximum, value)
+        self._reservoir_add(value)
+        if trace_id is not None and (
+                self.exemplar is None
+                or value >= self.exemplar["value"]):
+            self.exemplar = {"trace_id": trace_id, "value": value}
+
+    def _reservoir_add(self, value: float) -> None:
+        self._seen += 1
         if len(self.values) < HISTOGRAM_LIMIT:
             self.values.append(value)
+        else:
+            slot = self._rng.randrange(self._seen)
+            if slot < HISTOGRAM_LIMIT:
+                self.values[slot] = value
 
     def summary(self) -> "dict[str, Any]":
         ordered = sorted(self.values)
-        return {
+        doc = {
             "type": "histogram",
             "count": self.count,
             "sum": round(self.total, 6),
@@ -139,6 +178,9 @@ class Histogram:
             "p95": round(quantile(ordered, 0.95), 6),
             "p99": round(quantile(ordered, 0.99), 6),
         }
+        if self.exemplar is not None:
+            doc["exemplar"] = dict(self.exemplar)
+        return doc
 
 
 class MetricsRegistry:
@@ -150,7 +192,8 @@ class MetricsRegistry:
     def _get(self, name: str, cls):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = self._metrics[name] = cls()
+            metric = self._metrics[name] = (
+                cls(name) if cls is Histogram else cls())
         elif not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} is a {metric.kind}, not a "
@@ -180,8 +223,11 @@ class MetricsRegistry:
                 for name, metric in sorted(self._metrics.items())}
 
     def data(self) -> "dict[str, Any]":
-        """Lossless view for cross-process shipping (raw histogram
-        observations included) — consumed by :meth:`merge_data`."""
+        """Exact view for cross-process shipping — consumed by
+        :meth:`merge_data`.  Histograms ship their true
+        ``count``/``sum``/``min``/``max`` totals plus the reservoir
+        samples, so folding stays exact even past
+        :data:`HISTOGRAM_LIMIT`."""
         doc: "dict[str, Any]" = {"counters": {}, "gauges": {},
                                  "histograms": {}}
         for name, metric in self._metrics.items():
@@ -190,20 +236,55 @@ class MetricsRegistry:
             elif isinstance(metric, Gauge):
                 doc["gauges"][name] = metric.value
             else:
-                doc["histograms"][name] = list(metric.values)
+                entry: "dict[str, Any]" = {
+                    "samples": list(metric.values),
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "min": metric.minimum,
+                    "max": metric.maximum,
+                }
+                if metric.exemplar is not None:
+                    entry["exemplar"] = dict(metric.exemplar)
+                doc["histograms"][name] = entry
         return doc
 
     def merge_data(self, doc: "Mapping[str, Any]") -> None:
         """Fold another registry's :meth:`data` into this one:
-        counters add, gauges overwrite, histograms re-observe."""
+        counters add, gauges overwrite, histograms fold their exact
+        totals and feed their samples through the reservoir.  A plain
+        list (the pre-reservoir wire shape) is still accepted and
+        re-observed value by value."""
         for name, value in doc.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in doc.get("gauges", {}).items():
             self.gauge(name).set(value)
-        for name, values in doc.get("histograms", {}).items():
+        for name, entry in doc.get("histograms", {}).items():
             histogram = self.histogram(name)
-            for value in values:
-                histogram.observe(value)
+            if isinstance(entry, Mapping):
+                histogram.count += int(entry.get("count", 0))
+                histogram.total += float(entry.get("sum", 0.0))
+                for bound, pick in (("min", min), ("max", max)):
+                    incoming = entry.get(bound)
+                    if incoming is None:
+                        continue
+                    current = getattr(histogram,
+                                      "minimum" if bound == "min"
+                                      else "maximum")
+                    setattr(histogram,
+                            "minimum" if bound == "min" else "maximum",
+                            incoming if current is None
+                            else pick(current, incoming))
+                for value in entry.get("samples", []):
+                    histogram._reservoir_add(value)
+                exemplar = entry.get("exemplar")
+                if exemplar is not None and (
+                        histogram.exemplar is None
+                        or exemplar["value"]
+                        >= histogram.exemplar["value"]):
+                    histogram.exemplar = dict(exemplar)
+            else:
+                for value in entry:
+                    histogram.observe(value)
 
 
 # ----------------------------------------------------------------------

@@ -19,7 +19,9 @@ uses the wall-clock anchor each :class:`Capture` records (see
 
 from __future__ import annotations
 
+import os
 import time
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -27,12 +29,87 @@ from .metrics import MetricsRegistry
 
 __all__ = ["Span", "Instrumentation", "Capture", "OBS", "enable",
            "disable", "enabled", "reset", "span", "event", "collect",
-           "capture"]
+           "capture", "TRACEPARENT_HEADER", "new_trace_id",
+           "new_span_id", "format_traceparent", "parse_traceparent",
+           "current_trace_context", "set_trace_context",
+           "reset_trace_context"]
 
 #: Hard cap on recorded spans per session (a runaway loop with
 #: instrumentation enabled degrades to dropped spans, never to
 #: unbounded memory).  Drops are counted in ``obs.spans.dropped``.
 MAX_SPANS = 200_000
+
+#: HTTP header carrying the trace context across the wire protocol
+#: (W3C Trace Context shape: ``00-<trace_id>-<parent_id>-01``).
+TRACEPARENT_HEADER = "traceparent"
+
+
+# ----------------------------------------------------------------------
+# distributed trace context
+# ----------------------------------------------------------------------
+#
+# A trace context is ``(trace_id, parent_span_id | None)``: the 32-hex
+# id of the whole distributed trace plus the 16-hex id of the span that
+# caused the current work.  It travels ambiently through a ContextVar
+# inside one process (surviving ``asyncio.to_thread`` hand-offs) and
+# explicitly over process boundaries: the ``traceparent`` HTTP header
+# on the wire protocol and the ``runner.trace`` key of shard manifests.
+
+_TRACE_CONTEXT: "ContextVar[tuple[str, str | None] | None]" = \
+    ContextVar("repro_trace_context", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-character trace id."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-character span id."""
+    return os.urandom(8).hex()
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """The ``traceparent`` header value for an outgoing request."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(value: "str | None") \
+        -> "tuple[str, str] | None":
+    """``(trace_id, parent_span_id)`` from a header, else ``None``.
+
+    Malformed values are ignored rather than rejected — tracing is
+    best-effort and must never fail a request.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 4:
+        return None
+    trace_id, span_id = parts[1], parts[2]
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        int(span_id, 16)
+    except ValueError:
+        return None
+    return trace_id, span_id
+
+
+def current_trace_context() -> "tuple[str, str | None] | None":
+    """The ambient ``(trace_id, parent_span_id)``, if any."""
+    return _TRACE_CONTEXT.get()
+
+
+def set_trace_context(context: "tuple[str, str | None] | None"):
+    """Install an ambient trace context; returns the reset token."""
+    return _TRACE_CONTEXT.set(context)
+
+
+def reset_trace_context(token) -> None:
+    """Restore the context saved by :func:`set_trace_context`."""
+    _TRACE_CONTEXT.reset(token)
 
 
 @dataclass

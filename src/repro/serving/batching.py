@@ -41,7 +41,8 @@ from dataclasses import dataclass
 from ..engine import BatchRunner, SolveJob
 from ..io.requests import (RequestError, SolvedPoint, SolveRequest,
                            response_envelope)
-from ..obs import absorb_cache_stats, absorb_store_stats
+from ..obs import (absorb_cache_stats, absorb_store_stats,
+                   reset_trace_context, set_trace_context)
 from ..scheduling.base import SchedulerOptions
 
 __all__ = ["BatchingConfig", "Submission", "Batcher"]
@@ -111,6 +112,18 @@ class Submission:
             self.deadline = loop.time() + request.deadline_ms / 1000.0
         self.dispatched = 0
         self.completed = 0
+        #: Distributed-trace identity of the HTTP request that created
+        #: this submission (set by the server at admission): the trace
+        #: id, the *client's* span id from the traceparent header, and
+        #: the server-side request span id engine spans hang beneath.
+        self.trace_id: "str | None" = None
+        self.parent_span_id: "str | None" = None
+        self.request_span_id: "str | None" = None
+        #: ``engine.run`` span documents attributed to this submission
+        #: — one per batch that dispatched any of its jobs, each
+        #: holding only this submission's ``engine.job`` children
+        #: (see :meth:`Batcher._attribute_spans`).
+        self.spans: "list[dict]" = []
         self.events: "list[dict]" = []
         self.done = asyncio.Event()
         self._new_event = asyncio.Event()
@@ -365,7 +378,9 @@ class Batcher:
         self.batches += 1
         batch_number = self.batches
         jobs = [job for _submission, _index, job in entries]
-        for submission in {id(s): s for s, _i, _j in entries}.values():
+        submissions = list(
+            {id(s): s for s, _i, _j in entries}.values())
+        for submission in submissions:
             share = sum(1 for s, _i, _j in entries
                         if s is submission)
             submission.add_event("dispatched", batch=batch_number,
@@ -380,10 +395,28 @@ class Batcher:
             if self.runner.cache is not None else None
         store_before = self.runner.store.counters() \
             if self.runner.store is not None else None
+        # A batch holding exactly one submission runs under that
+        # request's distributed trace: the ambient context makes the
+        # runner (and any remote/shard backend beneath it) stitch its
+        # spans under the request's trace id instead of minting one.
+        # Mixed batches get a runner-minted trace; span attribution
+        # below still hands each submission its own engine.job spans.
+        owner = submissions[0] \
+            if len(submissions) == 1 and submissions[0].trace_id \
+            else None
+        token = set_trace_context(
+            (owner.trace_id, owner.request_span_id)) \
+            if owner is not None else None
         t0 = time.perf_counter()
-        results = await self.runner.arun(jobs, on_result=on_result)
+        try:
+            results = await self.runner.arun(jobs,
+                                             on_result=on_result)
+        finally:
+            if token is not None:
+                reset_trace_context(token)
         elapsed_s = time.perf_counter() - t0
         del results  # per-job delivery already happened via on_result
+        self._attribute_spans(entries, batch_number)
         if self.registry is not None:
             self.registry.counter("serving.batches").inc()
             self.registry.histogram("serving.batch.jobs") \
@@ -398,3 +431,40 @@ class Batcher:
                     and self.runner.store is not None:
                 absorb_store_stats(self.registry, store_before,
                                    self.runner.store.counters())
+
+    def _attribute_spans(self, entries, batch_number: int) -> None:
+        """Slice the batch's engine span tree per submission.
+
+        The runner's ``engine.run`` root carries one ``engine.job``
+        child per *solved* batch position (cache/reuse hits have no
+        span), and batch positions are exactly the entry order this
+        dispatch submitted.  Each submission gets a copy of the run
+        span holding only its own job children, tagged with the batch
+        number — the flight recorder's ``/v1/debug/trace/{id}``
+        endpoint hangs these under the request span.
+        """
+        trace = self.runner.last_trace
+        if trace is None or not trace.spans:
+            return
+        root = trace.spans[0]
+        by_position: "dict[int, dict]" = {}
+        for child in root.get("children") or []:
+            position = (child.get("attrs") or {}).get("position")
+            if position is not None:
+                by_position[position] = child
+        children: "dict[int, list]" = {}
+        for position, (submission, _index, _job) \
+                in enumerate(entries):
+            child = by_position.get(position)
+            if child is not None:
+                children.setdefault(id(submission), []).append(child)
+        attrs = dict(root.get("attrs") or {})
+        attrs["batch"] = batch_number
+        for submission in {id(s): s for s, _i, _j in entries}.values():
+            submission.spans.append({
+                "name": root.get("name", "engine.run"),
+                "start": root.get("start", 0.0),
+                "duration": root.get("duration", 0.0),
+                "attrs": dict(attrs),
+                "children": children.get(id(submission), []),
+            })

@@ -31,6 +31,8 @@ from typing import Any, Iterator, Mapping
 from ..core.problem import SchedulingProblem
 from ..errors import ReproError
 from ..io.requests import solve_request_to_dict
+from ..obs import (TRACEPARENT_HEADER, current_trace_context,
+                   format_traceparent, new_span_id, new_trace_id)
 
 __all__ = ["ServingClient", "ServingError", "TruncatedStreamError"]
 
@@ -82,12 +84,28 @@ class ServingClient:
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or 8080
         self.timeout = timeout
+        #: The client's own distributed trace: every request carries a
+        #: ``traceparent`` header so the server's spans stitch under
+        #: one trace id per client.  An ambient context (set by
+        #: ``BatchRunner`` when this client is a ``RemoteBackend``
+        #: transport) takes precedence over the client's own.
+        self.trace_context: "tuple[str, str | None]" = \
+            (new_trace_id(), None)
 
     # -- low-level -----------------------------------------------------
 
     def _connect(self) -> http.client.HTTPConnection:
         return http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
+
+    def _traceparent(self) -> str:
+        """The outgoing trace header: ambient context if one is
+        installed, else this client's own trace, with a fresh span id
+        per request (that span id is what the server records as the
+        request's ``parent_span_id``)."""
+        ambient = current_trace_context()
+        trace_id = (ambient or self.trace_context)[0]
+        return format_traceparent(trace_id, new_span_id())
 
     def request(self, method: str, path: str,
                 body: "Mapping[str, Any] | None" = None) \
@@ -100,7 +118,7 @@ class ServingClient:
         connection = self._connect()
         try:
             payload = None
-            headers = {}
+            headers = {TRACEPARENT_HEADER: self._traceparent()}
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -180,7 +198,9 @@ class ServingClient:
         events_seen = 0
         terminal = False
         try:
-            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            connection.request(
+                "GET", f"/v1/jobs/{job_id}/events",
+                headers={TRACEPARENT_HEADER: self._traceparent()})
             response = connection.getresponse()
             if response.status != 200:
                 raw = response.read()
@@ -226,3 +246,11 @@ class ServingClient:
     def metrics_text(self) -> str:
         """``GET /metrics``: the raw Prometheus exposition text."""
         return self.checked("GET", "/metrics")
+
+    def debug_requests(self) -> "dict[str, Any]":
+        """``GET /v1/debug/requests``: the flight-recorder rings."""
+        return self.checked("GET", "/v1/debug/requests")
+
+    def debug_trace(self, trace_id: str) -> "dict[str, Any]":
+        """``GET /v1/debug/trace/{trace_id}``: one stitched trace."""
+        return self.checked("GET", f"/v1/debug/trace/{trace_id}")

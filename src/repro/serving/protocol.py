@@ -153,6 +153,7 @@ def write_json(writer, status: int,
         .encode("utf-8")
     writer.write(_head(status, "application/json", len(payload)))
     writer.write(payload)
+    writer.last_status = status
 
 
 def write_text(writer, status: int, text: str,
@@ -162,6 +163,7 @@ def write_text(writer, status: int, text: str,
     payload = text.encode("utf-8")
     writer.write(_head(status, content_type, len(payload)))
     writer.write(payload)
+    writer.last_status = status
 
 
 def write_error(writer, error: RequestError) -> None:
@@ -173,6 +175,7 @@ def write_error(writer, error: RequestError) -> None:
 def start_ndjson(writer, status: int = 200) -> None:
     """Open an NDJSON stream (connection-close delimited)."""
     writer.write(_head(status, "application/x-ndjson", None))
+    writer.last_status = status
 
 
 def send_ndjson_line(writer, record: "Mapping[str, Any]") -> None:

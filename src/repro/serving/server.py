@@ -23,7 +23,20 @@ Endpoints (the authoritative, conformance-tested reference is
 ``DELETE /v1/jobs/{id}``    cancel a queued or running job
 ``GET /healthz``            liveness + queue depths
 ``GET /metrics``            Prometheus text exposition
+``GET /v1/debug/requests``  the flight recorder: the last K request
+                            records plus every slow/errored one
+``GET /v1/debug/trace/{t}`` one stitched distributed trace — the
+                            request span(s) of trace id ``t`` with
+                            their engine/scheduler span forests
 =========================== ========================================
+
+Observability: every request either carries a W3C-style
+``traceparent`` header or gets a freshly minted trace id; the id
+correlates the access-log event (:data:`repro.obs.LOG`), the
+per-endpoint latency histogram exemplar on ``/metrics``, the flight
+recorder record, and — for solve/sweep work — the engine run spans the
+batcher attributes back to the submission.  ``docs/observability.md``
+walks the whole pipeline.
 
 Shutdown is a *drain*: :meth:`SolveServer.shutdown` stops admission
 (new solve/sweep requests get ``503 shutting_down``), runs every
@@ -37,13 +50,20 @@ import asyncio
 import json
 import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..engine import BatchRunner, RunnerConfig, ScheduleStore
 from ..io.requests import (RequestError, error_envelope,
                            response_envelope, solve_request_from_dict)
-from ..io.requests import EVENTS_FORMAT, EVENTS_VERSION
-from ..obs import MetricsRegistry, prometheus_text, span
+from ..io.requests import (DEBUG_REQUESTS_FORMAT,
+                           DEBUG_REQUESTS_VERSION, DEBUG_TRACE_FORMAT,
+                           DEBUG_TRACE_VERSION, EVENTS_FORMAT,
+                           EVENTS_VERSION)
+from ..obs import (LOG, TRACEPARENT_HEADER, MetricsRegistry,
+                   new_span_id, new_trace_id, parse_traceparent,
+                   prometheus_text, reset_trace_context,
+                   set_trace_context, span)
 from .batching import Batcher, BatchingConfig, Submission
 from .protocol import (DEFAULT_MAX_BODY, HttpRequest, read_request,
                        send_ndjson_line, start_ndjson, write_error,
@@ -81,6 +101,20 @@ class ServingConfig:
     trace_path:
         When set, shutdown writes a ``repro-serve-trace`` JSON
         document (metrics snapshot + per-job summaries) here.
+    flight_recorder / slow_ms:
+        Flight-recorder sizing: the last ``flight_recorder`` request
+        records are always retained, and a second same-sized ring
+        keeps every request that errored or took at least ``slow_ms``
+        milliseconds (``GET /v1/debug/requests`` shows both).
+    log_path:
+        When set, the server enables the process-wide structured
+        event log (:data:`repro.obs.LOG`) on this JSONL file at
+        startup and closes it on shutdown.
+    instrument:
+        Run the engine with span capture on (the default), so
+        ``GET /v1/debug/trace/{trace_id}`` can show scheduler-stage
+        spans under each request.  Turn off to shave per-batch
+        overhead when nobody is tracing.
     """
 
     host: str = "127.0.0.1"
@@ -94,6 +128,10 @@ class ServingConfig:
     store_path: "str | None" = None
     max_body: int = DEFAULT_MAX_BODY
     trace_path: "str | None" = None
+    flight_recorder: int = 64
+    slow_ms: float = 1000.0
+    log_path: "str | None" = None
+    instrument: bool = True
 
     def batching(self) -> BatchingConfig:
         return BatchingConfig(max_batch=self.max_batch,
@@ -121,7 +159,8 @@ class SolveServer:
             self.runner = BatchRunner(
                 RunnerConfig(workers=self.config.workers,
                              reuse_schedules=reuse,
-                             reuse_policy=self.config.reuse_policy),
+                             reuse_policy=self.config.reuse_policy,
+                             instrument=self.config.instrument),
                 store=store)
         self.metrics = MetricsRegistry()
         self.batcher = Batcher(self.runner, self.config.batching(),
@@ -131,11 +170,22 @@ class SolveServer:
         self._server: "asyncio.AbstractServer | None" = None
         self.port: "int | None" = None
         self.started_unix = time.time()
+        capacity = max(1, self.config.flight_recorder)
+        #: Flight recorder: the last ``capacity`` requests, and every
+        #: slow/errored request, each as a small JSON-able record.
+        self.recent: "deque[dict]" = deque(maxlen=capacity)
+        self.notable: "deque[dict]" = deque(maxlen=capacity)
+        self._owns_log = False
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
         """Bind the socket and start the dispatch loop."""
+        if self.config.log_path and not LOG.enabled:
+            LOG.enable(path=self.config.log_path)
+            self._owns_log = True
+            LOG.emit("server.start", host=self.config.host,
+                     workers=self.config.workers)
         self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host,
@@ -159,6 +209,10 @@ class SolveServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._owns_log:
+            LOG.emit("server.stop", batches=self.batcher.batches)
+            LOG.disable()
+            self._owns_log = False
 
     def write_trace(self, path: str) -> None:
         """The ``repro-serve-trace`` v1 document: metrics + jobs."""
@@ -189,8 +243,15 @@ class SolveServer:
         self._job_counter += 1
         submission = Submission(f"j-{self._job_counter:06d}", parsed,
                                 asyncio.get_running_loop())
+        # The request's distributed-trace identity rides on the
+        # submission so the batcher can attribute engine spans back to
+        # it (and run single-submission batches under this trace id).
+        submission.trace_id = request.trace_id
+        submission.parent_span_id = request.parent_span_id
+        submission.request_span_id = request.span_id
         self.batcher.submit(submission)  # may raise 429/503
         self.jobs[submission.id] = submission
+        request.job_id = submission.id
         self.metrics.counter("serving.jobs.accepted").inc()
         self.metrics.histogram("serving.job.points") \
             .observe(len(submission.jobs))
@@ -206,28 +267,56 @@ class SolveServer:
     # -- connection handling -------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        t0 = time.perf_counter()
+        request = None
+        error_code = None
         try:
             try:
                 request = await read_request(reader,
                                              self.config.max_body)
             except RequestError as exc:
+                error_code = exc.code
                 write_error(writer, exc)
                 return
             if request is None:
                 return
+            # Adopt the caller's trace (W3C-style traceparent header)
+            # or mint a fresh one; the server-side request span id is
+            # what engine/runner spans hang beneath.
+            context = parse_traceparent(
+                request.headers.get(TRACEPARENT_HEADER))
+            if context is not None:
+                request.trace_id, request.parent_span_id = context
+            else:
+                request.trace_id = new_trace_id()
+                request.parent_span_id = None
+            request.span_id = new_span_id()
+            request.job_id = None
             self.metrics.counter("serving.http.requests").inc()
+            token = set_trace_context((request.trace_id,
+                                       request.span_id))
             try:
                 with span("serving.request",
-                          method=request.method, path=request.path):
+                          method=request.method, path=request.path,
+                          trace_id=request.trace_id,
+                          span_id=request.span_id):
                     await self._route(request, reader, writer)
             except RequestError as exc:
+                error_code = exc.code
                 self.metrics.counter("serving.http.errors").inc()
                 write_error(writer, exc)
             except Exception as exc:  # noqa: BLE001 - 500, not a crash
+                error_code = "internal"
                 self.metrics.counter("serving.http.errors").inc()
                 write_error(writer, RequestError(
                     "internal", f"{type(exc).__name__}: {exc}"))
+            finally:
+                reset_trace_context(token)
         finally:
+            if request is not None:
+                self._observe_request(
+                    request, writer, time.perf_counter() - t0,
+                    error_code)
             try:
                 await writer.drain()
                 writer.close()
@@ -256,6 +345,15 @@ class SolveServer:
             submission = self._admit(request)
             write_json(writer, 202, submission.to_response())
             return
+        if path == "/v1/debug/requests":
+            self._require(method, "GET")
+            write_json(writer, 200, self._debug_requests_doc())
+            return
+        if path.startswith("/v1/debug/trace/"):
+            self._require(method, "GET")
+            trace_id = path[len("/v1/debug/trace/"):]
+            write_json(writer, 200, self._debug_trace_doc(trace_id))
+            return
         if path.startswith("/v1/jobs/"):
             await self._route_job(request, writer)
             return
@@ -277,6 +375,124 @@ class SolveServer:
             "queued_jobs": self.batcher.queued_jobs,
             "live_submissions": len(live),
             "batches": self.batcher.batches,
+        }
+
+    # -- flight recorder -----------------------------------------------
+
+    @staticmethod
+    def _endpoint_label(path: str) -> str:
+        """The bounded endpoint label latency metrics are keyed by."""
+        if path == "/healthz":
+            return "healthz"
+        if path == "/metrics":
+            return "metrics"
+        if path == "/v1/solve":
+            return "v1.solve"
+        if path == "/v1/sweep":
+            return "v1.sweep"
+        if path == "/v1/debug/requests":
+            return "v1.debug.requests"
+        if path.startswith("/v1/debug/trace/"):
+            return "v1.debug.trace"
+        if path.startswith("/v1/jobs/"):
+            return "v1.jobs.events" if path.endswith("/events") \
+                else "v1.jobs"
+        return "other"
+
+    def _observe_request(self, request: HttpRequest, writer,
+                         elapsed_s: float,
+                         error_code: "str | None") -> None:
+        """Record one finished request everywhere it is observable:
+        the per-endpoint latency histogram (with this trace id as the
+        exemplar candidate), the flight-recorder rings, and the
+        structured access log."""
+        status = getattr(writer, "last_status", 200)
+        label = self._endpoint_label(request.path)
+        self.metrics.histogram(
+            f"serving.latency.{label}.seconds").observe(
+                elapsed_s, trace_id=request.trace_id)
+        latency_ms = round(elapsed_s * 1000.0, 3)
+        record = {
+            "at_unix": round(time.time(), 3),
+            "method": request.method,
+            "path": request.path,
+            "endpoint": label,
+            "status": status,
+            "latency_ms": latency_ms,
+            "trace_id": request.trace_id,
+            "span_id": request.span_id,
+        }
+        if request.parent_span_id:
+            record["parent_span_id"] = request.parent_span_id
+        if request.job_id:
+            record["job"] = request.job_id
+        if error_code:
+            record["error"] = error_code
+        self.recent.append(record)
+        if error_code or status >= 400 \
+                or latency_ms >= self.config.slow_ms:
+            self.notable.append(record)
+        if LOG.enabled:
+            LOG.emit("http.access", trace_id=request.trace_id,
+                     span_id=request.span_id, method=request.method,
+                     path=request.path, status=status,
+                     latency_ms=latency_ms,
+                     **({"job": request.job_id}
+                        if request.job_id else {}))
+
+    def _debug_requests_doc(self) -> "dict":
+        """``GET /v1/debug/requests``: both rings, newest first."""
+        return {
+            "format": DEBUG_REQUESTS_FORMAT,
+            "version": DEBUG_REQUESTS_VERSION,
+            "capacity": self.recent.maxlen,
+            "slow_ms": self.config.slow_ms,
+            "requests": list(reversed(self.recent)),
+            "notable": list(reversed(self.notable)),
+        }
+
+    def _debug_trace_doc(self, trace_id: str) -> "dict":
+        """``GET /v1/debug/trace/{id}``: assemble one stitched trace.
+
+        Every recorded request span of the trace, oldest first, each
+        carrying the engine span forest the batcher attributed to its
+        submission (so a remote-backend solve shows
+        client -> server -> engine.run -> engine.job -> sched.* in one
+        tree).  ``not_found`` when the recorder holds no such trace.
+        """
+        records: "dict[str, dict]" = {}
+        for record in list(self.recent) + list(self.notable):
+            if record.get("trace_id") == trace_id:
+                records[record["span_id"]] = record
+        if not records:
+            raise RequestError(
+                "not_found",
+                f"flight recorder holds no requests for trace "
+                f"{trace_id!r}")
+        spans = []
+        for record in sorted(records.values(),
+                             key=lambda rec: rec["at_unix"]):
+            attr_keys = ("method", "path", "status", "trace_id",
+                         "span_id", "parent_span_id", "job")
+            span_doc = {
+                "name": "serving.request",
+                "start": 0.0,
+                "duration": round(record["latency_ms"] / 1000.0, 6),
+                "attrs": {key: record[key] for key in attr_keys
+                          if key in record},
+                "children": [],
+            }
+            submission = self.jobs.get(record.get("job") or "")
+            if submission is not None:
+                span_doc["children"] = [
+                    dict(doc) for doc in
+                    getattr(submission, "spans", [])]
+            spans.append(span_doc)
+        return {
+            "format": DEBUG_TRACE_FORMAT,
+            "version": DEBUG_TRACE_VERSION,
+            "trace_id": trace_id,
+            "spans": spans,
         }
 
     async def _handle_solve(self, request: HttpRequest,
@@ -313,6 +529,7 @@ class SolveServer:
         if submission is None:
             raise RequestError("not_found",
                                f"unknown job {parts[2]!r}")
+        request.job_id = submission.id
         if len(parts) == 4:
             if parts[3] != "events":
                 raise RequestError("not_found",

@@ -363,3 +363,77 @@ class TestTraceSchemaV2:
         runner.run([SolveJob(problem=tiny_problem())])
         roots = OBS.collect()
         assert any(sp.name == "engine.run" for sp in roots)
+
+
+# ----------------------------------------------------------------------
+# reservoir sampling + sharded metrics-merge equivalence
+# ----------------------------------------------------------------------
+
+class TestReservoirHistograms:
+    def test_reservoir_is_uniform_not_first_n(self):
+        """Past the limit, retained samples must span the whole
+        stream, not just its first HISTOGRAM_LIMIT values."""
+        h = MetricsRegistry().histogram("lat")
+        n = 4 * HISTOGRAM_LIMIT
+        for v in range(n):
+            h.observe(float(v))
+        late = sum(1 for v in h.values if v >= n / 2)
+        # The old first-N capture kept zero late samples; a uniform
+        # reservoir keeps about half (allow a wide deterministic band).
+        assert 0.3 * HISTOGRAM_LIMIT < late < 0.7 * HISTOGRAM_LIMIT
+        assert h.count == n
+        assert h.summary()["max"] == float(n - 1)
+
+    def test_reservoir_deterministic_per_name(self):
+        a = MetricsRegistry().histogram("x")
+        b = MetricsRegistry().histogram("x")
+        for v in range(3 * HISTOGRAM_LIMIT):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.values == b.values
+
+    def test_exemplar_tracks_largest_value(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(1.0, trace_id="aa")
+        h.observe(5.0, trace_id="bb")
+        h.observe(2.0, trace_id="cc")
+        assert h.summary()["exemplar"] == {"trace_id": "bb",
+                                           "value": 5.0}
+        text = prometheus_text({"lat": h.summary()})
+        assert '# EXEMPLAR repro_lat trace_id="bb" value=5.0' in text
+
+    def test_sharded_merge_equivalence(self):
+        """Merging 3 per-shard registries == one serial registry:
+        counters and histogram count/sum exactly, quantiles within
+        reservoir tolerance."""
+        values = [float(v) for v in range(3 * HISTOGRAM_LIMIT)]
+        serial = MetricsRegistry()
+        merged = MetricsRegistry()
+        shards = [MetricsRegistry() for _ in range(3)]
+        for i, v in enumerate(values):
+            serial.counter("jobs").inc()
+            serial.histogram("lat").observe(v)
+            shards[i % 3].counter("jobs").inc()
+            shards[i % 3].histogram("lat").observe(v)
+        for shard in shards:
+            merged.merge_data(shard.data())
+        assert merged.counter("jobs").value \
+            == serial.counter("jobs").value
+        m, s = merged.histogram("lat"), serial.histogram("lat")
+        assert m.summary()["count"] == s.summary()["count"]
+        assert m.summary()["sum"] == pytest.approx(
+            s.summary()["sum"])
+        assert m.summary()["min"] == s.summary()["min"]
+        assert m.summary()["max"] == s.summary()["max"]
+        spread = max(values) - min(values)
+        for q in ("p50", "p95", "p99"):
+            assert abs(m.summary()[q] - s.summary()[q]) \
+                <= 0.1 * spread, (q, m.summary()[q], s.summary()[q])
+
+    def test_legacy_list_form_still_merges(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        registry.merge_data({"histograms": {"h": [2.0, 3.0]}})
+        summary = registry.histogram("h").summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(6.0)

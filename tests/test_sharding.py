@@ -320,3 +320,75 @@ def test_cli_sweep_backend_shards(tmp_path, capsys):
                  "--reuse-schedules"]) == 0
     out = capsys.readouterr().out
     assert "mode=shards" in out
+
+
+def test_metrics_merge_matches_serial_registry(fig1_grid_jobs):
+    """Sharded metric snapshots merged == one serial registry.
+
+    Warm-started re-solves share state across jobs in ways that
+    depend on the partition, so the comparison runs with
+    ``warm_start=False``: then every counter is per-job deterministic
+    and must sum exactly; histogram *counts* are exact too, while
+    sums are wall-clock (compare the merge against the fold of its
+    own parts, not against the serial timings).  Jobs are key-distinct
+    so dedup/cache accounting cannot depend on the partition either.
+    """
+    jobs, seen = [], set()
+    for job in fig1_grid_jobs:
+        key = job.key()
+        if key not in seen:
+            seen.add(key)
+            jobs.append(job)
+        if len(jobs) == 12:
+            break
+    serial = BatchRunner(RunnerConfig(instrument=True,
+                                      warm_start=False))
+    serial.run(jobs)
+    serial_metrics = serial.last_trace.metrics
+
+    runner_doc = {"retries": 1, "reuse_schedules": False,
+                  "reuse_policy": "identical", "instrument": True,
+                  "lp_log_factor": None, "warm_start": False}
+    plan = plan_shards(list(enumerate(jobs)), 3, "tile",
+                       runner=runner_doc)
+    artifacts = [run_manifest(manifest) for manifest in plan
+                 if manifest.jobs]
+    merged = merge_artifacts(artifacts).metrics
+
+    def of_type(snapshot, kind):
+        return {name: summary for name, summary in snapshot.items()
+                if summary["type"] == kind}
+
+    serial_counters = of_type(serial_metrics, "counter")
+    merged_counters = of_type(merged, "counter")
+    assert set(serial_counters) == set(merged_counters)
+    for name, summary in serial_counters.items():
+        assert merged_counters[name]["value"] == summary["value"], \
+            name
+
+    serial_hists = of_type(serial_metrics, "histogram")
+    merged_hists = of_type(merged, "histogram")
+    assert set(serial_hists) == set(merged_hists)
+    for name, summary in serial_hists.items():
+        assert merged_hists[name]["count"] == summary["count"], name
+    # Merge exactness: the merged sum/count is the exact fold of the
+    # per-shard snapshots it was built from.
+    for name, summary in merged_hists.items():
+        shard_sum = sum(artifact.metrics[name]["sum"]
+                        for artifact in artifacts
+                        if name in artifact.metrics)
+        shard_count = sum(artifact.metrics[name]["count"]
+                          for artifact in artifacts
+                          if name in artifact.metrics)
+        assert summary["count"] == shard_count, name
+        assert summary["sum"] == pytest.approx(shard_sum, abs=1e-5), \
+            name
+        # and each quantile stays inside the observed value range
+        low = min(artifact.metrics[name]["min"]
+                  for artifact in artifacts
+                  if name in artifact.metrics)
+        high = max(artifact.metrics[name]["max"]
+                   for artifact in artifacts
+                   if name in artifact.metrics)
+        for q in ("p50", "p95", "p99"):
+            assert low - 1e-9 <= summary[q] <= high + 1e-9, (name, q)
