@@ -33,6 +33,11 @@ Subcommands:
 * ``submit FILE`` — send a problem to a running solve server and
   print the solved points (synchronous single solve, or an
   asynchronous sweep with a live event tail).
+* ``session SCRIPT`` — replay a recorded mission arrival script
+  (``repro-session-script`` v1, ``docs/online.md``) through the
+  online session engine, in-process by default or against a running
+  server's ``POST /v1/sessions`` with ``--server``; prints the
+  admit/reject/commit/replan event journal.
 * ``top`` — live single-screen view of a running solve server:
   queue depth, batch sizes, cache/store hit rates, per-endpoint
   p50/p99 latencies and the most recent/notable requests, polled
@@ -374,6 +379,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit 1 unless at least one point is "
                              "feasible and every feasible point is "
                              "power-valid (peak <= P_max)")
+
+    session = sub.add_parser(
+        "session",
+        help="replay a recorded mission arrival script "
+             "(repro-session-script v1), locally or against a "
+             "running solve server")
+    session.add_argument("file",
+                        help="session script path (.json)")
+    session.add_argument("--server", default=None, metavar="URL",
+                        help="replay through POST /v1/sessions on a "
+                             "running server instead of in-process")
+    session.add_argument("--out", metavar="PATH",
+                        help="write the full event journal as JSON")
+    session.add_argument("--quiet", action="store_true",
+                        help="suppress the per-event lines")
+    session.add_argument("--check", action="store_true",
+                        help="exit 1 unless the replay ends cleanly "
+                             "with every admitted task scheduled, "
+                             "and (local replay) the final schedule "
+                             "passes the timing and power validators")
     return parser
 
 
@@ -405,6 +430,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_submit(args)
         if args.command == "top":
             return _cmd_top(args)
+        if args.command == "session":
+            return _cmd_session(args)
         return _cmd_example()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -878,6 +905,81 @@ def _cmd_submit(args) -> int:
                 return 1
         print(f"check: ok ({len(feasible)} feasible, "
               "all power-valid)")
+    return 0
+
+
+def _cmd_session(args) -> int:
+    """Replay a recorded arrival script, locally or via a server."""
+    from .online import load_script, replay_script
+
+    script = load_script(args.file)
+    journal: "list[dict]" = []
+
+    if args.server:
+        from .serving import ServingClient
+        client = ServingClient(args.server)
+        ack = client.open_session(
+            p_max=script.p_max, p_min=script.p_min,
+            baseline=script.baseline, scheduler=script.scheduler,
+            seed=script.seed, name=script.name)
+        session_id = ack["session"]
+        print(f"session {session_id} open on {args.server} "
+              f"({script.scheduler}, P_max={script.p_max} W)")
+        ended_ok = False
+        for event in client.session_send(session_id,
+                                         script.commands):
+            journal.append(event)
+            if event.get("event") == "end":
+                ended_ok = bool(event.get("ok"))
+            if not args.quiet:
+                print(json.dumps(event))
+        status = client.session(session_id)
+        client.close_session(session_id)
+        admitted = status.get("admitted", [])
+        rejected = status.get("rejected", [])
+        starts = status.get("starts", {})
+        makespan = status.get("makespan")
+        report_ok = True  # remote replay: validators ran server-side
+    else:
+        session, events = replay_script(script)
+        journal.extend(events)
+        if not args.quiet:
+            for event in events:
+                print(json.dumps(event))
+        # A local replay that raises never reaches here, so the
+        # stream-level flag is trivially true.
+        ended_ok = True
+        admitted = session.admitted
+        rejected = [name for name, _ in session.rejected]
+        starts = (session.schedule.as_dict()
+                  if session.schedule is not None else {})
+        makespan = (session.schedule.makespan
+                    if session.schedule is not None else None)
+        report_ok = session.committed_report().ok if admitted \
+            else True
+    print(f"{script.name}: {len(admitted)} admitted, "
+          f"{len(rejected)} rejected"
+          + (f", makespan {makespan}" if makespan is not None
+             else ""))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump({"format": "repro-session-event",
+                       "version": 1, "script": args.file,
+                       "events": journal}, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote event journal to {args.out}")
+    if args.check:
+        missing = [name for name in admitted if name not in starts]
+        if not ended_ok or missing or not report_ok:
+            reason = ("stream ended with an error"
+                      if not ended_ok else
+                      f"admitted tasks missing from the schedule: "
+                      f"{missing}" if missing else
+                      "final schedule failed validation")
+            print(f"check: FAILED ({reason})", file=sys.stderr)
+            return 1
+        print(f"check: ok ({len(admitted)} admitted tasks "
+              "all scheduled)")
     return 0
 
 

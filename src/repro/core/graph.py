@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import itertools
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Any, Iterable, Iterator, Mapping
 
 from ..errors import GraphError
@@ -177,6 +177,34 @@ class ConstraintGraph:
             return self._tasks[name]
         except KeyError:
             raise GraphError(f"unknown task {name!r}") from None
+
+    def set_duration(self, name: str, duration: int) -> Task:
+        """Replace a task's duration in place (working copies only).
+
+        Mid-mission replanning represents a still-running overrunning
+        task by its *realized* duration so the schedulers' resource
+        exclusion and power profile see the stretched reality, not the
+        nominal plan.  Durations feed the solvers but not the edge set,
+        so longest-path distances stay valid; power/energy and array
+        caches are version-keyed, so the bump below invalidates them.
+        Not journaled — use on throwaway copies, not on a graph a later
+        ``rollback`` must restore.
+        """
+        task = self.task(name)
+        if task.is_anchor:
+            raise GraphError("cannot set the anchor's duration")
+        if not isinstance(duration, int) or isinstance(duration, bool) \
+                or duration <= 0:
+            raise GraphError(
+                f"duration must be a positive integer, got {duration!r}")
+        if duration == task.duration:
+            return task
+        replaced = _dc_replace(task, duration=duration)
+        self._tasks[name] = replaced
+        self._version += 1
+        self._arrays_cache = None
+        self._triples_cache = None
+        return replaced
 
     def __contains__(self, name: str) -> bool:
         return name in self._tasks
@@ -456,6 +484,13 @@ class ConstraintGraph:
 
         The max-power scheduler locks the start times of zero-slack tasks
         before recursing (Section 5.2); rollback removes the locks.
+
+        The default ``"lock"`` tag marks a *scheduler-owned* pin: the
+        max-power stage may lift it during spike repair and left-shift
+        it during compaction.  Callers freezing executed history
+        (:mod:`repro.execution.replan`, :mod:`repro.online`) must pass
+        a different tag — conventionally ``"frozen"`` — so neither
+        pass can move a task that has already run.
         """
         self.add_min_separation(ANCHOR_NAME, name, time, tag=tag)
         self.add_max_separation(ANCHOR_NAME, name, time, tag=tag)

@@ -59,7 +59,11 @@ def replan(problem: SchedulingProblem, snapshot: ExecutionResult,
     graph = problem.graph.copy()
 
     for name, (start, end) in snapshot.spans.items():
-        graph.lock_start(name, start, tag="lock")
+        # "frozen", not the default "lock": the max-power stage treats
+        # its own "lock" pins as relaxable (spike repair lifts them,
+        # compaction left-shifts them), but executed history must never
+        # move — a distinct tag keeps it out of both passes.
+        graph.lock_start(name, start, tag="frozen")
         if end > now:
             # still running: its realized duration may exceed the
             # nominal one; push successors past the *actual* end

@@ -14,6 +14,15 @@ Two versioned JSON documents connect a client to a
   the job finished, and a machine-readable :class:`RequestError`
   ``{code, message}`` object otherwise.
 
+The online mission-session API (``POST /v1/sessions``) adds four more
+documents under the same conventions: ``repro-session-request`` v1
+(open a session), ``repro-session-commands`` v1 (a batch of arrival /
+advance / fault / quiesce commands), ``repro-session-event`` v1 (the
+NDJSON stream the server answers a command batch with), and
+``repro-session-script`` v1 (a recorded session — config plus command
+stream — replayed by the ``session`` CLI verb and the CI smoke probe).
+``docs/online.md`` is their conformance-tested reference.
+
 Version negotiation: a request's ``version`` must be ``<=`` the
 server's :data:`REQUEST_VERSION`; newer documents are rejected with the
 ``unsupported_version`` error code (the server can always read older
@@ -41,7 +50,14 @@ __all__ = ["SolveRequest", "SolvedPoint", "RequestError",
            "DEBUG_REQUESTS_VERSION", "DEBUG_TRACE_FORMAT",
            "DEBUG_TRACE_VERSION", "solve_request_to_dict",
            "solve_request_from_dict", "response_envelope",
-           "error_envelope"]
+           "error_envelope", "SessionRequest",
+           "SESSION_REQUEST_FORMAT", "SESSION_REQUEST_VERSION",
+           "SESSION_COMMANDS_FORMAT", "SESSION_COMMANDS_VERSION",
+           "SESSION_EVENT_FORMAT", "SESSION_EVENT_VERSION",
+           "SESSION_SCRIPT_FORMAT", "SESSION_SCRIPT_VERSION",
+           "session_request_to_dict", "session_request_from_dict",
+           "session_command_from_dict", "session_commands_to_dict",
+           "session_commands_from_dict", "session_script_from_dict"]
 
 #: ``format`` field of a solve request document.
 REQUEST_FORMAT = "repro-solve-request"
@@ -65,6 +81,26 @@ DEBUG_REQUESTS_VERSION = 1
 DEBUG_TRACE_FORMAT = "repro-debug-trace"
 #: Debug trace schema version.
 DEBUG_TRACE_VERSION = 1
+#: ``format`` field of a session-open document
+#: (``POST /v1/sessions``).
+SESSION_REQUEST_FORMAT = "repro-session-request"
+#: Session request schema version.
+SESSION_REQUEST_VERSION = 1
+#: ``format`` field of a session command batch
+#: (``POST /v1/sessions/{id}/events`` body).
+SESSION_COMMANDS_FORMAT = "repro-session-commands"
+#: Session command batch schema version.
+SESSION_COMMANDS_VERSION = 1
+#: ``format`` field of the session NDJSON event stream (the header
+#: line of every ``POST /v1/sessions/{id}/events`` response).
+SESSION_EVENT_FORMAT = "repro-session-event"
+#: Session event stream schema version.
+SESSION_EVENT_VERSION = 1
+#: ``format`` field of a recorded arrival script
+#: (``repro-schedule session``).
+SESSION_SCRIPT_FORMAT = "repro-session-script"
+#: Session script schema version.
+SESSION_SCRIPT_VERSION = 1
 
 #: Machine-readable error codes, and the HTTP status each maps to.
 #: ``docs/serving.md`` documents every row; the doc-conformance test
@@ -308,3 +344,333 @@ def response_envelope(status: str, **fields: Any) -> "dict[str, Any]":
 def error_envelope(error: RequestError) -> "dict[str, Any]":
     """The error form of the response envelope."""
     return response_envelope("error", error=error.to_dict())
+
+
+# ---------------------------------------------------------------------
+# online mission sessions
+# ---------------------------------------------------------------------
+
+#: Scheduler names a session-open document may carry (mirrors
+#: :data:`repro.online.session.SESSION_SCHEDULERS` without importing
+#: the engine into the schema layer).
+_SESSION_SCHEDULERS = ("min_power", "max_power")
+
+#: Command kinds a ``repro-session-commands`` batch may contain.
+SESSION_COMMAND_KINDS = ("arrival", "advance", "fault", "quiesce")
+
+#: Constraint kinds an ``arrival`` command may carry.
+SESSION_CONSTRAINT_KINDS = ("min", "max", "precedence", "release",
+                            "deadline")
+
+
+@dataclass
+class SessionRequest:
+    """A parsed, validated session-open document."""
+
+    p_max: float
+    p_min: float = 0.0
+    baseline: float = 0.0
+    scheduler: str = "min_power"
+    seed: "int | None" = None
+    name: str = "mission"
+    tags: "dict[str, Any]" = field(default_factory=dict)
+
+
+def _check_version(data: "Mapping[str, Any]", expected_format: str,
+                   max_version: int) -> None:
+    """Shared format/version gate for every session document."""
+    if data.get("format") != expected_format:
+        raise RequestError(
+            "bad_request",
+            f"format must be {expected_format!r}, "
+            f"got {data.get('format')!r}")
+    version = data.get("version")
+    if not isinstance(version, int) or isinstance(version, bool) \
+            or version < 1:
+        raise RequestError(
+            "bad_request",
+            f"version must be a positive integer, got {version!r}")
+    if version > max_version:
+        raise RequestError(
+            "unsupported_version",
+            f"document version {version} is newer than this "
+            f"server's {max_version}; re-send as version "
+            f"{max_version}")
+
+
+def _number(value: Any, name: str, default: "float | None" = None) \
+        -> float:
+    if value is None and default is not None:
+        return default
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise RequestError("bad_request",
+                           f"{name} must be a number, got {value!r}")
+    return float(value)
+
+
+def _nonneg_int(value: Any, name: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < 0:
+        raise RequestError(
+            "bad_request",
+            f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def session_request_to_dict(p_max: float, p_min: float = 0.0,
+                            baseline: float = 0.0,
+                            scheduler: str = "min_power",
+                            seed: "int | None" = None,
+                            name: "str | None" = None,
+                            tags: "Mapping[str, Any] | None" = None) \
+        -> "dict[str, Any]":
+    """Assemble a ``repro-session-request`` document (client side)."""
+    doc: "dict[str, Any]" = {
+        "format": SESSION_REQUEST_FORMAT,
+        "version": SESSION_REQUEST_VERSION,
+        "p_max": p_max,
+    }
+    if p_min:
+        doc["p_min"] = p_min
+    if baseline:
+        doc["baseline"] = baseline
+    if scheduler != "min_power":
+        doc["scheduler"] = scheduler
+    if seed is not None:
+        doc["seed"] = seed
+    if name is not None:
+        doc["name"] = name
+    if tags:
+        doc["tags"] = dict(tags)
+    return doc
+
+
+def session_request_from_dict(data: Any) -> SessionRequest:
+    """Validate and parse a session-open document (server side)."""
+    if not isinstance(data, Mapping):
+        raise RequestError("bad_request",
+                           "request body must be a JSON object")
+    _check_version(data, SESSION_REQUEST_FORMAT,
+                   SESSION_REQUEST_VERSION)
+    if "p_max" not in data:
+        raise RequestError("bad_request",
+                           "session request is missing 'p_max'")
+    p_max = _number(data.get("p_max"), "p_max")
+    p_min = _number(data.get("p_min"), "p_min", default=0.0)
+    baseline = _number(data.get("baseline"), "baseline", default=0.0)
+    scheduler = data.get("scheduler", "min_power")
+    if scheduler not in _SESSION_SCHEDULERS:
+        raise RequestError(
+            "bad_request",
+            f"scheduler must be one of {list(_SESSION_SCHEDULERS)}, "
+            f"got {scheduler!r}")
+    seed = data.get("seed")
+    if seed is not None and (not isinstance(seed, int)
+                             or isinstance(seed, bool)):
+        raise RequestError("bad_request",
+                           f"seed must be an integer, got {seed!r}")
+    name = data.get("name", "mission")
+    if not isinstance(name, str) or not name:
+        raise RequestError("bad_request",
+                           f"name must be a non-empty string, "
+                           f"got {name!r}")
+    tags = data.get("tags") or {}
+    if not isinstance(tags, Mapping):
+        raise RequestError("bad_request", "tags must be an object")
+    return SessionRequest(p_max=p_max, p_min=p_min, baseline=baseline,
+                          scheduler=scheduler, seed=seed, name=name,
+                          tags=dict(tags))
+
+
+def _session_constraint_from_dict(record: Any) -> "dict[str, Any]":
+    """Validate one arrival constraint record (normalized copy)."""
+    if not isinstance(record, Mapping):
+        raise RequestError("bad_request",
+                           "constraints must be objects")
+    kind = record.get("kind")
+    if kind not in SESSION_CONSTRAINT_KINDS:
+        raise RequestError(
+            "bad_request",
+            f"constraint kind must be one of "
+            f"{list(SESSION_CONSTRAINT_KINDS)}, got {kind!r}")
+    out: "dict[str, Any]" = {"kind": kind}
+    if kind in ("min", "max"):
+        for endpoint in ("src", "dst"):
+            value = record.get(endpoint)
+            if not isinstance(value, str) or not value:
+                raise RequestError(
+                    "bad_request",
+                    f"{kind} constraint needs string "
+                    f"src/dst, got {endpoint}={value!r}")
+            out[endpoint] = value
+        sep = record.get("sep")
+        if not isinstance(sep, int) or isinstance(sep, bool):
+            raise RequestError(
+                "bad_request",
+                f"{kind} constraint sep must be an integer, "
+                f"got {sep!r}")
+        out["sep"] = sep
+    elif kind == "precedence":
+        src = record.get("src")
+        if not isinstance(src, str) or not src:
+            raise RequestError(
+                "bad_request",
+                f"precedence constraint needs a string src, "
+                f"got {src!r}")
+        out["src"] = src
+        gap = record.get("gap", 0)
+        if not isinstance(gap, int) or isinstance(gap, bool) \
+                or gap < 0:
+            raise RequestError(
+                "bad_request",
+                f"precedence gap must be a non-negative integer, "
+                f"got {gap!r}")
+        out["gap"] = gap
+    else:  # release / deadline
+        out["time"] = _nonneg_int(record.get("time"),
+                                  f"{kind} constraint time")
+    return out
+
+
+def session_command_from_dict(data: Any) -> "dict[str, Any]":
+    """Validate one session command; returns a normalized copy.
+
+    Commands are the verbs of a mission session::
+
+        {"event": "arrival", "task": {"name", "duration", "power"?,
+         "resource"?}, "constraints"?: [...], "at"?: int}
+        {"event": "advance", "to": int}
+        {"event": "fault", "overruns": {task: extra_ticks},
+         "at"?: int}
+        {"event": "quiesce"}
+    """
+    if not isinstance(data, Mapping):
+        raise RequestError("bad_request",
+                           "each command must be a JSON object")
+    kind = data.get("event")
+    if kind not in SESSION_COMMAND_KINDS:
+        raise RequestError(
+            "bad_request",
+            f"command event must be one of "
+            f"{list(SESSION_COMMAND_KINDS)}, got {kind!r}")
+    if kind == "quiesce":
+        return {"event": "quiesce"}
+    if kind == "advance":
+        return {"event": "advance",
+                "to": _nonneg_int(data.get("to"), "advance 'to'")}
+    if kind == "fault":
+        overruns = data.get("overruns")
+        if not isinstance(overruns, Mapping) or not overruns:
+            raise RequestError(
+                "bad_request",
+                "fault command needs a non-empty 'overruns' object")
+        normalized: "dict[str, int]" = {}
+        for task, extra in overruns.items():
+            if not isinstance(task, str) or not task:
+                raise RequestError(
+                    "bad_request",
+                    f"overrun keys must be task names, got {task!r}")
+            normalized[task] = _nonneg_int(
+                extra, f"overrun for {task!r}")
+        out = {"event": "fault", "overruns": normalized}
+        if "at" in data and data["at"] is not None:
+            out["at"] = _nonneg_int(data["at"], "fault 'at'")
+        return out
+    # arrival
+    task = data.get("task")
+    if not isinstance(task, Mapping):
+        raise RequestError("bad_request",
+                           "arrival command needs a 'task' object")
+    name = task.get("name")
+    if not isinstance(name, str) or not name:
+        raise RequestError(
+            "bad_request",
+            f"arrival task needs a non-empty string name, "
+            f"got {name!r}")
+    duration = task.get("duration")
+    if not isinstance(duration, int) or isinstance(duration, bool) \
+            or duration <= 0:
+        raise RequestError(
+            "bad_request",
+            f"arrival task duration must be a positive integer, "
+            f"got {duration!r}")
+    normalized_task: "dict[str, Any]" = {"name": name,
+                                         "duration": duration}
+    power = task.get("power", 0.0)
+    if not isinstance(power, (int, float)) or isinstance(power, bool) \
+            or power < 0:
+        raise RequestError(
+            "bad_request",
+            f"arrival task power must be a non-negative number, "
+            f"got {power!r}")
+    if power:
+        normalized_task["power"] = float(power)
+    resource = task.get("resource")
+    if resource is not None:
+        if not isinstance(resource, str) or not resource:
+            raise RequestError(
+                "bad_request",
+                f"arrival task resource must be a string, "
+                f"got {resource!r}")
+        normalized_task["resource"] = resource
+    out = {"event": "arrival", "task": normalized_task,
+           "constraints": [_session_constraint_from_dict(record)
+                           for record in data.get("constraints", [])]}
+    if "at" in data and data["at"] is not None:
+        out["at"] = _nonneg_int(data["at"], "arrival 'at'")
+    return out
+
+
+def session_commands_to_dict(commands: "list[Mapping[str, Any]]") \
+        -> "dict[str, Any]":
+    """Assemble a ``repro-session-commands`` batch (client side)."""
+    return {"format": SESSION_COMMANDS_FORMAT,
+            "version": SESSION_COMMANDS_VERSION,
+            "commands": [dict(c) for c in commands]}
+
+
+def session_commands_from_dict(data: Any) -> "list[dict[str, Any]]":
+    """Validate a command batch (``POST /v1/sessions/{id}/events``)."""
+    if not isinstance(data, Mapping):
+        raise RequestError("bad_request",
+                           "request body must be a JSON object")
+    _check_version(data, SESSION_COMMANDS_FORMAT,
+                   SESSION_COMMANDS_VERSION)
+    commands = data.get("commands")
+    if not isinstance(commands, (list, tuple)) or not commands:
+        raise RequestError(
+            "bad_request",
+            "command batch needs a non-empty 'commands' array")
+    return [session_command_from_dict(c) for c in commands]
+
+
+def session_script_from_dict(data: Any):
+    """Validate a ``repro-session-script`` document; returns a
+    :class:`repro.online.script.SessionScript`."""
+    from ..online.script import SessionScript
+    if not isinstance(data, Mapping):
+        raise RequestError("bad_request",
+                           "script must be a JSON object")
+    _check_version(data, SESSION_SCRIPT_FORMAT, SESSION_SCRIPT_VERSION)
+    session = data.get("session")
+    if not isinstance(session, Mapping):
+        raise RequestError("bad_request",
+                           "script needs a 'session' object")
+    request = session_request_from_dict({
+        "format": SESSION_REQUEST_FORMAT,
+        "version": SESSION_REQUEST_VERSION,
+        **session,
+    })
+    commands = data.get("commands")
+    if not isinstance(commands, (list, tuple)):
+        raise RequestError("bad_request",
+                           "script needs a 'commands' array")
+    parsed = [session_command_from_dict(c) for c in commands]
+    seed = session.get("seed", 2001)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise RequestError("bad_request",
+                           f"seed must be an integer, got {seed!r}")
+    return SessionScript(p_max=request.p_max, p_min=request.p_min,
+                         baseline=request.baseline,
+                         scheduler=request.scheduler, seed=seed,
+                         name=request.name, commands=parsed)

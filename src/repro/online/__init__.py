@@ -1,0 +1,28 @@
+"""Online rolling-horizon mission sessions.
+
+The offline solvers take the whole task set at once;
+:class:`MissionSession` accepts tasks as they *arrive*, admitting or
+rejecting each against the power and timing constraints with the
+already-started prefix frozen, and re-planning on injected faults.  A
+quiesced session that saw every task up front reproduces the offline
+solve bit-for-bit (the quiescence theorem,
+``tests/test_online_differential.py``).
+
+See ``docs/online.md`` for the operator's guide and the wire protocol
+(``POST /v1/sessions``).
+"""
+
+from .script import (SessionScript, arrivals_from_problem, load_script,
+                     replay_script, script_from_problem)
+from .session import SESSION_SCHEDULERS, MissionSession, SessionConfig
+
+__all__ = [
+    "MissionSession",
+    "SessionConfig",
+    "SESSION_SCHEDULERS",
+    "SessionScript",
+    "arrivals_from_problem",
+    "load_script",
+    "replay_script",
+    "script_from_problem",
+]

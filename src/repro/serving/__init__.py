@@ -21,6 +21,12 @@ The pieces:
   backpressure, per-request deadlines, cancellation, graceful drain);
 * :class:`~repro.serving.client.ServingClient` — the blocking
   reference client (``repro-schedule submit`` uses it);
+* online mission sessions (``POST /v1/sessions``) — the server hosts
+  :class:`~repro.online.session.MissionSession` engines behind the
+  wire protocol: tasks arrive over time, each is admitted or rejected
+  against the power/timing constraints, and the command stream's
+  effects come back as a ``repro-session-event`` v1 NDJSON stream
+  (``docs/online.md``);
 * :mod:`repro.serving.protocol` — the size-capped HTTP/1.1 subset the
   server speaks.
 

@@ -30,7 +30,9 @@ from typing import Any, Iterator, Mapping
 
 from ..core.problem import SchedulingProblem
 from ..errors import ReproError
-from ..io.requests import solve_request_to_dict
+from ..io.requests import (session_commands_to_dict,
+                           session_request_to_dict,
+                           solve_request_to_dict)
 from ..obs import (TRACEPARENT_HEADER, current_trace_context,
                    format_traceparent, new_span_id, new_trace_id)
 
@@ -238,6 +240,101 @@ class ServingClient:
         for _event in self.events(job_id):
             pass
         return self.job(job_id)
+
+    # -- mission sessions ----------------------------------------------
+
+    def open_session(self, p_max: float, p_min: float = 0.0,
+                     baseline: float = 0.0,
+                     scheduler: str = "min_power",
+                     seed: "int | None" = None,
+                     name: "str | None" = None,
+                     tags: "Mapping[str, Any] | None" = None) \
+            -> "dict[str, Any]":
+        """``POST /v1/sessions``: open an online mission session.
+
+        Returns the acknowledgement document; its ``session`` field is
+        the id every other session call takes.
+        """
+        body = session_request_to_dict(p_max, p_min=p_min,
+                                       baseline=baseline,
+                                       scheduler=scheduler, seed=seed,
+                                       name=name, tags=tags)
+        return self.checked("POST", "/v1/sessions", body)
+
+    def session(self, session_id: str) -> "dict[str, Any]":
+        """``GET /v1/sessions/{id}``: the session status document."""
+        return self.checked("GET", f"/v1/sessions/{session_id}")
+
+    def close_session(self, session_id: str) -> "dict[str, Any]":
+        """``DELETE /v1/sessions/{id}``: close; returns the status."""
+        return self.checked("DELETE", f"/v1/sessions/{session_id}")
+
+    def session_send(self, session_id: str,
+                     commands: "list[Mapping[str, Any]]") \
+            -> "Iterator[dict[str, Any]]":
+        """``POST /v1/sessions/{id}/events``: apply commands, yield
+        the resulting ``repro-session-event`` v1 NDJSON records.
+
+        The first yielded record is the stream header; the last is the
+        terminal ``{"event": "end", "ok": ...}`` record.  A stream
+        that closes without its ``end`` line raises
+        :class:`TruncatedStreamError` after yielding every complete
+        record.
+        """
+        body = json.dumps(
+            session_commands_to_dict(commands)).encode("utf-8")
+        connection = self._connect()
+        events_seen = 0
+        terminal = False
+        try:
+            connection.request(
+                "POST", f"/v1/sessions/{session_id}/events",
+                body=body,
+                headers={TRACEPARENT_HEADER: self._traceparent(),
+                         "Content-Type": "application/json"})
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    document = json.loads(raw)
+                except ValueError:
+                    document = {}
+                error = document.get("error") or {}
+                raise ServingError(error.get("code", "internal"),
+                                   error.get("message", ""),
+                                   response.status)
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    raise TruncatedStreamError(
+                        session_id, events_seen,
+                        "last record cut off mid-line") from None
+                events_seen += 1
+                if isinstance(event, dict) \
+                        and event.get("event") == "end":
+                    terminal = True
+                yield event
+            if not terminal:
+                raise TruncatedStreamError(session_id, events_seen)
+        finally:
+            connection.close()
+
+    def session_apply(self, session_id: str,
+                      commands: "list[Mapping[str, Any]]") \
+            -> "list[dict[str, Any]]":
+        """Like :meth:`session_send` but collects the whole stream and
+        raises :class:`ServingError` if it ended with an ``error``
+        record instead of cleanly."""
+        events = list(self.session_send(session_id, commands))
+        for event in events:
+            if event.get("event") == "error":
+                raise ServingError(event.get("code", "internal"),
+                                   event.get("message", ""), 200)
+        return events
 
     def healthz(self) -> "dict[str, Any]":
         """``GET /healthz``."""

@@ -28,6 +28,15 @@ Endpoints (the authoritative, conformance-tested reference is
 ``GET /v1/debug/trace/{t}`` one stitched distributed trace — the
                             request span(s) of trace id ``t`` with
                             their engine/scheduler span forests
+``POST /v1/sessions``       open an online mission session
+                            (``repro-session-request`` v1)
+``POST /v1/sessions/{id}/events`` apply a batch of arrival / advance /
+                            fault / quiesce commands; the response is
+                            a ``repro-session-event`` v1 NDJSON
+                            stream of admit/reject/commit/replan
+                            events (``docs/online.md``)
+``GET /v1/sessions/{id}``   session status document
+``DELETE /v1/sessions/{id}`` close a session
 =========================== ========================================
 
 Observability: every request either carries a W3C-style
@@ -54,12 +63,18 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..engine import BatchRunner, RunnerConfig, ScheduleStore
+from ..errors import ReproError
 from ..io.requests import (RequestError, error_envelope,
                            response_envelope, solve_request_from_dict)
 from ..io.requests import (DEBUG_REQUESTS_FORMAT,
                            DEBUG_REQUESTS_VERSION, DEBUG_TRACE_FORMAT,
                            DEBUG_TRACE_VERSION, EVENTS_FORMAT,
-                           EVENTS_VERSION)
+                           EVENTS_VERSION, SESSION_EVENT_FORMAT,
+                           SESSION_EVENT_VERSION,
+                           session_commands_from_dict,
+                           session_request_from_dict)
+from ..online import MissionSession, SessionConfig
+from ..scheduling.base import SchedulerOptions
 from ..obs import (LOG, TRACEPARENT_HEADER, MetricsRegistry,
                    new_span_id, new_trace_id, parse_traceparent,
                    prometheus_text, reset_trace_context,
@@ -74,6 +89,10 @@ __all__ = ["ServingConfig", "SolveServer"]
 #: Finished submissions kept in the job registry for later
 #: ``GET /v1/jobs/{id}`` lookups; the oldest are evicted beyond this.
 JOB_RETENTION = 1024
+
+#: Mission sessions kept in the registry; closed sessions are evicted
+#: oldest-first beyond this (live sessions are never evicted).
+SESSION_RETENTION = 256
 
 
 @dataclass
@@ -139,6 +158,36 @@ class ServingConfig:
                               queue_limit=self.queue_limit)
 
 
+@dataclass
+class _SessionEntry:
+    """One live mission session plus its serialization lock."""
+
+    id: str
+    session: MissionSession
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    opened_unix: float = field(default_factory=time.time)
+
+    def status_doc(self) -> "dict":
+        """The ``GET /v1/sessions/{id}`` body."""
+        engine = self.session
+        doc = {
+            "session": self.id,
+            "scheduler": engine.config.scheduler,
+            "p_max": engine.config.p_max,
+            "p_min": engine.config.p_min,
+            "now": engine.now,
+            "admitted": list(engine.admitted),
+            "committed": dict(engine.committed),
+            "rejected": [name for name, _ in engine.rejected],
+            "events": len(engine.events),
+            "solves": engine.solves,
+        }
+        if engine.schedule is not None:
+            doc["makespan"] = engine.schedule.makespan
+            doc["starts"] = engine.schedule.as_dict()
+        return doc
+
+
 class SolveServer:
     """Serve solve requests over HTTP; see the module docstring."""
 
@@ -167,6 +216,11 @@ class SolveServer:
                                registry=self.metrics)
         self.jobs: "dict[str, Submission]" = {}
         self._job_counter = 0
+        #: Online mission sessions (``POST /v1/sessions``); each entry
+        #: pairs the engine with an asyncio lock so command batches on
+        #: one session serialize while distinct sessions run freely.
+        self.sessions: "dict[str, _SessionEntry]" = {}
+        self._session_counter = 0
         self._server: "asyncio.AbstractServer | None" = None
         self.port: "int | None" = None
         self.started_unix = time.time()
@@ -292,6 +346,7 @@ class SolveServer:
                 request.parent_span_id = None
             request.span_id = new_span_id()
             request.job_id = None
+            request.session_id = None
             self.metrics.counter("serving.http.requests").inc()
             token = set_trace_context((request.trace_id,
                                        request.span_id))
@@ -354,6 +409,13 @@ class SolveServer:
             trace_id = path[len("/v1/debug/trace/"):]
             write_json(writer, 200, self._debug_trace_doc(trace_id))
             return
+        if path == "/v1/sessions":
+            self._require(method, "POST")
+            self._open_session(request, writer)
+            return
+        if path.startswith("/v1/sessions/"):
+            await self._route_session(request, writer)
+            return
         if path.startswith("/v1/jobs/"):
             await self._route_job(request, writer)
             return
@@ -394,6 +456,11 @@ class SolveServer:
             return "v1.debug.requests"
         if path.startswith("/v1/debug/trace/"):
             return "v1.debug.trace"
+        if path == "/v1/sessions":
+            return "v1.sessions"
+        if path.startswith("/v1/sessions/"):
+            return "v1.sessions.events" if path.endswith("/events") \
+                else "v1.sessions.id"
         if path.startswith("/v1/jobs/"):
             return "v1.jobs.events" if path.endswith("/events") \
                 else "v1.jobs"
@@ -426,6 +493,8 @@ class SolveServer:
             record["parent_span_id"] = request.parent_span_id
         if request.job_id:
             record["job"] = request.job_id
+        if getattr(request, "session_id", None):
+            record["session"] = request.session_id
         if error_code:
             record["error"] = error_code
         self.recent.append(record)
@@ -438,7 +507,10 @@ class SolveServer:
                      path=request.path, status=status,
                      latency_ms=latency_ms,
                      **({"job": request.job_id}
-                        if request.job_id else {}))
+                        if request.job_id else {}),
+                     **({"session": request.session_id}
+                        if getattr(request, "session_id", None)
+                        else {}))
 
     def _debug_requests_doc(self) -> "dict":
         """``GET /v1/debug/requests``: both rings, newest first."""
@@ -568,3 +640,141 @@ class SolveServer:
             if submission.done.is_set() \
                     and cursor >= len(submission.events):
                 return
+
+    # -- mission sessions ----------------------------------------------
+
+    def _open_session(self, request: HttpRequest, writer) -> None:
+        """``POST /v1/sessions``: validate, register, acknowledge."""
+        if self.batcher.draining:
+            raise RequestError("shutting_down",
+                               "server is draining; no new sessions")
+        parsed = session_request_from_dict(request.json())
+        options = SchedulerOptions(seed=parsed.seed) \
+            if parsed.seed is not None else None
+        try:
+            config = SessionConfig(
+                p_max=parsed.p_max, p_min=parsed.p_min,
+                baseline=parsed.baseline, scheduler=parsed.scheduler,
+                options=options, name=parsed.name)
+            engine = MissionSession(config)
+        except ReproError as exc:
+            raise RequestError("bad_request", str(exc)) from exc
+        self._session_counter += 1
+        entry = _SessionEntry(f"s-{self._session_counter:06d}", engine)
+        self.sessions[entry.id] = entry
+        request.session_id = entry.id
+        self.metrics.counter("session.opened").inc()
+        self.metrics.gauge("session.live").set(
+            sum(1 for e in self.sessions.values()
+                if not e.session.closed))
+        while len(self.sessions) > SESSION_RETENTION:
+            evictable = [sid for sid, e in self.sessions.items()
+                         if e.session.closed]
+            if not evictable:
+                break
+            del self.sessions[evictable[0]]
+        write_json(writer, 200, response_envelope(
+            "open", session=entry.id, scheduler=parsed.scheduler,
+            p_max=parsed.p_max, p_min=parsed.p_min, now=0))
+
+    def _session_entry(self, session_id: str) -> _SessionEntry:
+        entry = self.sessions.get(session_id)
+        if entry is None:
+            raise RequestError("not_found",
+                               f"unknown session {session_id!r}")
+        return entry
+
+    async def _route_session(self, request: HttpRequest,
+                             writer) -> None:
+        parts = request.path.strip("/").split("/")
+        # "/v1/sessions/{id}" -> 3 parts; +"/events" -> 4
+        if len(parts) < 3 or len(parts) > 4:
+            raise RequestError("not_found",
+                               f"no route for {request.path!r}")
+        entry = self._session_entry(parts[2])
+        request.session_id = entry.id
+        if len(parts) == 4:
+            if parts[3] != "events":
+                raise RequestError("not_found",
+                                   f"no route for {request.path!r}")
+            self._require(request.method, "POST")
+            await self._session_events(entry, request, writer)
+            return
+        if request.method == "DELETE":
+            async with entry.lock:
+                was_open = not entry.session.closed
+                entry.session.close()
+            if was_open:
+                self.metrics.counter("session.closed").inc()
+                self.metrics.gauge("session.live").set(
+                    sum(1 for e in self.sessions.values()
+                        if not e.session.closed))
+            write_json(writer, 200, response_envelope(
+                "closed", **entry.status_doc()))
+            return
+        self._require(request.method, "GET")
+        write_json(writer, 200, response_envelope(
+            "closed" if entry.session.closed else "open",
+            **entry.status_doc()))
+
+    async def _session_events(self, entry: _SessionEntry,
+                              request: HttpRequest, writer) -> None:
+        """``POST /v1/sessions/{id}/events``: apply a command batch,
+        streaming the session events each command produced as
+        ``repro-session-event`` v1 NDJSON lines.
+
+        The stream is: one header line, the event records in order
+        (each stamped with the session id), and a terminal
+        ``{"event": "end"}`` record carrying ``ok`` plus counts — so a
+        stream without its ``end`` line is known-truncated.  A command
+        that is *rejected by the mission* (infeasible arrival) is a
+        normal ``reject`` event; a command the session cannot process
+        at all (unknown task in a fault, clock moved backward, closed
+        session) terminates the stream with an ``error`` record but
+        leaves prior commands' effects in place.
+        """
+        commands = session_commands_from_dict(request.json())
+        engine = entry.session
+        loop = asyncio.get_running_loop()
+        start_ndjson(writer, 200)
+        send_ndjson_line(writer, {
+            "format": SESSION_EVENT_FORMAT,
+            "version": SESSION_EVENT_VERSION,
+            "session": entry.id, "now": engine.now,
+            "commands": len(commands),
+        })
+        sent = 0
+        ok = True
+        async with entry.lock:
+            for command in commands:
+                self.metrics.counter("session.commands").inc()
+                try:
+                    # Solves are CPU work; keep the loop responsive.
+                    events = await loop.run_in_executor(
+                        None, engine.apply, command)
+                except ReproError as exc:
+                    ok = False
+                    self.metrics.counter("session.errors").inc()
+                    send_ndjson_line(writer, {
+                        "session": entry.id, "event": "error",
+                        "code": "bad_request", "message": str(exc)})
+                    break
+                for event in events:
+                    kind = event.get("event")
+                    if kind in ("admit", "reject", "commit",
+                                "replan"):
+                        self.metrics.counter(
+                            f"session.{kind}s").inc()
+                    send_ndjson_line(writer, {"session": entry.id,
+                                              **event})
+                    sent += 1
+                try:
+                    await writer.drain()
+                except Exception:  # noqa: BLE001 - client hung up
+                    return
+        send_ndjson_line(writer, {
+            "session": entry.id, "event": "end", "ok": ok,
+            "now": engine.now, "events": sent,
+            "admitted": len(engine.admitted),
+            "rejected": len(engine.rejected),
+        })
