@@ -33,7 +33,8 @@ __all__ = ["replan"]
 def replan(problem: SchedulingProblem, snapshot: ExecutionResult,
            now: int, p_max: "float | None" = None,
            p_min: "float | None" = None,
-           options: "SchedulerOptions | None" = None) -> ScheduleResult:
+           options: "SchedulerOptions | None" = None,
+           scheduler=None) -> ScheduleResult:
     """Re-schedule the tasks that have not started by ``now``.
 
     Parameters
@@ -50,6 +51,14 @@ def replan(problem: SchedulingProblem, snapshot: ExecutionResult,
         Optionally updated power constraints (the environment may have
         changed — that is often why we replan).  Default: the
         problem's.
+    scheduler:
+        The solver for the remainder — anything with a
+        ``solve(problem)`` method (e.g. a mission session's configured
+        :class:`~repro.scheduling.max_power.MaxPowerScheduler`, so the
+        replanned suffix comes from the same algorithm as every other
+        solve of that session).  Default: the full
+        :class:`~repro.scheduling.power_aware.PowerAwareScheduler`
+        pipeline built from ``options``.
 
     Returns the pipeline result for the *whole* task set: frozen
     history plus re-planned future.
@@ -91,7 +100,9 @@ def replan(problem: SchedulingProblem, snapshot: ExecutionResult,
         baseline=problem.baseline,
         name=f"{problem.name}@t={now}",
         meta=dict(problem.meta))
-    result = PowerAwareScheduler(options).solve(scaled)
+    solver = scheduler if scheduler is not None \
+        else PowerAwareScheduler(options)
+    result = solver.solve(scaled)
     result.extra["replanned_at"] = now
     result.extra["frozen"] = sorted(snapshot.spans)
     return result

@@ -13,7 +13,8 @@ See ``docs/online.md`` for the operator's guide and the wire protocol
 """
 
 from .script import (SessionScript, arrivals_from_problem, load_script,
-                     replay_script, script_from_problem)
+                     problem_from_script, replay_script,
+                     script_from_problem)
 from .session import SESSION_SCHEDULERS, MissionSession, SessionConfig
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "SessionScript",
     "arrivals_from_problem",
     "load_script",
+    "problem_from_script",
     "replay_script",
     "script_from_problem",
 ]

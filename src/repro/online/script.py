@@ -24,12 +24,14 @@ from ..core.problem import SchedulingProblem
 from ..core.task import ANCHOR_NAME
 from ..errors import ReproError
 from ..scheduling.base import SchedulerOptions
-from .session import SESSION_SCHEDULERS, MissionSession, SessionConfig
+from .session import (SESSION_SCHEDULERS, MissionSession, SessionConfig,
+                      apply_constraint, parse_constraint)
 
 __all__ = [
     "SessionScript",
     "arrivals_from_problem",
     "load_script",
+    "problem_from_script",
     "replay_script",
     "script_from_problem",
 ]
@@ -105,6 +107,40 @@ def replay_script(script: SessionScript) \
     for command in script.commands:
         session.apply(command)
     return session, list(session.events)
+
+
+def problem_from_script(script: SessionScript,
+                        admitted: "list[str] | None" = None) \
+        -> SchedulingProblem:
+    """Rebuild the offline problem a script's arrivals imply.
+
+    With ``admitted`` the graph is restricted to those tasks — exactly
+    the constraint set a live session holds after rejections, since a
+    rejected arrival's tasks and edges were rolled back and an admitted
+    arrival can only constrain already-admitted tasks.  This is what
+    lets ``repro-schedule session --check --server`` run the power/time
+    validators *client-side* against the starts a remote server
+    reported (nominal durations only, so it is not applicable to
+    scripts that inject faults).
+    """
+    keep = None if admitted is None else set(admitted)
+    graph = ConstraintGraph(script.name)
+    for command in script.commands:
+        if command.get("event") != "arrival":
+            continue
+        task = command["task"]
+        name = task["name"]
+        if keep is not None and name not in keep:
+            continue
+        graph.new_task(name, duration=task["duration"],
+                       power=task.get("power", 0.0),
+                       resource=task.get("resource"))
+        for record in command.get("constraints", ()):
+            apply_constraint(graph, parse_constraint(name, record))
+    return SchedulingProblem(graph=graph, p_max=script.p_max,
+                             p_min=script.p_min,
+                             baseline=script.baseline,
+                             name=script.name)
 
 
 def arrivals_from_problem(problem: SchedulingProblem,

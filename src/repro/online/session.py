@@ -42,7 +42,7 @@ Sessions surface on the wire protocol as ``POST /v1/sessions`` (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Mapping
 
 from ..core.graph import ConstraintGraph
@@ -60,7 +60,8 @@ from ..scheduling.base import ScheduleResult, SchedulerOptions
 from ..scheduling.max_power import MaxPowerScheduler
 from ..scheduling.min_power import MinPowerScheduler
 
-__all__ = ["MissionSession", "SessionConfig", "SESSION_SCHEDULERS"]
+__all__ = ["MissionSession", "SessionConfig", "SESSION_SCHEDULERS",
+           "apply_constraint", "parse_constraint"]
 
 #: Scheduler selections a session accepts.  ``min_power`` is the full
 #: paper pipeline (timing -> max power -> min power); ``max_power``
@@ -120,6 +121,48 @@ class _Constraint:
     src: "str | None" = None
     dst: "str | None" = None
     value: int = 0
+
+
+def parse_constraint(arriving: str,
+                     record: "Mapping[str, Any]") -> _Constraint:
+    """Parse one wire-shape constraint record (see
+    :meth:`MissionSession.offer` for the table) brought by the arrival
+    of task ``arriving``."""
+    kind = record.get("kind")
+    if kind in ("min", "max"):
+        src = record.get("src", arriving)
+        dst = record.get("dst", arriving)
+        return _Constraint(kind=kind, src=src, dst=dst,
+                           value=int(record["sep"]))
+    if kind == "precedence":
+        return _Constraint(kind=kind, src=record["src"],
+                           dst=arriving,
+                           value=int(record.get("gap", 0)))
+    if kind == "release":
+        return _Constraint(kind=kind, dst=arriving,
+                           value=int(record["time"]))
+    if kind == "deadline":
+        return _Constraint(kind=kind, dst=arriving,
+                           value=int(record["time"]))
+    raise ReproError(f"unknown constraint kind {kind!r}")
+
+
+def apply_constraint(graph: ConstraintGraph,
+                     constraint: _Constraint) -> None:
+    """Apply one parsed arrival constraint to a constraint graph."""
+    if constraint.kind == "min":
+        graph.add_min_separation(constraint.src, constraint.dst,
+                                 constraint.value)
+    elif constraint.kind == "max":
+        graph.add_max_separation(constraint.src, constraint.dst,
+                                 constraint.value)
+    elif constraint.kind == "precedence":
+        graph.add_precedence(constraint.src, constraint.dst,
+                             gap=constraint.value)
+    elif constraint.kind == "release":
+        graph.add_release(constraint.dst, constraint.value)
+    elif constraint.kind == "deadline":
+        graph.add_start_deadline(constraint.dst, constraint.value)
 
 
 class MissionSession:
@@ -264,7 +307,7 @@ class MissionSession:
         self._check_open()
         if at is not None:
             self.advance(at)
-        parsed = [self._parse_constraint(name, record)
+        parsed = [parse_constraint(name, record)
                   for record in constraints]
         token = self._graph.checkpoint()
         tasks_before = len(self._graph)
@@ -272,7 +315,7 @@ class MissionSession:
             self._graph.new_task(name, duration=duration, power=power,
                                  resource=resource)
             for constraint in parsed:
-                self._apply_constraint(constraint)
+                apply_constraint(self._graph, constraint)
             result = self._resolve_suffix()
         except _REJECTION_ERRORS as exc:
             self._graph.rollback(token)
@@ -304,9 +347,12 @@ class MissionSession:
         every task the execution *started* is frozen at its actual
         start (overruns stretch the separations of still-running tasks
         exactly as :func:`repro.execution.replan.replan` prescribes),
-        and the remainder is re-solved under the session's power
-        constraints.  Committed history never moves; the re-planned
-        suffix is power-valid from ``at`` on.
+        and the remainder is re-solved by the session's configured
+        scheduler under the session's power constraints.  Committed
+        history never moves — the replay folds the stretches realized
+        by *earlier* faults into its duration model, so a second fault
+        can neither forget nor shrink the first one — and the
+        re-planned suffix is power-valid from ``at`` on.
 
         Returns the replan event record.
         """
@@ -319,12 +365,22 @@ class MissionSession:
             raise ReproError(
                 f"fault time {when} is before the mission clock "
                 f"{self.now}")
-        model = FixedOverruns(overruns)
         unknown = [name for name in overruns
                    if name not in self._graph]
         if unknown:
             raise ReproError(
                 f"overruns name unknown task(s) {unknown}")
+        # The executor replays the plan from tick 0, so its duration
+        # model must describe the *whole* realized mission, not just
+        # this fault: fold the extras already recorded in committed
+        # spans into the model (max-merged with the new overruns), or
+        # a second fault would revert the first fault's stretches.
+        merged = dict(overruns)
+        for name, (start, end) in self.spans.items():
+            realized = (end - start) - self._graph.task(name).duration
+            if realized > 0:
+                merged[name] = max(merged.get(name, 0), realized)
+        model = FixedOverruns(merged)
         problem = self.problem()
         with OBS.span("online.fault", session=self.config.name,
                       at=when, overruns=len(overruns)):
@@ -333,25 +389,41 @@ class MissionSession:
                                         durations=model,
                                         policy="self_timed")
             snapshot = executor.run(until=when)
+            # Reconcile the replay with recorded history before
+            # anything consumes it: committed starts are immovable and
+            # realized ends only ever grow, so prior spans win on start
+            # and the longer end wins on duration.
+            spans = dict(snapshot.spans)
+            for name, (start, end) in self.spans.items():
+                seen = spans.get(name)
+                spans[name] = (start, end if seen is None
+                               else max(end, seen[1]))
+            snapshot = replace(snapshot, spans=spans)
             # Hand replan a problem whose graph already represents the
             # stretched reality (realized durations + pushed
             # end-anchored separations); replan adds the start locks
             # and ``sigma(v) >= now`` releases on top.
             work = SchedulingProblem(
-                graph=self._stretched_copy(snapshot.spans, when),
+                graph=self._stretched_copy(spans, when),
                 p_max=self.config.p_max, p_min=self.config.p_min,
                 baseline=self.config.baseline,
                 name=self.config.name)
             result = replan(work, snapshot, now=when,
-                            options=self.options)
+                            options=self.options,
+                            scheduler=self._scheduler())
             self._solves += 1
-        # Reconcile: executed spans (with realized ends) are the new
-        # committed history; everything else follows the new plan.
-        self.spans = dict(snapshot.spans)
+        for name, (start, _end) in spans.items():
+            if result.schedule.start(name) != start:
+                raise SchedulingFailure(
+                    f"fault replan moved committed task {name!r} from "
+                    f"{start} to {result.schedule.start(name)}")
+        # Reconciled spans (with realized ends) are the new committed
+        # history; everything else follows the new plan.
+        self.spans = spans
         self.now = when
         self._result = result
         return self._emit("replan", overruns=dict(overruns),
-                          frozen=sorted(snapshot.spans),
+                          frozen=sorted(spans),
                           makespan=result.schedule.makespan)
 
     # ------------------------------------------------------------------
@@ -544,45 +616,6 @@ class MissionSession:
 
     def _adopt(self, result: ScheduleResult) -> None:
         self._result = result
-
-    def _parse_constraint(self, arriving: str,
-                          record: "Mapping[str, Any]") -> _Constraint:
-        kind = record.get("kind")
-        if kind in ("min", "max"):
-            src = record.get("src", arriving)
-            dst = record.get("dst", arriving)
-            return _Constraint(kind=kind, src=src, dst=dst,
-                               value=int(record["sep"]))
-        if kind == "precedence":
-            return _Constraint(kind=kind, src=record["src"],
-                               dst=arriving,
-                               value=int(record.get("gap", 0)))
-        if kind == "release":
-            return _Constraint(kind=kind, dst=arriving,
-                               value=int(record["time"]))
-        if kind == "deadline":
-            return _Constraint(kind=kind, dst=arriving,
-                               value=int(record["time"]))
-        raise ReproError(f"unknown constraint kind {kind!r}")
-
-    def _apply_constraint(self, constraint: _Constraint) -> None:
-        if constraint.kind == "min":
-            self._graph.add_min_separation(constraint.src,
-                                           constraint.dst,
-                                           constraint.value)
-        elif constraint.kind == "max":
-            self._graph.add_max_separation(constraint.src,
-                                           constraint.dst,
-                                           constraint.value)
-        elif constraint.kind == "precedence":
-            self._graph.add_precedence(constraint.src,
-                                       constraint.dst,
-                                       gap=constraint.value)
-        elif constraint.kind == "release":
-            self._graph.add_release(constraint.dst, constraint.value)
-        elif constraint.kind == "deadline":
-            self._graph.add_start_deadline(constraint.dst,
-                                           constraint.value)
 
     # ------------------------------------------------------------------
     # validation helpers (the property suite leans on these)

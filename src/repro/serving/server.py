@@ -704,18 +704,22 @@ class SolveServer:
             async with entry.lock:
                 was_open = not entry.session.closed
                 entry.session.close()
+                doc = entry.status_doc()
             if was_open:
                 self.metrics.counter("session.closed").inc()
                 self.metrics.gauge("session.live").set(
                     sum(1 for e in self.sessions.values()
                         if not e.session.closed))
-            write_json(writer, 200, response_envelope(
-                "closed", **entry.status_doc()))
+            write_json(writer, 200, response_envelope("closed", **doc))
             return
         self._require(request.method, "GET")
-        write_json(writer, 200, response_envelope(
-            "closed" if entry.session.closed else "open",
-            **entry.status_doc()))
+        # Snapshot under the session lock: a command batch may be
+        # mutating the engine in an executor thread right now, and
+        # iterating its dicts mid-mutation would tear the document.
+        async with entry.lock:
+            status = "closed" if entry.session.closed else "open"
+            doc = entry.status_doc()
+        write_json(writer, 200, response_envelope(status, **doc))
 
     async def _session_events(self, entry: _SessionEntry,
                               request: HttpRequest, writer) -> None:

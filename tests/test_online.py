@@ -15,8 +15,8 @@ from repro.core.validation import check_power_valid, check_time_valid
 from repro.errors import ReproError
 from repro.examples_data import fig1_problem
 from repro.online import (MissionSession, SessionConfig, SessionScript,
-                          arrivals_from_problem, replay_script,
-                          script_from_problem)
+                          arrivals_from_problem, problem_from_script,
+                          replay_script, script_from_problem)
 from repro.scheduling.base import SchedulerOptions
 
 
@@ -210,6 +210,48 @@ class TestFaults:
         # clear the *stretched* end, not the nominal one.
         assert s.schedule.start("b") >= 7
 
+    def test_second_fault_preserves_first_faults_overrun(self):
+        # Regression: a later fault naming a *different* task must not
+        # erase the first fault's realized stretch from history — the
+        # replay's duration model carries every recorded overrun.
+        s = make_session(p_max=12.0)
+        s.offer("x", duration=3, power=5.0, resource="R")
+        s.offer("y", duration=3, power=5.0, resource="R",
+                constraints=[{"kind": "precedence", "src": "x"}])
+        s.offer("z", duration=4, power=1.0)
+        s.advance(1)
+        s.inject_fault({"x": 2}, at=2)   # x now runs [0, 5)
+        assert s.spans["x"] == (0, 5)
+        s.inject_fault({"z": 1}, at=3)   # names only z
+        assert s.spans["x"] == (0, 5)
+        assert s.spans["z"] == (0, 5)
+        # y shares x's exclusive resource: it must still clear the
+        # stretched end recorded by the *first* fault.
+        assert s.schedule.start("y") >= 5
+        assert s.committed_report().ok
+
+    def test_repeated_fault_on_same_task_keeps_longest_stretch(self):
+        s = make_session(p_max=12.0)
+        s.offer("x", duration=4, power=5.0)
+        s.advance(1)
+        s.inject_fault({"x": 3}, at=2)   # x runs [0, 7)
+        assert s.spans["x"] == (0, 7)
+        # A smaller overrun for the same still-running task cannot
+        # shrink the realized span.
+        s.inject_fault({"x": 1}, at=3)
+        assert s.spans["x"] == (0, 7)
+
+    def test_fault_replan_uses_session_scheduler(self):
+        # A max_power session's fault replans must come from the
+        # max-power algorithm, not the full min-power pipeline.
+        s = make_session(p_max=12.0, scheduler="max_power")
+        s.offer("x", duration=3, power=5.0)
+        s.offer("y", duration=3, power=5.0,
+                constraints=[{"kind": "precedence", "src": "x"}])
+        s.advance(1)
+        s.inject_fault({"x": 2}, at=2)
+        assert s.result.stage == "max_power"
+
     def test_fault_before_admission_raises(self):
         s = make_session()
         with pytest.raises(ReproError):
@@ -286,6 +328,27 @@ class TestScripts:
             == sorted(original.task_names())
         assert {(e.src, e.dst, e.weight) for e in rebuilt.edges()} \
             == {(e.src, e.dst, e.weight) for e in original.edges()}
+
+    def test_problem_from_script_rebuilds_graph(self):
+        problem = fig1_problem()
+        script = script_from_problem(problem)
+        rebuilt = problem_from_script(script)
+        assert sorted(rebuilt.graph.task_names()) \
+            == sorted(problem.graph.task_names())
+        assert {(e.src, e.dst, e.weight) for e in rebuilt.graph.edges()} \
+            == {(e.src, e.dst, e.weight) for e in problem.graph.edges()}
+        assert rebuilt.p_max == problem.p_max
+
+    def test_problem_from_script_restricted_to_admitted(self):
+        problem = fig1_problem()
+        script = script_from_problem(problem)
+        admitted = problem.graph.task_names()[:3]
+        rebuilt = problem_from_script(script, admitted)
+        assert sorted(rebuilt.graph.task_names()) == sorted(admitted)
+        for edge in rebuilt.graph.edges():
+            for endpoint in (edge.src, edge.dst):
+                assert endpoint in admitted \
+                    or endpoint == rebuilt.graph.anchor.name
 
     def test_arrivals_order_must_be_permutation(self):
         problem = fig1_problem()
