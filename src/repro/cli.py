@@ -30,6 +30,14 @@ Subcommands:
   streams, Prometheus ``/metrics``, structured JSONL access logs
   (``--log-file``) and the flight-recorder debug endpoints
   (``docs/observability.md``).
+* ``store-serve`` — run the shared schedule-store service
+  (``docs/scaling.md``): one authoritative validity-range store that
+  N ``serve --store-url`` instances probe and merge into over the
+  ``repro-store-request`` v1 protocol.
+* ``router`` — run the front-door router over N running solve
+  servers (``docs/scaling.md``): balanced solve/sweep/session-open
+  dispatch with retry-and-reassignment, sticky ``m{i}-``-prefixed
+  job/session routing, health-gated membership.
 * ``submit FILE`` — send a problem to a running solve server and
   print the solved points (synchronous single solve, or an
   asynchronous sweep with a live event tail).
@@ -324,6 +332,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="schedule-store JSON: loaded at startup "
                             "when it exists, written back on "
                             "shutdown (implies --reuse-schedules)")
+    serve.add_argument("--store-url", metavar="URL",
+                       help="base URL of a shared schedule-store "
+                            "service (repro-schedule store-serve); "
+                            "implies --reuse-schedules and shares "
+                            "validity-range hits across every "
+                            "instance pointed at it "
+                            "(docs/scaling.md)")
+    serve.add_argument("--session-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="close and evict mission sessions idle "
+                            "for this many seconds (default: keep "
+                            "until SESSION_RETENTION pressure)")
     serve.add_argument("--trace", metavar="PATH",
                        help="write the repro-serve-trace JSON "
                             "document (metrics + job summaries) on "
@@ -340,6 +360,60 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slow-ms", type=float, default=1000.0,
                        help="latency past which a request is pinned "
                             "in the notable ring (default 1000)")
+
+    store_serve = sub.add_parser(
+        "store-serve",
+        help="run the shared schedule-store service "
+             "(docs/scaling.md)")
+    store_serve.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default 127.0.0.1)")
+    store_serve.add_argument("--port", type=int, default=8090,
+                             help="port (default 8090; "
+                                  "0 = ephemeral)")
+    store_serve.add_argument("--reuse-policy",
+                             choices=["identical", "valid"],
+                             default="identical",
+                             help="probe policy; every serve "
+                                  "instance sharing this store "
+                                  "should match it")
+    store_serve.add_argument("--store", metavar="PATH",
+                             help="schedule-store JSON: loaded at "
+                                  "startup when it exists, written "
+                                  "back on shutdown")
+    store_serve.add_argument("--log-file", metavar="PATH",
+                             help="append structured JSONL events "
+                                  "(access log, merges) here")
+
+    router = sub.add_parser(
+        "router",
+        help="run the front-door router over running solve servers "
+             "(docs/scaling.md)")
+    router.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    router.add_argument("--port", type=int, default=8081,
+                        help="port (default 8081; 0 = ephemeral)")
+    router.add_argument("--members", required=True,
+                        metavar="URL[,URL...]",
+                        help="comma-separated base URLs of the serve "
+                             "instances behind this router")
+    router.add_argument("--retries", type=int, default=2,
+                        help="reassignment budget per balanced "
+                             "request (default 2)")
+    router.add_argument("--timeout", type=float, default=60.0,
+                        help="seconds to wait for a member "
+                             "connection + response head "
+                             "(default 60)")
+    router.add_argument("--health-interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="seconds between background /healthz "
+                             "probes per member (default 1)")
+    router.add_argument("--fail-threshold", type=int, default=3,
+                        help="consecutive failures before a member "
+                             "is benched (default 3)")
+    router.add_argument("--log-file", metavar="PATH",
+                        help="append structured JSONL events "
+                             "(access log, retries, membership "
+                             "changes) here")
 
     top = sub.add_parser(
         "top",
@@ -426,6 +500,10 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_trace(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "store-serve":
+            return _cmd_store_serve(args)
+        if args.command == "router":
+            return _cmd_router(args)
         if args.command == "submit":
             return _cmd_submit(args)
         if args.command == "top":
@@ -782,28 +860,16 @@ def _cmd_mission(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
+def _run_http_server(make_server, banner, trailers=()) -> int:
+    """Shared serve/store-serve/router loop: start, print the
+    listening banner (CI and the benchmarks parse it), run until
+    SIGINT/SIGTERM, shut down gracefully."""
     import asyncio
-    from .serving import ServingConfig, SolveServer
-
-    config = ServingConfig(host=args.host, port=args.port,
-                           max_batch=args.max_batch,
-                           max_wait_ms=args.max_wait_ms,
-                           queue_limit=args.queue_limit,
-                           workers=max(0, args.workers),
-                           reuse_schedules=args.reuse_schedules,
-                           reuse_policy=args.reuse_policy,
-                           store_path=args.store,
-                           trace_path=args.trace,
-                           flight_recorder=args.flight_recorder,
-                           slow_ms=args.slow_ms,
-                           log_path=args.log_file)
 
     async def _run() -> None:
-        server = SolveServer(config)
+        server = make_server()
         await server.start()
-        print(f"repro solve server listening on "
-              f"http://{config.host}:{server.port}", flush=True)
+        print(banner(server), flush=True)
         # Explicit handlers, not KeyboardInterrupt: a daemonized server
         # (shell `&`, CI step) inherits SIGINT as ignored, and SIGTERM
         # would otherwise kill the process without draining.
@@ -825,16 +891,74 @@ def _cmd_serve(args) -> int:
                 task.cancel()
             print("draining...", flush=True)
             await server.shutdown()
-            if config.store_path:
-                print(f"wrote {config.store_path}")
-            if config.trace_path:
-                print(f"wrote {config.trace_path}")
+            for path in trailers:
+                if path:
+                    print(f"wrote {path}")
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serving import ServingConfig, SolveServer
+
+    config = ServingConfig(host=args.host, port=args.port,
+                           max_batch=args.max_batch,
+                           max_wait_ms=args.max_wait_ms,
+                           queue_limit=args.queue_limit,
+                           workers=max(0, args.workers),
+                           reuse_schedules=args.reuse_schedules,
+                           reuse_policy=args.reuse_policy,
+                           store_path=args.store,
+                           store_url=args.store_url,
+                           session_ttl_s=args.session_ttl,
+                           trace_path=args.trace,
+                           flight_recorder=args.flight_recorder,
+                           slow_ms=args.slow_ms,
+                           log_path=args.log_file)
+    return _run_http_server(
+        lambda: SolveServer(config),
+        lambda server: (f"repro solve server listening on "
+                        f"http://{config.host}:{server.port}"),
+        trailers=(config.store_path, config.trace_path))
+
+
+def _cmd_store_serve(args) -> int:
+    from .serving import StoreService, StoreServiceConfig
+
+    config = StoreServiceConfig(host=args.host, port=args.port,
+                                reuse_policy=args.reuse_policy,
+                                store_path=args.store,
+                                log_path=args.log_file)
+    return _run_http_server(
+        lambda: StoreService(config),
+        lambda server: (f"repro store service listening on "
+                        f"http://{config.host}:{server.port}"),
+        trailers=(config.store_path,))
+
+
+def _cmd_router(args) -> int:
+    from .serving import Router, RouterConfig
+
+    members = [token.strip() for token in args.members.split(",")
+               if token.strip()]
+    if not members:
+        raise ReproError("--members needs at least one URL")
+    config = RouterConfig(host=args.host, port=args.port,
+                          members=members,
+                          retries=max(0, args.retries),
+                          timeout=args.timeout,
+                          health_interval_s=args.health_interval,
+                          fail_threshold=max(1, args.fail_threshold),
+                          log_path=args.log_file)
+    return _run_http_server(
+        lambda: Router(config),
+        lambda server: (f"repro router listening on "
+                        f"http://{config.host}:{server.port} "
+                        f"over {len(members)} member(s)"))
 
 
 def _point_row(point: "dict") -> "dict[str, object]":

@@ -46,7 +46,8 @@ __all__ = ["RemoteBackend"]
 #: (``bad_request``, ``payload_too_large``, ...) would fail identically
 #: wherever it lands.
 RETRYABLE_CODES = ("queue_full", "shutting_down", "internal",
-                   "truncated_stream", "deadline_exceeded")
+                   "truncated_stream", "deadline_exceeded",
+                   "bad_gateway")
 
 
 class RemoteBackend(ExecutionBackend):

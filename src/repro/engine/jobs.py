@@ -291,7 +291,12 @@ def run_job(job: SolveJob, position: int = 0, key: "str | None" = None,
             "spans": [span.to_dict() for span in capture_ctx.spans],
             "metrics": capture_ctx.metrics_data,
         }
-    if use_store:
+    # A service-backed store keeps its journal: the serving batcher
+    # pushes it wholesale after the batch (RemoteScheduleStore.sync);
+    # draining it into per-job stats here would strand every solved
+    # entry on this instance — only snapshot modes need the delta
+    # shipped through the result.
+    if use_store and not getattr(store, "remote", False):
         new_entries = store.drain_journal()
         if new_entries:
             result.stats = dict(result.stats)

@@ -57,7 +57,13 @@ __all__ = ["SolveRequest", "SolvedPoint", "RequestError",
            "SESSION_SCRIPT_FORMAT", "SESSION_SCRIPT_VERSION",
            "session_request_to_dict", "session_request_from_dict",
            "session_command_from_dict", "session_commands_to_dict",
-           "session_commands_from_dict", "session_script_from_dict"]
+           "session_commands_from_dict", "session_script_from_dict",
+           "StoreRequest", "STORE_REQUEST_FORMAT",
+           "STORE_REQUEST_VERSION", "STORE_RESPONSE_FORMAT",
+           "STORE_RESPONSE_VERSION", "STORE_OPS",
+           "ROUTER_MEMBERS_FORMAT", "ROUTER_MEMBERS_VERSION",
+           "store_request_to_dict", "store_request_from_dict",
+           "store_response_envelope"]
 
 #: ``format`` field of a solve request document.
 REQUEST_FORMAT = "repro-solve-request"
@@ -101,6 +107,22 @@ SESSION_EVENT_VERSION = 1
 SESSION_SCRIPT_FORMAT = "repro-session-script"
 #: Session script schema version.
 SESSION_SCRIPT_VERSION = 1
+#: ``format`` field of a schedule-store service request
+#: (``POST /v1/store/get-range`` / ``POST /v1/store/put-delta``).
+STORE_REQUEST_FORMAT = "repro-store-request"
+#: Store request schema version.
+STORE_REQUEST_VERSION = 1
+#: ``format`` field of every schedule-store service reply.
+STORE_RESPONSE_FORMAT = "repro-store-response"
+#: Store response schema version.
+STORE_RESPONSE_VERSION = 1
+#: Operations a ``repro-store-request`` may name.
+STORE_OPS = ("get-range", "put-delta")
+#: ``format`` field of the router membership document
+#: (``GET /v1/router/members``).
+ROUTER_MEMBERS_FORMAT = "repro-router-members"
+#: Router membership schema version.
+ROUTER_MEMBERS_VERSION = 1
 
 #: Machine-readable error codes, and the HTTP status each maps to.
 #: ``docs/serving.md`` documents every row; the doc-conformance test
@@ -113,6 +135,7 @@ ERROR_CODES: "dict[str, int]" = {
     "payload_too_large": 413,
     "queue_full": 429,
     "internal": 500,
+    "bad_gateway": 502,
     "shutting_down": 503,
     "deadline_exceeded": 504,
 }
@@ -674,3 +697,112 @@ def session_script_from_dict(data: Any):
                          baseline=request.baseline,
                          scheduler=request.scheduler, seed=seed,
                          name=request.name, commands=parsed)
+
+
+# ---------------------------------------------------------------------
+# shared schedule-store service
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class StoreRequest:
+    """A parsed, validated ``repro-store-request`` document.
+
+    Two operations share the envelope:
+
+    * ``get-range`` — probe the store for a schedule covering
+      ``(p_max, p_min)`` under ``base_key``.  When both powers are
+      omitted the request is a *prime probe*: "do you hold the
+      certified timing-stage entry for this problem?", the question
+      a :meth:`~repro.engine.schedule_store.ScheduleStore.ensure_primed`
+      call asks before paying for a timing solve.
+    * ``put-delta`` — merge a drained store journal (the
+      ``{"base_key", "name", "entry"}`` records of
+      :meth:`~repro.engine.schedule_store.ScheduleStore.drain_journal`)
+      into the shared store.
+    """
+
+    op: str
+    base_key: "str | None" = None
+    p_max: "float | None" = None
+    p_min: "float | None" = None
+    delta: "list[dict[str, Any]]" = field(default_factory=list)
+
+
+def store_request_to_dict(op: str,
+                          base_key: "str | None" = None,
+                          p_max: "float | None" = None,
+                          p_min: "float | None" = None,
+                          delta: "list[Mapping[str, Any]] | None"
+                          = None) -> "dict[str, Any]":
+    """Assemble a ``repro-store-request`` document (client side)."""
+    doc: "dict[str, Any]" = {
+        "format": STORE_REQUEST_FORMAT,
+        "version": STORE_REQUEST_VERSION,
+        "op": op,
+    }
+    if base_key is not None:
+        doc["base_key"] = base_key
+    if p_max is not None:
+        doc["p_max"] = p_max
+    if p_min is not None:
+        doc["p_min"] = p_min
+    if delta is not None:
+        doc["delta"] = [dict(record) for record in delta]
+    return doc
+
+
+def store_request_from_dict(data: Any) -> StoreRequest:
+    """Validate and parse a store request (service side)."""
+    if not isinstance(data, Mapping):
+        raise RequestError("bad_request",
+                           "request body must be a JSON object")
+    _check_version(data, STORE_REQUEST_FORMAT, STORE_REQUEST_VERSION)
+    op = data.get("op")
+    if op not in STORE_OPS:
+        raise RequestError(
+            "bad_request",
+            f"op must be one of {list(STORE_OPS)}, got {op!r}")
+    if op == "put-delta":
+        delta = data.get("delta")
+        if not isinstance(delta, (list, tuple)):
+            raise RequestError(
+                "bad_request",
+                "put-delta needs a 'delta' array of journal records")
+        for record in delta:
+            if not isinstance(record, Mapping) \
+                    or not isinstance(record.get("base_key"), str) \
+                    or not isinstance(record.get("name"), str) \
+                    or not isinstance(record.get("entry"), Mapping):
+                raise RequestError(
+                    "bad_request",
+                    "each delta record needs string 'base_key' and "
+                    "'name' plus an 'entry' object")
+        return StoreRequest(op=op,
+                            delta=[dict(record) for record in delta])
+    base_key = data.get("base_key")
+    if not isinstance(base_key, str) or not base_key:
+        raise RequestError(
+            "bad_request",
+            f"get-range needs a non-empty string base_key, "
+            f"got {base_key!r}")
+    p_max = data.get("p_max")
+    p_min = data.get("p_min")
+    if (p_max is None) != (p_min is None):
+        raise RequestError(
+            "bad_request",
+            "get-range needs both p_max and p_min, or neither "
+            "(prime probe)")
+    if p_max is not None:
+        p_max = _number(p_max, "p_max")
+        p_min = _number(p_min, "p_min")
+    return StoreRequest(op=op, base_key=base_key,
+                        p_max=p_max, p_min=p_min)
+
+
+def store_response_envelope(op: str, **fields: Any) \
+        -> "dict[str, Any]":
+    """A ``repro-store-response`` document skeleton."""
+    return {"format": STORE_RESPONSE_FORMAT,
+            "version": STORE_RESPONSE_VERSION,
+            "op": op, **fields}

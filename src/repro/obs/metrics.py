@@ -343,4 +343,13 @@ def absorb_store_stats(registry: MetricsRegistry,
         delta = after.get(key, 0) - before.get(key, 0)
         if delta:
             registry.counter(f"engine.store.{key}").inc(delta)
+    # A RemoteScheduleStore (shared store service client) extends the
+    # counter dict with its remote-protocol tallies; fold any that are
+    # present under ``store.*`` so a serve instance's /metrics shows
+    # its share of the shared store's traffic.
+    for key in ("remote_hits", "remote_misses", "pushed", "pulled",
+                "sync_errors"):
+        delta = after.get(key, 0) - before.get(key, 0)
+        if delta:
+            registry.counter(f"store.{key}").inc(delta)
     registry.gauge("engine.store.entries").set(after.get("entries", 0))

@@ -28,7 +28,16 @@ The pieces:
   effects come back as a ``repro-session-event`` v1 NDJSON stream
   (``docs/online.md``);
 * :mod:`repro.serving.protocol` — the size-capped HTTP/1.1 subset the
-  server speaks.
+  server speaks;
+* the horizontal-scaling tier (``docs/scaling.md``):
+  :class:`~repro.serving.router.Router` — a front-door that
+  load-balances solve/sweep/session-open traffic over N serve
+  instances with retry-and-reassignment, sticky id-prefixed routing
+  for jobs and sessions, and health-gated membership — and
+  :class:`~repro.serving.store_service.StoreService` /
+  :class:`~repro.serving.store_client.RemoteScheduleStore` — a shared
+  schedule-store service (``repro-store-request`` v1) so every
+  instance reuses every other's validity-range entries.
 
 Wire documents (``repro-solve-request``/``-response`` v1, the
 ``repro-serve-events`` v1 stream) live in :mod:`repro.io.requests`;
@@ -55,16 +64,25 @@ Run one::
 from .batching import Batcher, BatchingConfig, Submission
 from .client import ServingClient, ServingError, TruncatedStreamError
 from .protocol import HttpRequest
+from .router import Router, RouterConfig
 from .server import ServingConfig, SolveServer
+from .store_client import RemoteScheduleStore, StoreClient
+from .store_service import StoreService, StoreServiceConfig
 
 __all__ = [
     "Batcher",
     "BatchingConfig",
     "HttpRequest",
+    "RemoteScheduleStore",
+    "Router",
+    "RouterConfig",
     "ServingClient",
     "ServingConfig",
     "ServingError",
     "SolveServer",
+    "StoreClient",
+    "StoreService",
+    "StoreServiceConfig",
     "Submission",
     "TruncatedStreamError",
 ]

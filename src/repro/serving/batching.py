@@ -417,6 +417,11 @@ class Batcher:
         elapsed_s = time.perf_counter() - t0
         del results  # per-job delivery already happened via on_result
         self._attribute_spans(entries, batch_number)
+        if getattr(self.runner.store, "remote", False):
+            # Service-backed store: push this batch's journal to the
+            # shared store before the counter absorb below, so the
+            # pushed/sync_errors tallies land in the same snapshot.
+            await asyncio.to_thread(self.runner.store.sync)
         if self.registry is not None:
             self.registry.counter("serving.batches").inc()
             self.registry.histogram("serving.batch.jobs") \

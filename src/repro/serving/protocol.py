@@ -41,7 +41,8 @@ _STATUS_PHRASES = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict",
     413: "Payload Too Large", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
+    500: "Internal Server Error", 502: "Bad Gateway",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 

@@ -1,0 +1,625 @@
+"""The front-door router: one address over N solve servers.
+
+A :class:`Router` listens like a :class:`~repro.serving.server
+.SolveServer` and forwards every request to one of its *members*
+(``repro-schedule serve`` instances), so clients — including
+:class:`~repro.engine.backends.remote.RemoteBackend` — scale across a
+fleet without knowing its shape:
+
+* **Balanced**: ``POST /v1/solve``, ``POST /v1/sweep`` and
+  ``POST /v1/sessions`` round-robin over healthy members, reusing
+  ``RemoteBackend``'s retry-and-reassignment discipline — a dead
+  connection or a retryable error envelope (``queue_full``,
+  ``shutting_down``, ...; :data:`~repro.engine.backends.remote
+  .RETRYABLE_CODES`) moves the request to the next member, up to
+  ``retries`` reassignments.  When every attempt fails at the
+  connection level the router answers ``502 bad_gateway`` — itself
+  retryable, so a ``RemoteBackend`` pointed at the router keeps its
+  own retry budget meaningful.
+* **Sticky**: job and session state lives on the member that admitted
+  it, so the router *rewrites ids*: member ``i``'s ``j-000001``
+  becomes ``m{i}-j-000001`` on the way out, and ``/v1/jobs/m1-...`` /
+  ``/v1/sessions/m0-...`` requests are routed back to that member
+  (``404 not_found`` when the prefix names no member).  NDJSON event
+  streams relay live, line by line, with the same rewrite.
+* **Health-gated**: a background probe polls each member's
+  ``/healthz``; ``fail_threshold`` consecutive failures bench a
+  member until a probe succeeds again.  ``GET /v1/router/members``
+  reports the membership (``repro-router-members`` v1).
+
+``/v1/debug/*`` is deliberately *not* proxied — flight recorders are
+per-instance diagnostics; ask the member directly (``docs/scaling.md``
+shows how).  The conformance-tested operator's guide is
+``docs/scaling.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import time
+from dataclasses import dataclass, field
+
+from ..engine.backends.remote import RETRYABLE_CODES
+from ..io.requests import (ROUTER_MEMBERS_FORMAT,
+                           ROUTER_MEMBERS_VERSION, RequestError)
+from ..obs import (LOG, TRACEPARENT_HEADER, MetricsRegistry,
+                   format_traceparent, new_span_id, new_trace_id,
+                   parse_traceparent, prometheus_text,
+                   reset_trace_context, set_trace_context, span)
+from .protocol import (DEFAULT_MAX_BODY, HttpRequest, read_request,
+                       send_ndjson_line, start_ndjson, write_error,
+                       write_json, write_text)
+
+__all__ = ["RouterConfig", "Router"]
+
+#: Matches a router-rewritten id: ``m{member}-{upstream id}``.
+_MEMBER_ID_RE = re.compile(r"^m(\d+)-(.+)$")
+
+#: Top-level response fields that carry ids the router rewrites.
+_ID_FIELDS = ("job", "session")
+
+
+@dataclass
+class RouterConfig:
+    """Everything an operator tunes on a front-door router.
+
+    Attributes
+    ----------
+    host / port:
+        Listening address.  Port ``0`` binds an ephemeral port
+        (``Router.port`` reports the actual one).
+    members:
+        Base URLs of the ``serve`` instances behind this router.
+    retries:
+        Reassignment budget per balanced request (a request may be
+        offered to up to ``retries + 1`` members).
+    timeout:
+        Seconds to wait for a member connection + response head.
+    health_interval_s:
+        Seconds between background ``/healthz`` probes per member.
+    fail_threshold:
+        Consecutive probe/forward failures before a member is benched.
+    max_body:
+        Request body cap, bytes (``payload_too_large`` beyond it).
+    log_path:
+        When set, enable the process-wide structured event log
+        (:data:`repro.obs.LOG`) on this JSONL file.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8081
+    members: "list[str]" = field(default_factory=list)
+    retries: int = 2
+    timeout: float = 60.0
+    health_interval_s: float = 1.0
+    fail_threshold: int = 3
+    max_body: int = DEFAULT_MAX_BODY
+    log_path: "str | None" = None
+
+
+@dataclass
+class _Member:
+    """One upstream ``serve`` instance and its observed health."""
+
+    index: int
+    url: str
+    host: str
+    port: int
+    healthy: bool = True
+    consecutive_failures: int = 0
+    last_ok_unix: "float | None" = None
+    last_error: "str | None" = None
+    jobs: int = 0
+    sessions: int = 0
+
+    def to_doc(self) -> "dict":
+        doc = {
+            "member": f"m{self.index}",
+            "url": self.url,
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+            "jobs": self.jobs,
+            "sessions": self.sessions,
+        }
+        if self.last_ok_unix is not None:
+            doc["last_ok_unix"] = round(self.last_ok_unix, 3)
+        if self.last_error is not None:
+            doc["last_error"] = self.last_error
+        return doc
+
+
+def _parse_member_url(index: int, url: str) -> _Member:
+    import urllib.parse
+    parsed = urllib.parse.urlparse(url)
+    return _Member(index=index, url=url,
+                   host=parsed.hostname or "127.0.0.1",
+                   port=parsed.port or 8080)
+
+
+class Router:
+    """Load-balance solve serving over N members; see module doc."""
+
+    def __init__(self, config: RouterConfig):
+        if not config.members:
+            raise ValueError("a router needs at least one member")
+        self.config = config
+        self.members = [_parse_member_url(index, url)
+                        for index, url in enumerate(config.members)]
+        self.metrics = MetricsRegistry()
+        self._server: "asyncio.AbstractServer | None" = None
+        self._health_task: "asyncio.Task | None" = None
+        self.port: "int | None" = None
+        self.started_unix = time.time()
+        self._rr = 0
+        self._owns_log = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the health probe loop."""
+        if self.config.log_path and not LOG.enabled:
+            LOG.enable(path=self.config.log_path)
+            self._owns_log = True
+            LOG.emit("router.start", members=len(self.members))
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host,
+            self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._health_task = asyncio.ensure_future(self._health_loop())
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._owns_log:
+            LOG.emit("router.stop")
+            LOG.disable()
+            self._owns_log = False
+
+    # -- membership health ---------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.health_interval_s)
+            for member in self.members:
+                try:
+                    status, _headers, _raw, _r, _w = \
+                        await self._roundtrip(member, "GET",
+                                              "/healthz", None, None)
+                except (OSError, asyncio.TimeoutError,
+                        asyncio.IncompleteReadError,
+                        ValueError) as exc:
+                    self._note_failure(member,
+                                       f"{type(exc).__name__}: {exc}")
+                    continue
+                if status == 200:
+                    self._note_success(member)
+                else:
+                    self._note_failure(member, f"healthz {status}")
+
+    def _note_success(self, member: _Member) -> None:
+        member.consecutive_failures = 0
+        member.last_ok_unix = time.time()
+        member.last_error = None
+        if not member.healthy:
+            member.healthy = True
+            self.metrics.counter("router.member.revived").inc()
+            if LOG.enabled:
+                LOG.emit("router.member.revived",
+                         member=f"m{member.index}", url=member.url)
+        self._set_health_gauge()
+
+    def _note_failure(self, member: _Member, reason: str) -> None:
+        member.consecutive_failures += 1
+        member.last_error = reason[:200]
+        if member.healthy and member.consecutive_failures \
+                >= self.config.fail_threshold:
+            member.healthy = False
+            self.metrics.counter("router.member.benched").inc()
+            if LOG.enabled:
+                LOG.emit("router.member.benched",
+                         member=f"m{member.index}", url=member.url,
+                         reason=member.last_error)
+        self._set_health_gauge()
+
+    def _set_health_gauge(self) -> None:
+        self.metrics.gauge("router.members.healthy").set(
+            sum(1 for m in self.members if m.healthy))
+
+    def _pick(self, attempt: int) -> _Member:
+        """Round-robin over healthy members; when every member is
+        benched, rotate over all of them anyway (health information
+        may be stale, and a doomed attempt beats a blind 502)."""
+        pool = [m for m in self.members if m.healthy] or self.members
+        member = pool[(self._rr + attempt) % len(pool)]
+        if attempt == 0:
+            self._rr += 1
+        return member
+
+    # -- upstream I/O --------------------------------------------------
+
+    async def _roundtrip(self, member: _Member, method: str,
+                         path: str, body: "bytes | None",
+                         trace_header: "str | None"):
+        """One upstream request.  Returns ``(status, headers, raw,
+        reader, writer)``: ``raw`` is the buffered body when the
+        response carries a Content-Length, else ``reader``/``writer``
+        are the open stream the caller must relay and close."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(member.host, member.port),
+            self.config.timeout)
+        try:
+            head = [f"{method} {path} HTTP/1.1",
+                    f"Host: {member.host}:{member.port}",
+                    "Connection: close"]
+            if trace_header:
+                head.append(f"{TRACEPARENT_HEADER}: {trace_header}")
+            if body is not None:
+                head.append("Content-Type: application/json")
+                head.append(f"Content-Length: {len(body)}")
+            writer.write(("\r\n".join(head) + "\r\n\r\n")
+                         .encode("ascii"))
+            if body is not None:
+                writer.write(body)
+            await writer.drain()
+            status, headers = await asyncio.wait_for(
+                self._read_head(reader), self.config.timeout)
+            length = headers.get("content-length")
+            if length is not None:
+                raw = await asyncio.wait_for(
+                    reader.readexactly(int(length)),
+                    self.config.timeout)
+                return status, headers, raw, None, None
+            stream_reader, stream_writer = reader, writer
+            reader = writer = None  # caller owns the stream now
+            return status, headers, None, stream_reader, stream_writer
+        finally:
+            if writer is not None:
+                writer.close()
+
+    @staticmethod
+    async def _read_head(reader) -> "tuple[int, dict[str, str]]":
+        status_line = await reader.readline()
+        parts = status_line.decode("ascii", "replace").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ValueError(
+                f"malformed upstream status line: {status_line!r}")
+        status = int(parts[1])
+        headers: "dict[str, str]" = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    # -- id rewriting --------------------------------------------------
+
+    @staticmethod
+    def _rewrite_ids(doc, member: _Member):
+        """Prefix top-level job/session ids with the member tag."""
+        if isinstance(doc, dict):
+            for fld in _ID_FIELDS:
+                value = doc.get(fld)
+                if isinstance(value, str):
+                    doc[fld] = f"m{member.index}-{value}"
+        return doc
+
+    def _resolve_id(self, tagged: str) -> "tuple[_Member, str]":
+        """Map a rewritten id back to ``(member, upstream id)``."""
+        match = _MEMBER_ID_RE.match(tagged)
+        if match is not None:
+            index = int(match.group(1))
+            if index < len(self.members):
+                return self.members[index], match.group(2)
+        raise RequestError(
+            "not_found",
+            f"id {tagged!r} names no member of this router")
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        t0 = time.perf_counter()
+        request = None
+        error_code = None
+        try:
+            try:
+                request = await read_request(reader,
+                                             self.config.max_body)
+            except RequestError as exc:
+                error_code = exc.code
+                write_error(writer, exc)
+                return
+            if request is None:
+                return
+            context = parse_traceparent(
+                request.headers.get(TRACEPARENT_HEADER))
+            if context is not None:
+                request.trace_id, request.parent_span_id = context
+            else:
+                request.trace_id = new_trace_id()
+                request.parent_span_id = None
+            request.span_id = new_span_id()
+            self.metrics.counter("router.requests").inc()
+            token = set_trace_context((request.trace_id,
+                                       request.span_id))
+            try:
+                with span("router.request", method=request.method,
+                          path=request.path,
+                          trace_id=request.trace_id,
+                          span_id=request.span_id):
+                    await self._route(request, writer)
+            except RequestError as exc:
+                error_code = exc.code
+                self.metrics.counter("router.errors").inc()
+                write_error(writer, exc)
+            except Exception as exc:  # noqa: BLE001 - 500, not a crash
+                error_code = "internal"
+                self.metrics.counter("router.errors").inc()
+                write_error(writer, RequestError(
+                    "internal", f"{type(exc).__name__}: {exc}"))
+            finally:
+                reset_trace_context(token)
+        finally:
+            if request is not None:
+                self._observe_request(
+                    request, writer, time.perf_counter() - t0,
+                    error_code)
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - peer already gone
+                pass
+
+    async def _route(self, request: HttpRequest, writer) -> None:
+        method, path = request.method, request.path
+        if path == "/healthz":
+            self._require(method, "GET")
+            write_json(writer, 200, self._health_doc())
+            return
+        if path == "/metrics":
+            self._require(method, "GET")
+            self._set_health_gauge()
+            write_text(writer, 200,
+                       prometheus_text(self.metrics.snapshot()))
+            return
+        if path == "/v1/router/members":
+            self._require(method, "GET")
+            write_json(writer, 200, self._members_doc())
+            return
+        if path in ("/v1/solve", "/v1/sweep", "/v1/sessions"):
+            self._require(method, "POST")
+            await self._forward_balanced(request, writer)
+            return
+        if path.startswith("/v1/jobs/") \
+                or path.startswith("/v1/sessions/"):
+            await self._forward_sticky(request, writer)
+            return
+        if path.startswith("/v1/debug/"):
+            raise RequestError(
+                "not_found",
+                "debug endpoints are per-instance; ask the member "
+                "directly (see docs/scaling.md)")
+        raise RequestError("not_found", f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise RequestError(
+                "method_not_allowed",
+                f"use {expected} for this endpoint, not {method}")
+
+    def _health_doc(self) -> "dict":
+        healthy = sum(1 for m in self.members if m.healthy)
+        return {
+            "status": "ok" if healthy == len(self.members)
+                      else ("degraded" if healthy else "down"),
+            "members": len(self.members),
+            "healthy": healthy,
+        }
+
+    def _members_doc(self) -> "dict":
+        return {
+            "format": ROUTER_MEMBERS_FORMAT,
+            "version": ROUTER_MEMBERS_VERSION,
+            "members": [member.to_doc() for member in self.members],
+        }
+
+    # -- forwarding ----------------------------------------------------
+
+    def _upstream_trace(self, request: HttpRequest) -> str:
+        return format_traceparent(request.trace_id, request.span_id)
+
+    async def _forward_balanced(self, request: HttpRequest,
+                                writer) -> None:
+        """Offer the request to members until one accepts it.
+
+        Mirrors ``RemoteBackend._run_shard``: connection-level
+        failures and :data:`RETRYABLE_CODES` envelopes rotate to the
+        next member; a non-retryable answer (success *or* client
+        error) is relayed immediately.  When the budget runs out the
+        last HTTP answer is relayed if there was one, else the router
+        answers ``502 bad_gateway``.
+        """
+        body = request.body or b""
+        trace_header = self._upstream_trace(request)
+        last_response = None
+        last_error = "no members"
+        attempts = 0
+        while attempts <= self.config.retries:
+            member = self._pick(attempts)
+            attempts += 1
+            try:
+                status, _headers, raw, _r, _w = await self._roundtrip(
+                    member, request.method, request.path, body,
+                    trace_header)
+            except (OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError, ValueError) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                self._note_failure(member, last_error)
+                self.metrics.counter("router.retries").inc()
+                if LOG.enabled:
+                    LOG.emit("router.retry",
+                             member=f"m{member.index}",
+                             path=request.path, reason=last_error,
+                             trace_id=request.trace_id)
+                continue
+            self._note_success(member)
+            try:
+                doc = json.loads(raw)
+            except ValueError:
+                doc = None
+            code = None
+            if status >= 400 and isinstance(doc, dict) \
+                    and isinstance(doc.get("error"), dict):
+                code = doc["error"].get("code")
+            if code in RETRYABLE_CODES:
+                last_response = (status, doc)
+                self.metrics.counter("router.upstream_errors").inc()
+                self.metrics.counter("router.retries").inc()
+                if LOG.enabled:
+                    LOG.emit("router.retry",
+                             member=f"m{member.index}",
+                             path=request.path, reason=code,
+                             trace_id=request.trace_id)
+                continue
+            if isinstance(doc, dict):
+                if request.path == "/v1/sessions":
+                    member.sessions += 1
+                elif "job" in doc:
+                    member.jobs += 1
+                write_json(writer, status,
+                           self._rewrite_ids(doc, member))
+            else:
+                write_json(writer, status, {"raw": raw.decode(
+                    "utf-8", "replace")})
+            return
+        if last_response is not None:
+            status, doc = last_response
+            write_json(writer, status, doc)
+            return
+        raise RequestError(
+            "bad_gateway",
+            f"no member answered {request.path} after {attempts} "
+            f"attempt(s); last error: {last_error}")
+
+    async def _forward_sticky(self, request: HttpRequest,
+                              writer) -> None:
+        """Route an id-addressed request to the member that owns it.
+
+        No reassignment: the job/session state lives on exactly one
+        member, so a dead member is answered with ``502 bad_gateway``
+        (clients see a retryable code and can resubmit — the job id
+        itself is lost with its instance).
+        """
+        parts = request.path.split("/")
+        # ["", "v1", "jobs"|"sessions", "<tagged id>", ...suffix]
+        if len(parts) < 4 or not parts[3]:
+            raise RequestError("not_found",
+                               f"no route for {request.path!r}")
+        member, upstream_id = self._resolve_id(parts[3])
+        upstream_path = "/".join(parts[:3] + [upstream_id]
+                                 + parts[4:])
+        trace_header = self._upstream_trace(request)
+        try:
+            status, _headers, raw, up_reader, up_writer = \
+                await self._roundtrip(member, request.method,
+                                      upstream_path, request.body,
+                                      trace_header)
+        except (OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError, ValueError) as exc:
+            self._note_failure(member, f"{type(exc).__name__}: {exc}")
+            raise RequestError(
+                "bad_gateway",
+                f"member m{member.index} ({member.url}) did not "
+                f"answer: {type(exc).__name__}") from exc
+        self._note_success(member)
+        if raw is not None:
+            try:
+                doc = json.loads(raw)
+            except ValueError:
+                write_json(writer, status, {"raw": raw.decode(
+                    "utf-8", "replace")})
+                return
+            write_json(writer, status,
+                       self._rewrite_ids(doc, member))
+            return
+        # NDJSON stream: relay line by line with the id rewrite.  A
+        # member dying mid-stream simply ends the relay early — the
+        # client's truncated-stream detection takes over from there.
+        try:
+            start_ndjson(writer, status)
+            while True:
+                line = await up_reader.readline()
+                if not line:
+                    break
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    record = json.loads(text)
+                except ValueError:
+                    break
+                if isinstance(record, dict):
+                    self._rewrite_ids(record, member)
+                send_ndjson_line(writer, record)
+                await writer.drain()
+        finally:
+            up_writer.close()
+
+    # -- observability -------------------------------------------------
+
+    @staticmethod
+    def _endpoint_label(path: str) -> str:
+        if path == "/healthz":
+            return "healthz"
+        if path == "/metrics":
+            return "metrics"
+        if path == "/v1/router/members":
+            return "members"
+        if path == "/v1/solve":
+            return "v1.solve"
+        if path == "/v1/sweep":
+            return "v1.sweep"
+        if path == "/v1/sessions":
+            return "v1.sessions"
+        if path.startswith("/v1/sessions/"):
+            return "v1.sessions.events" if path.endswith("/events") \
+                else "v1.sessions.id"
+        if path.startswith("/v1/jobs/"):
+            return "v1.jobs.events" if path.endswith("/events") \
+                else "v1.jobs"
+        return "other"
+
+    def _observe_request(self, request: HttpRequest, writer,
+                         elapsed_s: float,
+                         error_code: "str | None") -> None:
+        label = self._endpoint_label(request.path)
+        self.metrics.histogram(
+            f"router.latency.{label}.seconds").observe(
+                elapsed_s, trace_id=request.trace_id)
+        if LOG.enabled:
+            LOG.emit("router.access", trace_id=request.trace_id,
+                     span_id=request.span_id, method=request.method,
+                     path=request.path,
+                     status=getattr(writer, "last_status", 200),
+                     latency_ms=round(elapsed_s * 1000.0, 3),
+                     **({"error": error_code} if error_code else {}))

@@ -115,6 +115,17 @@ class ServingConfig:
         so covered points are served without re-solving;
         ``store_path`` additionally loads the store at startup and
         writes it back on shutdown.
+    store_url:
+        Base URL of a shared schedule-store service
+        (``repro-schedule store-serve``); implies
+        ``reuse_schedules`` and swaps the private store for a
+        :class:`~repro.serving.store_client.RemoteScheduleStore`, so
+        validity-range hits are shared across every instance pointed
+        at the same service (``docs/scaling.md``).
+    session_ttl_s:
+        When set, a background sweep closes and evicts mission
+        sessions idle for at least this many seconds (the
+        ``session.evicted`` metric counts them; ``docs/online.md``).
     max_body:
         Request body cap, bytes (``payload_too_large`` beyond it).
     trace_path:
@@ -145,6 +156,8 @@ class ServingConfig:
     reuse_schedules: bool = False
     reuse_policy: str = "identical"
     store_path: "str | None" = None
+    store_url: "str | None" = None
+    session_ttl_s: "float | None" = None
     max_body: int = DEFAULT_MAX_BODY
     trace_path: "str | None" = None
     flight_recorder: int = 64
@@ -166,6 +179,12 @@ class _SessionEntry:
     session: MissionSession
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     opened_unix: float = field(default_factory=time.time)
+    #: Last time any request touched this session; the idle-TTL
+    #: eviction sweep (``--session-ttl``) keys off it.
+    last_active_unix: float = field(default_factory=time.time)
+
+    def touch(self) -> None:
+        self.last_active_unix = time.time()
 
     def status_doc(self) -> "dict":
         """The ``GET /v1/sessions/{id}`` body."""
@@ -199,8 +218,14 @@ class SolveServer:
         else:
             store = None
             reuse = self.config.reuse_schedules \
-                or bool(self.config.store_path)
-            if self.config.store_path \
+                or bool(self.config.store_path) \
+                or bool(self.config.store_url)
+            if self.config.store_url:
+                from .store_client import RemoteScheduleStore
+                store = RemoteScheduleStore(
+                    self.config.store_url,
+                    policy=self.config.reuse_policy)
+            elif self.config.store_path \
                     and os.path.exists(self.config.store_path):
                 store = ScheduleStore.read(
                     self.config.store_path,
@@ -222,6 +247,7 @@ class SolveServer:
         self.sessions: "dict[str, _SessionEntry]" = {}
         self._session_counter = 0
         self._server: "asyncio.AbstractServer | None" = None
+        self._session_gc_task: "asyncio.Task | None" = None
         self.port: "int | None" = None
         self.started_unix = time.time()
         capacity = max(1, self.config.flight_recorder)
@@ -241,10 +267,22 @@ class SolveServer:
             LOG.emit("server.start", host=self.config.host,
                      workers=self.config.workers)
         self.batcher.start()
+        if getattr(self.runner.store, "remote", False):
+            # Warm the local cache from the shared store so this
+            # instance starts with every entry its siblings already
+            # paid for (best-effort: a dead service costs hit rate,
+            # never startup).
+            pulled = await asyncio.to_thread(self.runner.store.pull)
+            if LOG.enabled:
+                LOG.emit("store.pull", pulled=pulled,
+                         url=self.runner.store.store_url)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host,
             self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.session_ttl_s:
+            self._session_gc_task = asyncio.ensure_future(
+                self._session_gc_loop())
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -254,7 +292,18 @@ class SolveServer:
 
     async def shutdown(self) -> None:
         """Drain: finish accepted jobs, persist state, close."""
+        if self._session_gc_task is not None:
+            self._session_gc_task.cancel()
+            try:
+                await self._session_gc_task
+            except asyncio.CancelledError:
+                pass
+            self._session_gc_task = None
         await self.batcher.drain()
+        if getattr(self.runner.store, "remote", False):
+            # Last push so the shared store keeps entries this
+            # instance solved after its final batch sync.
+            await asyncio.to_thread(self.runner.store.sync)
         if self.config.store_path and self.runner.store is not None:
             self.runner.store.write(self.config.store_path)
         if self.config.trace_path:
@@ -267,6 +316,37 @@ class SolveServer:
             LOG.emit("server.stop", batches=self.batcher.batches)
             LOG.disable()
             self._owns_log = False
+
+    async def _session_gc_loop(self) -> None:
+        """Close and evict mission sessions idle past the TTL.
+
+        The sweep runs every ``ttl / 4`` (bounded to [50 ms, 30 s]);
+        a session whose lock is held (a command batch is running) is
+        never considered idle, and already-closed sessions are evicted
+        by the same idleness rule so the registry cannot pin dead
+        state for ``SESSION_RETENTION``-scale lifetimes.
+        """
+        ttl = self.config.session_ttl_s
+        interval = max(0.05, min(ttl / 4.0, 30.0))
+        while True:
+            await asyncio.sleep(interval)
+            cutoff = time.time() - ttl
+            expired = [entry for entry in self.sessions.values()
+                       if not entry.lock.locked()
+                       and entry.last_active_unix <= cutoff]
+            for entry in expired:
+                entry.session.close()
+                del self.sessions[entry.id]
+                self.metrics.counter("session.evicted").inc()
+                if LOG.enabled:
+                    LOG.emit("session.evicted", session=entry.id,
+                             idle_s=round(
+                                 time.time()
+                                 - entry.last_active_unix, 3))
+            if expired:
+                self.metrics.gauge("session.live").set(
+                    sum(1 for e in self.sessions.values()
+                        if not e.session.closed))
 
     def write_trace(self, path: str) -> None:
         """The ``repro-serve-trace`` v1 document: metrics + jobs."""
@@ -692,6 +772,7 @@ class SolveServer:
             raise RequestError("not_found",
                                f"no route for {request.path!r}")
         entry = self._session_entry(parts[2])
+        entry.touch()
         request.session_id = entry.id
         if len(parts) == 4:
             if parts[3] != "events":
@@ -776,6 +857,7 @@ class SolveServer:
                     await writer.drain()
                 except Exception:  # noqa: BLE001 - client hung up
                     return
+        entry.touch()  # a long batch should not read as idle time
         send_ndjson_line(writer, {
             "session": entry.id, "event": "end", "ok": ok,
             "now": engine.now, "events": sent,

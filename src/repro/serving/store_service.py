@@ -1,0 +1,337 @@
+"""The shared schedule-store service: one store, many servers.
+
+A :class:`StoreService` owns a single authoritative
+:class:`~repro.engine.schedule_store.ScheduleStore` and serves it over
+the ``repro-store-request``/``repro-store-response`` v1 protocol, so N
+``repro-schedule serve`` instances (each wrapping the store in a
+:class:`~repro.serving.store_client.RemoteScheduleStore`) share
+validity-range hits instead of warming private stores.
+
+Endpoints (the conformance-tested reference is ``docs/scaling.md``;
+the document schemas live in ``docs/formats.md``):
+
+=============================== ====================================
+``POST /v1/store/get-range``    probe for a covering schedule under
+                                ``(base_key, p_max, p_min)``; with
+                                both powers omitted, a *prime probe*
+                                for the certified timing-stage entry
+``POST /v1/store/put-delta``    merge a drained store journal
+                                (journal-dedupe, commutative — see
+                                DESIGN.md 5e)
+``GET /v1/store/snapshot``      the full ``repro-schedule-store`` v1
+                                document (warm a new instance)
+``GET /healthz``                liveness + entry counts
+``GET /metrics``                Prometheus text exposition
+                                (``store.*`` series)
+=============================== ====================================
+
+Concurrency: handlers run on one asyncio event loop and never await
+between touching store state, so the store needs no lock — concurrent
+``put-delta`` merges serialize naturally and commute (DESIGN.md 5e).
+
+Shutdown persists the store back to ``store_path`` when one is
+configured, mirroring ``serve --store``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from dataclasses import dataclass
+
+from ..engine.schedule_store import CERTIFIED_STAGE, ScheduleStore
+from ..errors import SerializationError
+from ..io.requests import (RequestError, store_request_from_dict,
+                           store_response_envelope)
+from ..obs import (LOG, TRACEPARENT_HEADER, MetricsRegistry,
+                   new_span_id, new_trace_id, parse_traceparent,
+                   prometheus_text, reset_trace_context,
+                   set_trace_context, span)
+from .protocol import (DEFAULT_MAX_BODY, HttpRequest, read_request,
+                       write_error, write_json, write_text)
+
+__all__ = ["StoreServiceConfig", "StoreService"]
+
+
+@dataclass
+class StoreServiceConfig:
+    """Everything an operator tunes on a schedule-store service.
+
+    Attributes
+    ----------
+    host / port:
+        Listening address.  Port ``0`` binds an ephemeral port
+        (``StoreService.port`` reports the actual one).
+    reuse_policy:
+        ``identical`` or ``valid`` — the policy :meth:`probe
+        <repro.engine.schedule_store.ScheduleStore.probe>` answers
+        ``get-range`` with.  Every serve instance sharing the store
+        should run the same policy.
+    store_path:
+        Load the store document at startup (when the file exists) and
+        write it back on shutdown.
+    max_body:
+        Request body cap, bytes (``payload_too_large`` beyond it).
+    log_path:
+        When set, enable the process-wide structured event log
+        (:data:`repro.obs.LOG`) on this JSONL file.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8090
+    reuse_policy: str = "identical"
+    store_path: "str | None" = None
+    max_body: int = DEFAULT_MAX_BODY
+    log_path: "str | None" = None
+
+
+class StoreService:
+    """Serve one shared :class:`ScheduleStore` over HTTP."""
+
+    def __init__(self, config: "StoreServiceConfig | None" = None,
+                 store: "ScheduleStore | None" = None):
+        self.config = config or StoreServiceConfig()
+        if store is not None:
+            self.store = store
+        elif self.config.store_path \
+                and os.path.exists(self.config.store_path):
+            self.store = ScheduleStore.read(
+                self.config.store_path,
+                policy=self.config.reuse_policy)
+        else:
+            self.store = ScheduleStore(
+                policy=self.config.reuse_policy)
+        self.metrics = MetricsRegistry()
+        self._server: "asyncio.AbstractServer | None" = None
+        self.port: "int | None" = None
+        self.started_unix = time.time()
+        self._owns_log = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket."""
+        if self.config.log_path and not LOG.enabled:
+            LOG.enable(path=self.config.log_path)
+            self._owns_log = True
+            LOG.emit("store.start", host=self.config.host,
+                     policy=self.store.policy,
+                     entries=len(self.store))
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host,
+            self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Persist the store (when configured) and close the socket."""
+        if self.config.store_path:
+            self.store.write(self.config.store_path)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._owns_log:
+            LOG.emit("store.stop", entries=len(self.store))
+            LOG.disable()
+            self._owns_log = False
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        t0 = time.perf_counter()
+        request = None
+        error_code = None
+        try:
+            try:
+                request = await read_request(reader,
+                                             self.config.max_body)
+            except RequestError as exc:
+                error_code = exc.code
+                write_error(writer, exc)
+                return
+            if request is None:
+                return
+            context = parse_traceparent(
+                request.headers.get(TRACEPARENT_HEADER))
+            if context is not None:
+                request.trace_id, request.parent_span_id = context
+            else:
+                request.trace_id = new_trace_id()
+                request.parent_span_id = None
+            request.span_id = new_span_id()
+            self.metrics.counter("store.requests").inc()
+            token = set_trace_context((request.trace_id,
+                                       request.span_id))
+            try:
+                with span("store.request", method=request.method,
+                          path=request.path,
+                          trace_id=request.trace_id,
+                          span_id=request.span_id):
+                    self._route(request, writer)
+            except RequestError as exc:
+                error_code = exc.code
+                self.metrics.counter("store.errors").inc()
+                write_error(writer, exc)
+            except Exception as exc:  # noqa: BLE001 - 500, not a crash
+                error_code = "internal"
+                self.metrics.counter("store.errors").inc()
+                write_error(writer, RequestError(
+                    "internal", f"{type(exc).__name__}: {exc}"))
+            finally:
+                reset_trace_context(token)
+        finally:
+            if request is not None:
+                self._observe_request(
+                    request, writer, time.perf_counter() - t0,
+                    error_code)
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 - peer already gone
+                pass
+
+    def _route(self, request: HttpRequest, writer) -> None:
+        method, path = request.method, request.path
+        if path == "/healthz":
+            self._require(method, "GET")
+            write_json(writer, 200, self._health_doc())
+            return
+        if path == "/metrics":
+            self._require(method, "GET")
+            self.metrics.gauge("store.entries").set(len(self.store))
+            write_text(writer, 200,
+                       prometheus_text(self.metrics.snapshot()))
+            return
+        if path == "/v1/store/get-range":
+            self._require(method, "POST")
+            self._handle_get_range(request, writer)
+            return
+        if path == "/v1/store/put-delta":
+            self._require(method, "POST")
+            self._handle_put_delta(request, writer)
+            return
+        if path == "/v1/store/snapshot":
+            self._require(method, "GET")
+            write_json(writer, 200, store_response_envelope(
+                "snapshot", store=self.store.to_dict()))
+            return
+        raise RequestError("not_found", f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise RequestError(
+                "method_not_allowed",
+                f"use {expected} for this endpoint, not {method}")
+
+    def _health_doc(self) -> "dict":
+        return {
+            "status": "ok",
+            "policy": self.store.policy,
+            "problems": len(self.store.problems),
+            "entries": len(self.store),
+        }
+
+    # -- the store protocol --------------------------------------------
+
+    def _handle_get_range(self, request: HttpRequest,
+                          writer) -> None:
+        parsed = store_request_from_dict(request.json())
+        if parsed.op != "get-range":
+            raise RequestError(
+                "bad_request",
+                f"op {parsed.op!r} does not match this endpoint")
+        if parsed.p_max is None:
+            # Prime probe: the certified timing-stage entry, if the
+            # store holds one for this workload — regardless of policy
+            # (a "valid"-policy store still primes with timing
+            # entries, and the caller is asking "has someone already
+            # paid for the priming solve?").
+            entry = None
+            bucket = self.store.problems.get(parsed.base_key)
+            if bucket is not None:
+                entry = next((e for e in bucket.entries
+                              if e.stage == CERTIFIED_STAGE), None)
+        else:
+            entry = self.store.probe(parsed.base_key, parsed.p_max,
+                                     parsed.p_min)
+            bucket = self.store.problems.get(parsed.base_key)
+        if entry is None:
+            self.store.misses += 1
+            self.metrics.counter("store.get_range.misses").inc()
+            write_json(writer, 200, store_response_envelope(
+                "get-range", hit=False, base_key=parsed.base_key))
+            return
+        self.store.range_hits += 1
+        self.metrics.counter("store.get_range.hits").inc()
+        write_json(writer, 200, store_response_envelope(
+            "get-range", hit=True, base_key=parsed.base_key,
+            name=bucket.name if bucket is not None else "",
+            entry=entry.to_dict()))
+
+    def _handle_put_delta(self, request: HttpRequest,
+                          writer) -> None:
+        parsed = store_request_from_dict(request.json())
+        if parsed.op != "put-delta":
+            raise RequestError(
+                "bad_request",
+                f"op {parsed.op!r} does not match this endpoint")
+        try:
+            merged = self.store.merge_delta(parsed.delta)
+        except SerializationError as exc:
+            raise RequestError(
+                "bad_request",
+                f"invalid stored-schedule entry: {exc}") from exc
+        # The service is the root store: nobody drains *its* journal,
+        # so discard it to keep memory bounded.
+        self.store.drain_journal()
+        deduped = len(parsed.delta) - merged
+        self.metrics.counter("store.put_delta.merged").inc(merged)
+        self.metrics.counter("store.put_delta.deduped").inc(deduped)
+        if LOG.enabled:
+            LOG.emit("store.merge", merged=merged, deduped=deduped,
+                     entries=len(self.store),
+                     trace_id=request.trace_id)
+        write_json(writer, 200, store_response_envelope(
+            "put-delta", merged=merged, deduped=deduped,
+            entries=len(self.store)))
+
+    # -- observability -------------------------------------------------
+
+    @staticmethod
+    def _endpoint_label(path: str) -> str:
+        if path == "/healthz":
+            return "healthz"
+        if path == "/metrics":
+            return "metrics"
+        if path == "/v1/store/get-range":
+            return "get_range"
+        if path == "/v1/store/put-delta":
+            return "put_delta"
+        if path == "/v1/store/snapshot":
+            return "snapshot"
+        return "other"
+
+    def _observe_request(self, request: HttpRequest, writer,
+                         elapsed_s: float,
+                         error_code: "str | None") -> None:
+        label = self._endpoint_label(request.path)
+        self.metrics.histogram(
+            f"store.latency.{label}.seconds").observe(
+                elapsed_s, trace_id=request.trace_id)
+        if LOG.enabled:
+            LOG.emit("store.access", trace_id=request.trace_id,
+                     span_id=request.span_id, method=request.method,
+                     path=request.path,
+                     status=getattr(writer, "last_status", 200),
+                     latency_ms=round(elapsed_s * 1000.0, 3),
+                     **({"error": error_code} if error_code else {}))
