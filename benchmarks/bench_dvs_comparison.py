@@ -15,15 +15,31 @@ runs both schedulers on two workload families:
 Both halves of the comparison are honest: the paper's approach is not
 "better at everything", it solves a different (system-level,
 hard-budget) problem.
+
+The third act (``BENCH_dvfs.json``) composes the two: DVFS operating
+points as a *problem axis* (DESIGN.md section 5f).  On the rover
+workload we tighten ``P_max`` until the static screen
+(``feasible_power_check``) *proves* that no delay-only schedule can
+exist — a drive step alone exceeds the budget — and show that
+frequency selection (`repro.scheduling.freq_select`) still meets it by
+slowing the offending tasks instead of delaying them.  The DVS
+baseline is scored on the same scenarios for honesty: it rejects the
+rover graph outright (inter-task constraints, non-CPU resources), and
+that inapplicability is recorded as data, not skipped.
 """
+
+import json
 
 import pytest
 
 from _bench_utils import write_artifact
-from repro import ConstraintGraph, SchedulingProblem
+from repro import ConstraintGraph, SchedulingFailure, SchedulingProblem
 from repro.analysis import format_table
+from repro.core import DEFAULT_LADDER, attach_ladder
+from repro.mission import MarsRover, SolarCase
 from repro.scheduling import dvs_schedule, schedule
 from repro.scheduling.dvs import CPU_RESOURCE
+from repro.scheduling.freq_select import FreqSelectScheduler
 
 
 def pure_cpu_problem(slack_factor: int) -> SchedulingProblem:
@@ -104,3 +120,129 @@ def test_bench_dvs(benchmark):
     problem = pure_cpu_problem(4)
     result = benchmark(lambda: dvs_schedule(problem))
     assert result.stage == "dvs"
+
+
+# ----------------------------------------------------------------------
+# BENCH_dvfs.json: delay-only vs delay+slowdown vs DVS on the rover
+# ----------------------------------------------------------------------
+
+_DVFS_BUDGETS = (19.0, 17.0, 16.0)
+_DVFS_EVAL_BUDGET = 96
+
+
+def rover_problem(p_max: float) -> SchedulingProblem:
+    """One rover mission iteration (worst-case solar) under ``p_max``.
+
+    ``steps_per_iteration=1`` keeps the frequency-selection search in
+    benchmark territory (seconds, not minutes) while preserving the
+    structure that matters: the drive step whose power alone breaks
+    the tightened budgets."""
+    rover = MarsRover(steps_per_iteration=1)
+    return rover.problem(SolarCase.WORST).with_power_constraints(
+        p_max=p_max, p_min=0.0)
+
+
+def _delay_only_row(problem: SchedulingProblem) -> dict:
+    violations = problem.feasible_power_check()
+    row = {"feasible": False, "provably_infeasible": bool(violations),
+           "screen_violations": violations}
+    try:
+        result = schedule(problem)
+    except SchedulingFailure as exc:
+        row["error"] = str(exc)
+        return row
+    row.update(feasible=True,
+               finish_time_s=result.metrics.finish_time,
+               energy_J=round(result.metrics.total_energy, 3),
+               peak_W=round(result.metrics.peak_power, 3))
+    return row
+
+
+def _dvfs_row(problem: SchedulingProblem) -> dict:
+    laddered = attach_ladder(problem, DEFAULT_LADDER)
+    try:
+        result = FreqSelectScheduler(
+            eval_budget=_DVFS_EVAL_BUDGET).solve(laddered)
+    except SchedulingFailure as exc:
+        return {"feasible": False, "error": str(exc)}
+    dvfs = result.extra["dvfs"]
+    slowed = {name: point["freq"]
+              for name, point in dvfs["assignment"].items()
+              if point["freq"] < 1.0 or point["cores"] > 1}
+    return {"feasible": True,
+            "finish_time_s": result.metrics.finish_time,
+            "energy_J": round(result.metrics.total_energy, 3),
+            "peak_W": round(result.metrics.peak_power, 3),
+            "energy_ideal_J": dvfs["energy_ideal_J"],
+            "energy_rounded_J": dvfs["energy_rounded_J"],
+            "evaluations": dvfs["evaluations"],
+            "slowed": slowed}
+
+
+def _dvs_row(problem: SchedulingProblem) -> dict:
+    try:
+        result = dvs_schedule(problem)
+    except SchedulingFailure as exc:
+        return {"applicable": False, "reason": str(exc)}
+    return {"applicable": True,
+            "energy_J": round(result.metrics.total_energy, 3),
+            "spikes": result.metrics.spikes}
+
+
+@pytest.fixture(scope="module")
+def dvfs_scenarios():
+    scenarios = []
+    for p_max in _DVFS_BUDGETS:
+        problem = rover_problem(p_max)
+        scenarios.append({
+            "p_max_W": p_max,
+            "workload": problem.name,
+            "delay_only": _delay_only_row(problem),
+            "delay_plus_slowdown": _dvfs_row(problem),
+            "dvs_baseline": _dvs_row(problem),
+        })
+    return scenarios
+
+
+def test_dvfs_rescues_provably_infeasible_budget(dvfs_scenarios):
+    """The acceptance headline: at least one rover scenario where the
+    static screen proves delay-only scheduling infeasible and the
+    composed delay+slowdown scheduler meets the budget anyway."""
+    rescued = [s for s in dvfs_scenarios
+               if s["delay_only"]["provably_infeasible"]
+               and s["delay_plus_slowdown"]["feasible"]]
+    assert rescued, "no scenario was rescued by frequency selection"
+    for scenario in rescued:
+        assert not scenario["delay_only"]["feasible"]
+        assert scenario["delay_plus_slowdown"]["peak_W"] \
+            <= scenario["p_max_W"] + 1e-9
+        assert scenario["delay_plus_slowdown"]["slowed"], \
+            "rescue must involve an actual slowdown"
+
+
+def test_dvfs_native_budget_stays_feasible_both_ways(dvfs_scenarios):
+    native = dvfs_scenarios[0]
+    assert not native["delay_only"]["provably_infeasible"]
+    assert native["delay_only"]["feasible"]
+    assert native["delay_plus_slowdown"]["feasible"]
+
+
+def test_dvs_baseline_rejects_the_rover_graph(dvfs_scenarios):
+    """Honest inapplicability: the Section-2 baseline cannot express
+    the rover's inter-task constraints or non-CPU resources."""
+    for scenario in dvfs_scenarios:
+        assert scenario["dvs_baseline"]["applicable"] is False
+        assert scenario["dvs_baseline"]["reason"]
+
+
+def test_dvfs_artifact(dvfs_scenarios, artifact_dir):
+    doc = {
+        "bench": "dvfs_composition",
+        "workload": ("mars-rover worst-case iteration "
+                     "(steps_per_iteration=1)"),
+        "ladder": list(DEFAULT_LADDER),
+        "eval_budget": _DVFS_EVAL_BUDGET,
+        "scenarios": dvfs_scenarios,
+    }
+    write_artifact(artifact_dir, "BENCH_dvfs.json",
+                   json.dumps(doc, indent=2, sort_keys=True))

@@ -93,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="heuristic seed (default 2001)")
     solve.add_argument("--no-chart", action="store_true",
                        help="skip the ASCII chart")
+    solve.add_argument("--dvfs", action="store_true",
+                       help="attach a DVFS frequency ladder to every "
+                            "task and let the scheduler slow tasks "
+                            "(cubic power drop, 1/f stretch) when "
+                            "delaying would break timing")
+    solve.add_argument("--freq-levels", default="", metavar="F[,F...]",
+                       help="comma-separated frequency rungs in (0, 1] "
+                            "for --dvfs (must include 1.0; default "
+                            "1.0,0.75,0.5,0.25); ignored for problem "
+                            "files that already carry operating points")
 
     rover = sub.add_parser(
         "rover", help="reproduce the Mars rover schedules (Table 3)")
@@ -194,6 +204,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "re-solves across rollbacks, graph copies, "
                             "and neighbouring sweep points (on by "
                             "default; exact either way)")
+    sweep.add_argument("--freq-levels", default="", metavar="F[,F...]",
+                       help="comma-separated DVFS frequency rungs in "
+                            "(0, 1], must include 1.0: every task gets "
+                            "the ladder and each grid point solves "
+                            "with deadline-safe min-energy frequency "
+                            "selection (such points bypass the "
+                            "schedule store — see DESIGN.md 5f)")
 
     shard = sub.add_parser(
         "shard",
@@ -245,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
     shard_plan.add_argument("--no-warm-start", action="store_true",
                             help="shard workers solve cold (disable "
                                  "warm-started re-solves)")
+    shard_plan.add_argument("--freq-levels", default="",
+                            metavar="F[,F...]",
+                            help="comma-separated DVFS frequency rungs "
+                                 "attached to every planned job's "
+                                 "tasks (must include 1.0)")
     shard_run = shard_sub.add_parser(
         "run", help="execute one shard manifest into an artifact")
     shard_run.add_argument("manifest", help="shard manifest JSON file")
@@ -453,6 +475,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit 1 unless at least one point is "
                              "feasible and every feasible point is "
                              "power-valid (peak <= P_max)")
+    submit.add_argument("--freq-levels", default="",
+                        metavar="F[,F...]",
+                        help="DVFS frequency ladder the server "
+                             "attaches before solving (bumps the "
+                             "request to version 2; older servers "
+                             "answer unsupported_version)")
 
     session = sub.add_parser(
         "session",
@@ -522,6 +550,18 @@ def _load(path: str):
     return load_problem_dsl(path)
 
 
+def _parse_freq_levels(raw: str) -> "tuple[float, ...]":
+    """Parse a ``--freq-levels`` comma list (empty string -> ())."""
+    if not raw:
+        return ()
+    try:
+        return tuple(float(token) for token in raw.split(","))
+    except ValueError as exc:
+        raise ReproError(
+            f"--freq-levels must be comma-separated numbers: "
+            f"{exc}") from exc
+
+
 def _cmd_diagnose(args) -> int:
     from .core.diagnose import explain_infeasibility
     problem = _load(args.file)
@@ -540,6 +580,10 @@ def _cmd_sweep(args) -> int:
     from .analysis import knee_point, sweep_grid, sweep_p_max
     from .engine import BatchRunner, RunnerConfig, ScheduleStore
     problem = _load(args.file)
+    freq_levels = _parse_freq_levels(args.freq_levels)
+    if freq_levels:
+        from .core.dvfs import attach_ladder
+        problem = attach_ladder(problem, freq_levels)
     if args.trace and os.path.exists(args.trace) and not args.force:
         raise ReproError(
             f"trace file {args.trace!r} already exists; "
@@ -630,7 +674,9 @@ def _cmd_shard_plan(args) -> int:
     options = (SchedulerOptions(seed=args.seed)
                if args.seed is not None else None)
     spec = SweepSpec.grid(problem, budgets, levels, options=options,
-                          name=problem.name)
+                          name=problem.name,
+                          freq_levels=_parse_freq_levels(
+                              args.freq_levels))
     jobs = spec.jobs()
     runner_doc = {"retries": 1,
                   "reuse_schedules": args.reuse_schedules,
@@ -784,6 +830,10 @@ def _cmd_solve(args) -> int:
         problem = load_problem(args.file)
     else:
         problem = load_problem_dsl(args.file)
+    if getattr(args, "dvfs", False) and not problem.has_operating_points:
+        from .core.dvfs import DEFAULT_LADDER, attach_ladder
+        freqs = _parse_freq_levels(args.freq_levels) or DEFAULT_LADDER
+        problem = attach_ladder(problem, freqs)
     options = SchedulerOptions(seed=args.seed)
     from .core.diagnose import explain_infeasibility
     from .errors import PositiveCycleError
@@ -798,6 +848,18 @@ def _cmd_solve(args) -> int:
     print(format_table(pipeline.stage_rows(),
                        title=f"== {problem.name} =="))
     result = pipeline.final
+    dvfs = result.extra.get("dvfs")
+    if dvfs:
+        slowed = {name: point for name, point
+                  in dvfs["assignment"].items()
+                  if point["freq"] != 1.0 or point["cores"] != 1}
+        chosen = ", ".join(
+            f"{name}@f={point['freq']:g}x{point['cores']}"
+            for name, point in sorted(slowed.items())) or "all full speed"
+        print(f"dvfs: {chosen} "
+              f"({dvfs['evaluations']} configurations tried, "
+              f"E_ideal={dvfs['energy_ideal_J']:g} J, "
+              f"E_rounded={dvfs['energy_rounded_J']:g} J)")
     if not args.no_chart:
         print()
         print(render_chart(chart_result(result)))
@@ -985,10 +1047,12 @@ def _cmd_submit(args) -> int:
                if args.budgets else None)
     levels = ([float(token) for token in args.levels.split(",")]
               if args.levels else None)
+    freq_levels = list(_parse_freq_levels(args.freq_levels)) or None
     if budgets or levels:
         ack = client.sweep(problem, budgets=budgets, levels=levels,
                            seed=args.seed,
-                           deadline_ms=args.deadline_ms)
+                           deadline_ms=args.deadline_ms,
+                           freq_levels=freq_levels)
         job_id = ack["job"]
         print(f"job {job_id} accepted "
               f"({ack.get('points_total', '?')} points)")
@@ -1000,7 +1064,8 @@ def _cmd_submit(args) -> int:
             response = client.wait(job_id)
     else:
         response = client.solve(problem, seed=args.seed,
-                                deadline_ms=args.deadline_ms)
+                                deadline_ms=args.deadline_ms,
+                                freq_levels=freq_levels)
     points = response.get("points", [])
     title = f"== {problem.name}: served points =="
     print(format_table([_point_row(p) for p in points], title=title))

@@ -8,6 +8,9 @@ formulation.  The scheduling algorithms live in
 from .arrays import HAVE_NUMPY, GraphArrays, ProfileArrays
 from .diagnose import (CycleExplanation, explain_infeasibility,
                        find_cycle)
+from .dvfs import (DEFAULT_LADDER, attach_ladder, ladder_from_freqs,
+                   materialize_assignment, quantize_power, scaled_duration,
+                   scaled_power)
 from .graph import (ADD_LOG_FACTOR, ConstraintGraph, Edge,
                     add_log_factor, set_add_log_factor)
 from .kernel import (KERNEL_MODES, clear_warm_pool, kernel_mode,
@@ -23,7 +26,7 @@ from .profile import Interval, PowerProfile
 from .resource import Resource, ResourcePool
 from .schedule import Schedule
 from .slack import UNBOUNDED_SLACK, movable_window, slack, slack_table
-from .task import ANCHOR_NAME, Task
+from .task import ANCHOR_NAME, OperatingPoint, Task
 from .validation import (ValidationReport, Violation, assert_power_valid,
                          assert_time_valid, check_power_valid,
                          check_time_valid)
@@ -33,12 +36,14 @@ __all__ = [
     "ANCHOR_NAME",
     "ConstraintGraph",
     "CycleExplanation",
+    "DEFAULT_LADDER",
     "Edge",
     "GraphArrays",
     "HAVE_NUMPY",
     "Interval",
     "KERNEL_MODES",
     "LongestPathResult",
+    "OperatingPoint",
     "PowerProfile",
     "ProfileArrays",
     "Resource",
@@ -52,6 +57,7 @@ __all__ = [
     "Violation",
     "add_log_factor",
     "add_phased_task",
+    "attach_ladder",
     "assert_power_valid",
     "assert_time_valid",
     "check_power_valid",
@@ -64,13 +70,18 @@ __all__ = [
     "find_cycle",
     "is_phase_of",
     "kernel_mode",
+    "ladder_from_freqs",
     "latest_starts",
     "longest_paths",
+    "materialize_assignment",
     "min_power_utilization",
     "movable_window",
     "phase_names",
     "phased_start",
     "power_jitter",
+    "quantize_power",
+    "scaled_duration",
+    "scaled_power",
     "set_add_log_factor",
     "set_kernel",
     "set_warm",

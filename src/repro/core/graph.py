@@ -166,10 +166,13 @@ class ConstraintGraph:
 
     def new_task(self, name: str, duration: int, power: float = 0.0,
                  resource: "str | None" = None,
-                 meta: "Mapping[str, Any] | None" = None) -> Task:
+                 meta: "Mapping[str, Any] | None" = None,
+                 operating_points: "tuple | None" = None) -> Task:
         """Create and add a task in one call; returns the task."""
         return self.add_task(Task(name=name, duration=duration, power=power,
-                                  resource=resource, meta=dict(meta or {})))
+                                  resource=resource, meta=dict(meta or {}),
+                                  operating_points=tuple(
+                                      operating_points or ())))
 
     def task(self, name: str) -> Task:
         """Look up a task by name."""

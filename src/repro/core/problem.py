@@ -55,6 +55,18 @@ class SchedulingProblem:
         """Baseline plus declared resource idle power."""
         return self.baseline + self.graph.resources.total_idle_power
 
+    @property
+    def has_operating_points(self) -> bool:
+        """True when any task carries a DVFS operating-point ladder.
+
+        Such problems get their configuration chosen by the
+        ``freq_select`` search, and are exempt from schedule-store
+        certification (see DESIGN.md section 5f): the search's output
+        depends on ``P_max``, so no timing-stage entry could be valid
+        over a whole power rectangle.
+        """
+        return any(task.has_ladder for task in self.graph.tasks())
+
     def headroom(self) -> float:
         """Power budget left above the constant baseline."""
         return self.p_max - self.total_baseline

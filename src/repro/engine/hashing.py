@@ -38,8 +38,13 @@ def canonical_problem_dict(problem: SchedulingProblem) \
         "p_min": problem.p_min,
         "baseline": problem.baseline,
         "tasks": sorted(
+            # A DVFS ladder extends the tuple only when present, so
+            # every ladder-free problem hashes exactly as before (the
+            # keys of existing stores and journals stay valid).
             (task.name, task.duration, task.power, task.resource,
              sorted(task.meta.items()))
+            + ((tuple(point.key for point in task.operating_points),)
+               if task.operating_points else ())
             for task in graph.tasks()),
         "resources": sorted(
             (res.name, res.idle_power, res.kind)

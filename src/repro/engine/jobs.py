@@ -129,7 +129,11 @@ def _solve_sweep_point(job: SolveJob, store=None) -> "tuple[Any, dict]":
 
     problem = job.problem
     options = job.options or SchedulerOptions()
-    if store is not None:
+    # DVFS problems are store-exempt (DESIGN.md 5f): the freq_select
+    # front-end reads P_max, so neither serving from nor recording into
+    # the validity-rectangle store is sound for them.
+    use_store = store is not None and not problem.has_operating_points
+    if use_store:
         base_key = store.ensure_primed(problem, options, kind=job.kind)
         entry = store.probe(base_key, problem.p_max, problem.p_min)
         if entry is not None:
@@ -141,8 +145,10 @@ def _solve_sweep_point(job: SolveJob, store=None) -> "tuple[Any, dict]":
         return (SweepPoint(p_max=problem.p_max, p_min=problem.p_min,
                            feasible=False), stats)
     stats = result.stats.as_dict()
-    if store is not None:
+    if use_store:
         store.record_result(base_key, problem, result)
+        stats["reuse"] = {"hit": False}
+    elif store is not None:
         stats["reuse"] = {"hit": False}
     point = SweepPoint(
         p_max=problem.p_max, p_min=problem.p_min, feasible=True,

@@ -65,6 +65,15 @@ class SweepSpec:
     corner jobs are kept — the runner's dedup serves them from the
     first occurrence, so planned results match ``sweep_grid`` output
     point for point.
+
+    ``freq_levels`` adds the DVFS axis: when non-empty, every planned
+    job's problem gets a uniform operating-point ladder over those
+    frequency rungs (:func:`repro.core.dvfs.attach_ladder`), so the
+    power-aware pipeline's ``freq_select`` front-end may slow tasks.
+    The ladder flows into :func:`~repro.engine.hashing.
+    problem_base_key`, so tile partitioning keeps ladder and
+    ladder-free variants of the same workload in separate groups, and
+    such jobs are schedule-store-exempt (DESIGN.md 5f).
     """
 
     problems: "tuple[SchedulingProblem, ...]"
@@ -73,12 +82,14 @@ class SweepSpec:
     options: "SchedulerOptions | None" = None
     kind: str = "sweep_point"
     name: str = "sweep"
+    freq_levels: "tuple[float, ...]" = ()
 
     @staticmethod
     def grid(problem: "SchedulingProblem | Iterable[SchedulingProblem]",
              budgets: "Iterable[float]", levels: "Iterable[float]",
              options: "SchedulerOptions | None" = None,
-             kind: str = "sweep_point", name: str = "sweep") \
+             kind: str = "sweep_point", name: str = "sweep",
+             freq_levels: "Iterable[float]" = ()) \
             -> "SweepSpec":
         """Build a spec from one problem or an iterable of problems."""
         if isinstance(problem, SchedulingProblem):
@@ -87,7 +98,8 @@ class SweepSpec:
             problems = tuple(problem)
         return SweepSpec(problems=problems, budgets=tuple(budgets),
                          levels=tuple(levels), options=options,
-                         kind=kind, name=name)
+                         kind=kind, name=name,
+                         freq_levels=tuple(freq_levels))
 
     def points(self) -> "list[tuple[float, float]]":
         """Row-major (budget-outer) clamped ``(p_max, p_min)`` pairs."""
@@ -97,10 +109,15 @@ class SweepSpec:
     def jobs(self) -> "list[SolveJob]":
         """The ordered job list: problems outer, grid points inner."""
         pairs = self.points()
+        problems = self.problems
+        if self.freq_levels:
+            from ..core.dvfs import attach_ladder
+            problems = tuple(attach_ladder(problem, self.freq_levels)
+                             for problem in problems)
         return [SolveJob(problem=problem.with_power_constraints(p_max,
                                                                 p_min),
                          kind=self.kind, options=self.options)
-                for problem in self.problems
+                for problem in problems
                 for p_max, p_min in pairs]
 
 

@@ -299,9 +299,22 @@ class ScheduleStore:
         Returns the base key.  Idempotent per base key, and the primed
         set ships with worker snapshots, so the priming cost is one
         timing + one bounded serial solve per distinct workload.
+
+        DVFS exemption (DESIGN.md section 5f): problems carrying
+        operating-point ladders are never certified.  The pipeline
+        fronting them (``freq_select``) reads ``P_max`` to choose a
+        configuration, so its output is *not* constant over a power
+        rectangle, and stored starts would reference scaled durations
+        that a rebuild against the unscaled graph cannot reproduce.
+        The base key is still computed (ladders are part of the
+        canonical hash, so it can never collide with a speed-fixed
+        workload) and marked primed so the check is paid once.
         """
         base_key = self.base_key(problem, options, kind=kind)
         if base_key in self._primed:
+            return base_key
+        if problem.has_operating_points:
+            self._primed.add(base_key)
             return base_key
         self._primed.add(base_key)
         self.primes += 1

@@ -28,7 +28,7 @@ from ..core.graph import ConstraintGraph
 from ..core.problem import SchedulingProblem
 from ..core.resource import Resource
 from ..core.schedule import Schedule
-from ..core.task import ANCHOR_NAME
+from ..core.task import ANCHOR_NAME, OperatingPoint
 from ..errors import SerializationError
 
 __all__ = ["problem_to_dict", "problem_from_dict", "save_problem",
@@ -38,13 +38,27 @@ __all__ = ["problem_to_dict", "problem_from_dict", "save_problem",
 
 _PROBLEM_FORMAT = "repro-problem"
 _SCHEDULE_FORMAT = "repro-schedule"
-_VERSION = 1
+# Problem documents negotiate their version per feature: a document is
+# stamped with the *lowest* version that can express it, so every
+# ladder-free problem keeps writing byte-identical v1 documents that
+# old readers accept, while DVFS operating-point ladders (new in v2)
+# bump only the documents that actually use them — and v1-only readers
+# reject those cleanly instead of silently dropping the ladder.
+_PROBLEM_VERSION = 2
+_SCHEDULE_VERSION = 1
+_VERSION = 1  # legacy alias (pre-v2 readers imported this)
 
 
 def problem_to_dict(problem: SchedulingProblem,
                     include_derived_edges: bool = False) \
         -> "dict[str, Any]":
-    """Serialize a problem to a plain dict."""
+    """Serialize a problem to a plain dict.
+
+    Ladder-free problems serialize as v1 documents, bit-identical to
+    what previous releases wrote; a task with DVFS operating points
+    gains an ``"operating_points"`` list and bumps the document to v2
+    (see the version-negotiation note on ``_PROBLEM_VERSION``).
+    """
     graph = problem.graph
     edges = []
     for edge in graph.edges():
@@ -52,9 +66,21 @@ def problem_to_dict(problem: SchedulingProblem,
             continue
         edges.append({"src": edge.src, "dst": edge.dst,
                       "weight": edge.weight, "tag": edge.tag})
+    tasks = []
+    has_ladder = False
+    for task in graph.tasks():
+        doc = {"name": task.name, "duration": task.duration,
+               "power": task.power, "resource": task.resource,
+               "meta": dict(task.meta)}
+        if task.operating_points:
+            has_ladder = True
+            doc["operating_points"] = [
+                {"freq": point.freq, "cores": point.cores}
+                for point in task.operating_points]
+        tasks.append(doc)
     return {
         "format": _PROBLEM_FORMAT,
-        "version": _VERSION,
+        "version": _PROBLEM_VERSION if has_ladder else 1,
         "name": problem.name,
         "p_max": problem.p_max,
         "p_min": problem.p_min,
@@ -64,11 +90,7 @@ def problem_to_dict(problem: SchedulingProblem,
             {"name": res.name, "idle_power": res.idle_power,
              "kind": res.kind}
             for res in graph.resources],
-        "tasks": [
-            {"name": task.name, "duration": task.duration,
-             "power": task.power, "resource": task.resource,
-             "meta": dict(task.meta)}
-            for task in graph.tasks()],
+        "tasks": tasks,
         "edges": edges,
     }
 
@@ -84,10 +106,15 @@ def problem_from_dict(data: "dict[str, Any]") -> SchedulingProblem:
                 idle_power=res.get("idle_power", 0.0),
                 kind=res.get("kind", "generic")))
         for task in data["tasks"]:
+            points = tuple(
+                OperatingPoint(freq=point["freq"],
+                               cores=point.get("cores", 1))
+                for point in task.get("operating_points") or ())
             graph.new_task(task["name"], duration=task["duration"],
                            power=task.get("power", 0.0),
                            resource=task.get("resource"),
-                           meta=task.get("meta") or {})
+                           meta=task.get("meta") or {},
+                           operating_points=points)
         for edge in data.get("edges", []):
             src = edge.get("src", ANCHOR_NAME)
             dst = edge["dst"]
@@ -110,7 +137,7 @@ def schedule_to_dict(schedule: Schedule,
     """Serialize a schedule (start times only)."""
     return {
         "format": _SCHEDULE_FORMAT,
-        "version": _VERSION,
+        "version": _SCHEDULE_VERSION,
         "problem": problem_name or schedule.graph.name,
         "makespan": schedule.makespan,
         "starts": schedule.as_dict(),
@@ -172,11 +199,13 @@ def _expect_format(data: "dict[str, Any]", expected: str) -> None:
     if found != expected:
         raise SerializationError(
             f"expected a {expected!r} document, found {found!r}")
+    supported = _PROBLEM_VERSION if expected == _PROBLEM_FORMAT \
+        else _SCHEDULE_VERSION
     version = data.get("version", 0)
-    if version > _VERSION:
+    if version > supported:
         raise SerializationError(
             f"document version {version} is newer than supported "
-            f"({_VERSION})")
+            f"({supported})")
 
 
 def save_store(store, path: str) -> str:

@@ -3,11 +3,15 @@
 Two versioned JSON documents connect a client to a
 :class:`repro.serving.server.SolveServer`:
 
-* ``repro-solve-request`` (version 1) — one workload (an embedded
+* ``repro-solve-request`` (version 2) — one workload (an embedded
   ``repro-problem`` document) plus the power environment(s) to solve it
   under: either a single ``(p_max, p_min)`` pair (``POST /v1/solve``)
   or a ``budgets`` x ``levels`` grid / explicit ``points`` list
-  (``POST /v1/sweep``).
+  (``POST /v1/sweep``).  Version 2 adds the DVFS axis: per-task
+  ``operating_points`` inside the embedded problem (a v2
+  ``repro-problem``) and/or a top-level ``freq_levels`` list that
+  attaches a uniform frequency ladder server-side.  Clients that use
+  neither keep sending version-1 documents bit-identical to before.
 * ``repro-solve-response`` (version 1) — the envelope every endpoint
   answers with: a ``status`` (``done``/``queued``/``running``/
   ``cancelled``/``error``), the solved :class:`SolvedPoint` rows when
@@ -67,8 +71,11 @@ __all__ = ["SolveRequest", "SolvedPoint", "RequestError",
 
 #: ``format`` field of a solve request document.
 REQUEST_FORMAT = "repro-solve-request"
-#: Highest request schema version this library speaks.
-REQUEST_VERSION = 1
+#: Highest request schema version this library speaks.  Version 2
+#: added DVFS operating points (embedded v2 problems, ``freq_levels``);
+#: documents that use neither are still stamped (and accepted as)
+#: version 1.
+REQUEST_VERSION = 2
 #: ``format`` field of a solve response document.
 RESPONSE_FORMAT = "repro-solve-response"
 #: Response schema version stamped on every server reply.
@@ -214,6 +221,7 @@ class SolveRequest:
     seed: "int | None" = None
     deadline_ms: "int | None" = None
     tags: "dict[str, Any]" = field(default_factory=dict)
+    freq_levels: "tuple[float, ...]" = ()
 
 
 def solve_request_to_dict(problem: SchedulingProblem,
@@ -225,14 +233,27 @@ def solve_request_to_dict(problem: SchedulingProblem,
                           = None,
                           seed: "int | None" = None,
                           deadline_ms: "int | None" = None,
-                          tags: "Mapping[str, Any] | None" = None) \
+                          tags: "Mapping[str, Any] | None" = None,
+                          freq_levels: "list[float] | None" = None) \
         -> "dict[str, Any]":
-    """Assemble a ``repro-solve-request`` document (client side)."""
+    """Assemble a ``repro-solve-request`` document (client side).
+
+    Stamped with the lowest version that can express the request: 2
+    only when it uses a DVFS feature (``freq_levels`` or an embedded
+    problem whose tasks carry operating points), 1 otherwise — so
+    pre-DVFS servers keep accepting every request that does not need
+    the new axis.
+    """
+    problem_doc = problem_to_dict(problem)
+    version = 2 if (freq_levels
+                    or problem_doc.get("version", 1) >= 2) else 1
     doc: "dict[str, Any]" = {
         "format": REQUEST_FORMAT,
-        "version": REQUEST_VERSION,
-        "problem": problem_to_dict(problem),
+        "version": version,
+        "problem": problem_doc,
     }
+    if freq_levels:
+        doc["freq_levels"] = [float(f) for f in freq_levels]
     if p_max is not None:
         doc["p_max"] = p_max
     if p_min is not None:
@@ -337,6 +358,23 @@ def solve_request_from_dict(data: Any) -> SolveRequest:
         raise RequestError(
             "bad_request",
             f"invalid problem document: {exc!r}") from exc
+    freq_levels: "tuple[float, ...]" = ()
+    if "freq_levels" in data and data["freq_levels"] is not None:
+        raw = data["freq_levels"]
+        if not isinstance(raw, (list, tuple)) or not raw or not all(
+                isinstance(f, (int, float)) and not isinstance(f, bool)
+                for f in raw):
+            raise RequestError(
+                "bad_request",
+                "freq_levels must be a non-empty array of numbers")
+        freq_levels = tuple(float(f) for f in raw)
+        from ..core.dvfs import attach_ladder
+        from ..errors import GraphError
+        try:
+            problem = attach_ladder(problem, freq_levels)
+        except GraphError as exc:
+            raise RequestError(
+                "bad_request", f"invalid freq_levels: {exc}") from exc
     points = _point_list(data, problem)
     seed = data.get("seed")
     if seed is not None and (not isinstance(seed, int)
@@ -355,7 +393,8 @@ def solve_request_from_dict(data: Any) -> SolveRequest:
     if not isinstance(tags, Mapping):
         raise RequestError("bad_request", "tags must be an object")
     return SolveRequest(problem=problem, points=points, seed=seed,
-                        deadline_ms=deadline_ms, tags=dict(tags))
+                        deadline_ms=deadline_ms, tags=dict(tags),
+                        freq_levels=freq_levels)
 
 
 def response_envelope(status: str, **fields: Any) -> "dict[str, Any]":

@@ -12,6 +12,7 @@ from .annealing import AnnealingImprover, anneal
 from .base import (ScheduleResult, SchedulerOptions, SchedulerStats,
                    make_result)
 from .dvs import CPU_RESOURCE, DvsScheduler, dvs_schedule
+from .freq_select import FreqSelectScheduler, freq_select_schedule
 from .heuristics import PRESETS, preset, preset_names
 from .list_scheduler import GreedyListScheduler, greedy_schedule
 from .max_power import MaxPowerScheduler, max_power_schedule
@@ -27,7 +28,9 @@ __all__ = [
     "AnnealingImprover",
     "CPU_RESOURCE",
     "DvsScheduler",
+    "FreqSelectScheduler",
     "anneal",
+    "freq_select_schedule",
     "GapFillConfig",
     "GreedyListScheduler",
     "dvs_schedule",

@@ -17,6 +17,15 @@ this module implements the classic baseline:
   power scales by ``f^3`` (P ~ f V^2 with V ~ f), so energy scales by
   ``f^2`` — the quadratic saving that motivates DVS.
 
+Rounding rule: delays live on the integer time grid, so a job slowed
+to ``f`` runs for ``ceil(d / f)`` time units (never less than 1), and
+its *realized* energy ``ceil(d/f) * quantize(p * f^3)`` is slightly
+above the ideal ``f^2 * d * p`` whenever the stretch does not divide
+evenly.  Results report both numbers (``extra["energy_ideal_J"]`` /
+``extra["energy_rounded_J"]``); scaled powers pass through the shared
+deterministic :func:`repro.core.dvfs.quantize_power` grid so hashes of
+scaled problems are stable across platforms and code paths.
+
 Crucially — and faithfully to the critique — the DVS scheduler only
 *controls the CPU*.  Tasks on any other resource (motors, heaters,
 radios) are treated as a given: they execute at their ASAP times, and
@@ -30,6 +39,7 @@ from __future__ import annotations
 
 import math
 
+from ..core.dvfs import scaled_power
 from ..core.graph import ConstraintGraph
 from ..core.longest_path import longest_paths
 from ..core.problem import SchedulingProblem
@@ -121,6 +131,18 @@ class DvsScheduler:
             schedule, stats=SchedulerStats(), stage="dvs")
         result.extra["frequencies"] = dict(chosen)
         result.extra["graph"] = scaled_graph
+        # Both energy accountings for the scaled CPU jobs (module
+        # docstring, "Rounding rule"): the continuous-model ideal and
+        # what the integer time grid actually charges.
+        by_name = {job.name: job for job in cpu_jobs}
+        ideal = sum(by_name[name].energy * freq ** 2
+                    for name, freq in chosen.items())
+        rounded = sum(
+            self._stretched(by_name[name].duration, freq)
+            * scaled_power(by_name[name].power, freq)
+            for name, freq in chosen.items())
+        result.extra["energy_ideal_J"] = round(ideal, 6)
+        result.extra["energy_rounded_J"] = round(rounded, 6)
         return result
 
     # ------------------------------------------------------------------
@@ -174,7 +196,7 @@ class DvsScheduler:
                 scaled.add_task(Task(
                     name=task.name,
                     duration=self._stretched(task.duration, freq),
-                    power=round(task.power * freq ** 3, 6),
+                    power=scaled_power(task.power, freq),
                     resource=task.resource,
                     meta={**dict(task.meta), "dvs_freq": freq}))
                 all_starts[task.name] = starts[task.name]

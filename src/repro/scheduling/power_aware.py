@@ -63,11 +63,19 @@ def _timed_stage(label: str, run) -> ScheduleResult:
 
 @dataclass
 class PipelineResult:
-    """The three stage results of one power-aware scheduling run."""
+    """The three stage results of one power-aware scheduling run.
+
+    For problems whose tasks carry DVFS operating-point ladders, the
+    run is fronted by a configuration search and ``freq_select`` holds
+    that stage's result (the winning max-power evaluation, with the
+    chosen per-task operating points in its ``extra``); it stays
+    ``None`` for ordinary speed-fixed problems.
+    """
 
     timing: ScheduleResult
     max_power: ScheduleResult
     min_power: ScheduleResult
+    freq_select: "ScheduleResult | None" = None
 
     @property
     def final(self) -> ScheduleResult:
@@ -103,7 +111,18 @@ class PowerAwareScheduler:
         may contain spikes, as Fig. 2 does); the max-power stage result
         is valid; the min-power stage result additionally maximizes
         utilization found across the heuristic configurations.
+
+        A problem carrying DVFS operating-point ladders is delegated to
+        :class:`~repro.scheduling.freq_select.FreqSelectScheduler`,
+        which chooses a deadline-safe minimum-energy configuration and
+        then runs this same three-stage pipeline on the materialized
+        (speed-fixed) problem — so every caller of the pipeline gets
+        the DVFS axis for free.
         """
+        if problem.has_operating_points:
+            from .freq_select import FreqSelectScheduler
+            return FreqSelectScheduler(
+                self.options).solve_pipeline(problem)
         with OBS.span("sched.pipeline", problem=problem.name):
             timing = _timed_stage(
                 "timing",

@@ -155,12 +155,20 @@ class ServingClient:
               p_max: "float | None" = None,
               p_min: "float | None" = None,
               seed: "int | None" = None,
-              deadline_ms: "int | None" = None) -> "dict[str, Any]":
+              deadline_ms: "int | None" = None,
+              freq_levels: "list[float] | None" = None) \
+            -> "dict[str, Any]":
         """Synchronous ``POST /v1/solve``; returns the response
-        document (its ``points`` list holds the solved rows)."""
+        document (its ``points`` list holds the solved rows).
+
+        ``freq_levels`` attaches a uniform DVFS ladder server-side
+        (bumps the request to schema version 2 — pre-DVFS servers
+        reject it with ``unsupported_version``).
+        """
         body = solve_request_to_dict(problem, p_max=p_max,
                                      p_min=p_min, seed=seed,
-                                     deadline_ms=deadline_ms)
+                                     deadline_ms=deadline_ms,
+                                     freq_levels=freq_levels)
         return self.checked("POST", "/v1/solve", body)
 
     def sweep(self, problem: SchedulingProblem,
@@ -168,13 +176,16 @@ class ServingClient:
               levels: "list[float] | None" = None,
               points: "list[tuple[float, float]] | None" = None,
               seed: "int | None" = None,
-              deadline_ms: "int | None" = None) -> "dict[str, Any]":
+              deadline_ms: "int | None" = None,
+              freq_levels: "list[float] | None" = None) \
+            -> "dict[str, Any]":
         """Asynchronous ``POST /v1/sweep``; returns the ``202``
         acknowledgement (``{"job": "j-...", "status": "queued"}``)."""
         body = solve_request_to_dict(problem, budgets=budgets,
                                      levels=levels, points=points,
                                      seed=seed,
-                                     deadline_ms=deadline_ms)
+                                     deadline_ms=deadline_ms,
+                                     freq_levels=freq_levels)
         return self.checked("POST", "/v1/sweep", body)
 
     def job(self, job_id: str) -> "dict[str, Any]":

@@ -79,6 +79,26 @@ class TestScheduling:
         job = result.schedule.graph.task("j1")
         assert job.power == pytest.approx(6.0 * freq ** 3)
 
+    def test_reports_ideal_and_rounded_energy(self):
+        result = dvs_schedule(cpu_jobs({"j1": 40, "j2": 80}))
+        ideal = result.extra["energy_ideal_J"]
+        rounded = result.extra["energy_rounded_J"]
+        freqs = result.extra["frequencies"]
+        # ideal follows the continuous law E = d * p * f**2 exactly
+        assert ideal == pytest.approx(
+            sum(4 * 6.0 * f ** 2 for f in freqs.values()))
+        # ceil-rounded durations can only add energy (modulo the
+        # one-microwatt power quantization)
+        assert rounded >= ideal - 1e-6
+        # rounded matches what the materialized schedule actually burns
+        assert rounded == pytest.approx(result.metrics.total_energy)
+
+    def test_full_speed_energies_coincide(self):
+        result = dvs_schedule(cpu_jobs({"j1": 4, "j2": 8}))
+        assert result.extra["energy_ideal_J"] == pytest.approx(
+            result.extra["energy_rounded_J"])
+        assert result.extra["energy_ideal_J"] == pytest.approx(2 * 4 * 6.0)
+
 
 class TestPaperCritique:
     """The Section-2 comparison: DVS is oblivious to system power."""
